@@ -1,0 +1,62 @@
+"""Table 10: Euclidean distances between benchmark rank vectors.
+
+Two regenerations:
+
+* from the paper's own Table 9 data — must match the published matrix
+  to one decimal (exact validation of the classification pipeline);
+* from our simulator-driven Table 9 analogue — checked for the shape
+  results (vpr-Place/twolf and gcc/vortex are nearest neighbours;
+  memory-bound outliers are far from everything).
+"""
+
+import numpy as np
+
+from repro.core import benchmark_distance, distance_matrix
+from repro.core.paper_data import (
+    BENCHMARKS,
+    TABLE10_DISTANCES,
+    paper_table9_ranking,
+)
+from repro.reporting import render_distance_matrix
+
+
+def test_table10_exact_from_paper_data(benchmark, capsys):
+    ranking = paper_table9_ranking()
+    names, dist = benchmark.pedantic(
+        distance_matrix, args=(ranking,), rounds=3, iterations=1,
+    )
+    index = [names.index(b) for b in BENCHMARKS]
+    for i in range(13):
+        for j in range(13):
+            assert abs(dist[index[i], index[j]]
+                       - TABLE10_DISTANCES[i][j]) < 0.05
+    # The paper's worked example: d(gzip, vpr-Place) = 89.8.
+    assert round(benchmark_distance(ranking, "gzip", "vpr-Place"), 1) \
+        == 89.8
+    with capsys.disabled():
+        print("\n" + render_distance_matrix(
+            ranking,
+            title="Table 10 (recomputed from the paper's Table 9 data)",
+        ) + "\n")
+
+
+def test_table10_from_simulator(benchmark, table9_ranking, capsys):
+    names, dist = benchmark.pedantic(
+        distance_matrix, args=(table9_ranking,), rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + render_distance_matrix(
+            table9_ranking,
+            title="Table 10 analogue (simulator-driven ranks)",
+        ) + "\n")
+
+    def d(a, b):
+        return dist[names.index(a), names.index(b)]
+
+    # The paper's strongest affinities hold on our substrate.
+    others = [d("vpr-Place", x) for x in names
+              if x not in ("vpr-Place", "twolf", "mesa")]
+    assert d("vpr-Place", "twolf") < min(others)
+    assert d("gcc", "vortex") < np.median(dist[dist > 0])
+    # Memory-bound outliers sit far from the compute-bound cluster.
+    assert d("ammp", "twolf") > d("vpr-Place", "twolf")

@@ -1,0 +1,60 @@
+"""Table 11: benchmarks grouped by their effect on the processor.
+
+From the paper's own data the groups must match Table 11 exactly.  For
+the simulator-driven ranks, the similarity threshold is chosen the way
+the paper instructs ("it is left to the experimenter to set the
+threshold value"): here, the first quartile of pairwise distances —
+and the paper's strongest pairs must cohabit groups.
+"""
+
+import numpy as np
+
+from repro.core import (
+    PAPER_SIMILARITY_THRESHOLD,
+    distance_matrix,
+    group_benchmarks,
+)
+from repro.core.paper_data import TABLE11_GROUPS, paper_table9_ranking
+from repro.reporting import render_groups
+
+
+def test_table11_exact_from_paper_data(benchmark, capsys):
+    ranking = paper_table9_ranking()
+    groups = benchmark.pedantic(
+        group_benchmarks, args=(ranking, PAPER_SIMILARITY_THRESHOLD),
+        rounds=3, iterations=1,
+    )
+    assert [tuple(g) for g in groups] == [tuple(g) for g in TABLE11_GROUPS]
+    with capsys.disabled():
+        print("\n" + render_groups(
+            ranking, PAPER_SIMILARITY_THRESHOLD,
+            title="Table 11 (from the paper's Table 9 data)",
+        ) + "\n")
+
+
+def test_table11_from_simulator(benchmark, table9_ranking, capsys):
+    names, dist = distance_matrix(table9_ranking)
+    pairwise = dist[np.triu_indices(len(names), k=1)]
+    threshold = float(np.quantile(pairwise, 0.25))
+    groups = benchmark.pedantic(
+        group_benchmarks, args=(table9_ranking, threshold),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + render_groups(
+            table9_ranking, threshold,
+            title="Table 11 analogue (simulator-driven ranks)",
+        ) + "\n")
+
+    def same_group(a, b):
+        return any(a in g and b in g for g in groups)
+
+    # The paper's two tightest pairs stay together on our substrate.
+    assert same_group("vpr-Place", "twolf")
+    assert same_group("gcc", "vortex")
+    # The grouping is a partition.
+    flat = [b for g in groups for b in g]
+    assert sorted(flat) == sorted(names)
+    # More than one group, fewer than one-per-benchmark: an actual
+    # classification, neither degenerate extreme.
+    assert 1 < len(groups) < len(names)

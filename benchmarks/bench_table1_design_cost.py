@@ -1,0 +1,30 @@
+"""Table 1: simulations vs level of detail for three design families.
+
+Regenerates the paper's comparison (one-at-a-time: N+1, PB foldover:
+~2N, full factorial: 2^N) and benchmarks design construction.
+"""
+
+from repro.doe import design_cost, oat_design, pb_design
+from repro.reporting import render_design_cost_table
+
+N = 40  # the paper's Section 2.1 example ("more than 1 trillion")
+
+
+def test_table1_regeneration(benchmark, capsys):
+    table = benchmark.pedantic(render_design_cost_table, args=(N,),
+                               rounds=3, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    assert design_cost("one-at-a-time", N) == 41
+    assert design_cost("plackett-burman-foldover", N) == 88
+    assert design_cost("full-factorial", N) == 2 ** 40 > 10 ** 12
+
+
+def test_bench_oat_construction(benchmark):
+    design = benchmark(oat_design, N)
+    assert design.n_runs == N + 1
+
+
+def test_bench_pb_construction(benchmark):
+    design = benchmark(pb_design, N, foldover=True)
+    assert design.n_runs == 88

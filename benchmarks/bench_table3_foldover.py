@@ -1,0 +1,25 @@
+"""Table 3: the foldover X = 8 design (original + sign-reversed mirror)."""
+
+import numpy as np
+
+from repro.doe import pb_design
+from repro.reporting import render_design_matrix
+
+
+def test_table3_regeneration(benchmark, capsys):
+    base = pb_design(7)
+    folded = benchmark.pedantic(base.foldover, rounds=3, iterations=1)
+    with capsys.disabled():
+        print("\n" + render_design_matrix(
+            folded, title="Table 3: PB design matrix for X = 8 with foldover"
+        ) + "\n")
+    assert folded.n_runs == 16
+    assert np.array_equal(folded.matrix[:8], base.matrix)
+    assert np.array_equal(folded.matrix[8:], -base.matrix)
+    assert folded.is_balanced() and folded.is_orthogonal()
+
+
+def test_bench_foldover(benchmark):
+    base = pb_design(43)
+    folded = benchmark(base.foldover)
+    assert folded.n_runs == 88

@@ -1,0 +1,34 @@
+"""Table 4: the worked effect computation for X = 8.
+
+The responses (1, 9, 74, 28, 3, 6, 112, 84) must yield effects
+(-23, -67, -137, 129, -105, -225, 73), with F, C, D most significant.
+"""
+
+import numpy as np
+
+from repro.doe import compute_effects, pb_design
+from repro.reporting import render_effects
+
+RESPONSES = [1, 9, 74, 28, 3, 6, 112, 84]
+PAPER_EFFECTS = dict(zip("ABCDEFG", [-23, -67, -137, 129, -105, -225, 73]))
+
+
+def test_table4_regeneration(benchmark, capsys):
+    design = pb_design(7, factor_names=list("ABCDEFG"))
+    table = benchmark.pedantic(compute_effects, args=(design, RESPONSES),
+                               rounds=3, iterations=1)
+    with capsys.disabled():
+        print("\n" + render_effects(
+            table, title="Table 4: example analysis (effects)"
+        ) + "\n")
+    for factor, expected in PAPER_EFFECTS.items():
+        assert round(table.effect(factor)) == expected
+    assert table.top(3) == ["F", "C", "D"]
+
+
+def test_bench_effect_computation(benchmark):
+    design = pb_design(43, foldover=True)
+    rng = np.random.default_rng(0)
+    responses = rng.normal(1e6, 1e5, size=design.n_runs)
+    table = benchmark(compute_effects, design, responses)
+    assert len(table.effects) == 43

@@ -1,0 +1,52 @@
+"""Tables 6-8: the 41 processor parameters and their PB values.
+
+Regenerates the parameter list with low/high values, checks the
+linkage rules (LSQ as a fraction of ROB, derived TLB/memory values),
+and benchmarks design-row -> machine translation.
+"""
+
+from repro.core import build_design
+from repro.cpu import (
+    KIB,
+    PARAMETER_SPACE,
+    config_from_levels,
+    parameter_spec,
+)
+from repro.reporting import render_parameter_values
+
+
+def test_tables678_regeneration(benchmark, capsys):
+    table = benchmark.pedantic(render_parameter_values,
+                               rounds=3, iterations=1)
+    with capsys.disabled():
+        print("\n" + table + "\n")
+    assert len(PARAMETER_SPACE) == 41
+    # Spot checks straight out of the paper's tables.
+    assert parameter_spec("Instruction Fetch Queue Entries").low == 4
+    assert parameter_spec("Int Divide Latency").low == 80
+    assert parameter_spec("L2 Cache Size").high == 8192 * KIB
+
+
+def test_linkage_rules_hold_for_all_rows(benchmark):
+    design = build_design()
+    benchmark.pedantic(lambda: list(design.runs()), rounds=1, iterations=1)
+    for levels in design.runs():
+        cfg = config_from_levels(levels)
+        assert cfg.lsq_entries <= cfg.rob_entries
+        assert cfg.dtlb_page_size == cfg.itlb_page_size
+        assert cfg.dtlb_latency == cfg.itlb_latency
+        assert cfg.int_div_interval == cfg.int_div_latency
+        assert cfg.mem_latency_following == max(
+            1, round(0.02 * cfg.mem_latency_first)
+        )
+
+
+def test_bench_config_translation(benchmark):
+    design = build_design()
+    rows = list(design.runs())
+
+    def translate_all():
+        return [config_from_levels(levels) for levels in rows]
+
+    configs = benchmark(translate_all)
+    assert len(configs) == 88

@@ -1,0 +1,64 @@
+"""Shared fixtures for the table-regeneration benchmarks.
+
+The expensive artifacts — the foldover PB experiment over all 41
+parameters on all 13 benchmarks, with and without the instruction
+precomputation enhancement — are computed once per session and shared
+by every table's benchmark module.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (simulated instructions
+per million of the paper's Table 5 dynamic counts; default 5.0, i.e.
+gcc ~= 20k instructions).  Larger scales sharpen the rankings at the
+cost of runtime.
+"""
+
+import os
+
+import pytest
+
+from repro.core import PBExperiment, rank_parameters_from_result
+from repro.cpu import build_precompute_table
+from repro.workloads import BENCHMARK_NAMES, benchmark_trace, default_length
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "5.0"))
+
+
+@pytest.fixture(scope="session")
+def suite_traces():
+    """The 13 benchmark traces at Table 5-proportional lengths."""
+    return {
+        name: benchmark_trace(name, default_length(name, SCALE))
+        for name in BENCHMARK_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def table9_experiment(suite_traces):
+    """The 88-configuration base-machine experiment (paper Table 9)."""
+    return PBExperiment(suite_traces).run()
+
+
+@pytest.fixture(scope="session")
+def table9_ranking(table9_experiment):
+    return rank_parameters_from_result(table9_experiment)
+
+
+@pytest.fixture(scope="session")
+def precompute_tables(suite_traces):
+    """Per-benchmark 128-entry precomputation tables (Section 4.3)."""
+    return {
+        name: build_precompute_table(trace, 128)
+        for name, trace in suite_traces.items()
+    }
+
+
+@pytest.fixture(scope="session")
+def table12_experiment(suite_traces, precompute_tables):
+    """The enhanced-machine experiment (paper Table 12)."""
+    return PBExperiment(
+        suite_traces, precompute_tables=precompute_tables
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def table12_ranking(table12_experiment):
+    return rank_parameters_from_result(table12_experiment)

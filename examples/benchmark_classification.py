@@ -1,0 +1,74 @@
+"""Section 4.2: classifying benchmarks by their effect on the machine.
+
+Part 1 replays the paper's own Table 9 rank data through the
+classification pipeline — the distances and groups match the published
+Tables 10 and 11 exactly (including the worked gzip/vpr-Place distance
+of 89.8).
+
+Part 2 runs a fresh (reduced) PB experiment on our simulator and groups
+the suite from the measured fingerprints, printing the single-linkage
+merge sequence so a threshold can be chosen by inspection.
+
+Runtime: ~1 minute.
+
+Run:  python examples/benchmark_classification.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    PAPER_SIMILARITY_THRESHOLD,
+    PBExperiment,
+    benchmark_distance,
+    distance_matrix,
+    group_benchmarks,
+    rank_parameters_from_result,
+    single_linkage,
+)
+from repro.core.paper_data import paper_table9_ranking
+from repro.reporting import render_distance_matrix, render_groups
+from repro.workloads import benchmark_suite
+
+
+def part1_paper_data():
+    print("=" * 72)
+    print("Part 1: the paper's own Table 9 data")
+    print("=" * 72)
+    ranking = paper_table9_ranking()
+    d = benchmark_distance(ranking, "gzip", "vpr-Place")
+    print(f"\nworked example: d(gzip, vpr-Place) = {d:.1f} "
+          "(paper says 89.8)")
+    print()
+    print(render_distance_matrix(ranking, title="Table 10 (recomputed)"))
+    print()
+    print(render_groups(ranking, PAPER_SIMILARITY_THRESHOLD,
+                        title="Table 11 (recomputed)"))
+
+
+def part2_simulated():
+    print()
+    print("=" * 72)
+    print("Part 2: fresh fingerprints from the simulator")
+    print("=" * 72)
+    names = ["gzip", "vpr-Place", "twolf", "gcc", "vortex", "ammp"]
+    traces = benchmark_suite(length=3000, names=names)
+    print(f"\nrunning 88 configurations x {len(names)} benchmarks ...")
+    ranking = rank_parameters_from_result(PBExperiment(traces).run())
+
+    print("\nsingle-linkage merge sequence (choose a threshold by eye):")
+    for step in single_linkage(ranking):
+        members = ", ".join(step.merged)
+        print(f"  d = {step.distance:7.1f}: {{{members}}}")
+
+    bench_names, dist = distance_matrix(ranking)
+    threshold = float(np.quantile(
+        dist[np.triu_indices(len(bench_names), k=1)], 0.3
+    ))
+    print()
+    print(render_groups(ranking, threshold,
+                        title="Groups from simulated fingerprints"))
+
+
+if __name__ == "__main__":
+    part1_paper_data()
+    part2_simulated()

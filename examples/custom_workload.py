@@ -1,0 +1,60 @@
+"""Using the simulator substrate directly with a custom workload.
+
+Shows the lower layers of the library on their own: define a synthetic
+workload profile, generate a trace, run it on hand-picked machine
+configurations, and read the microarchitectural statistics — no
+Plackett-Burman machinery involved.
+
+Runtime: a few seconds.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro.cpu import MachineConfig, simulate
+from repro.workloads import WorkloadProfile, generate_trace
+
+
+def main():
+    # A pointer-chasing, cache-hostile workload (mcf's evil twin).
+    profile = WorkloadProfile(
+        name="chaser",
+        seed=7,
+        ialu_weight=0.40, load_weight=0.35, store_weight=0.05,
+        n_blocks=96, block_len_mean=5.0,
+        loop_fraction=0.4, loop_span=10, loop_bias_cap=0.9,
+        stack_fraction=0.30, hot_fraction=0.15,
+        data_footprint=16 * 1024 * 1024, reuse_exponent=1.2,
+        pointer_fraction=0.4, n_arenas=48,
+    )
+    trace = generate_trace(profile, 20_000)
+    print(f"trace: {len(trace)} instructions, "
+          f"{trace.branch_count()} branches, "
+          f"{trace.memory_count()} memory ops")
+    print("mix:", {k: round(v, 3)
+                   for k, v in trace.instruction_mix().items()})
+
+    # A 256 KB L2 keeps this working set partially missing to DRAM,
+    # so the memory-latency contrast below has traffic to act on.
+    baseline = MachineConfig(l2_size=256 * 1024)
+    print("\n--- baseline machine ---")
+    print(simulate(baseline, trace, warmup=True).summary())
+
+    bigger_window = baseline.evolve(rob_entries=64, lsq_entries=64)
+    print("\n--- 64-entry reorder buffer ---")
+    print(simulate(bigger_window, trace, warmup=True).summary())
+
+    faster_memory = baseline.evolve(mem_latency_first=50)
+    print("\n--- 50-cycle memory ---")
+    print(simulate(faster_memory, trace, warmup=True).summary())
+
+    both = bigger_window.evolve(mem_latency_first=50)
+    print("\n--- both ---")
+    print(simulate(both, trace, warmup=True).summary())
+
+    print("\nNote how the two improvements interact: more outstanding "
+          "misses (window) multiply the value of faster misses "
+          "(memory) — the interaction a one-at-a-time sweep misses.")
+
+
+if __name__ == "__main__":
+    main()

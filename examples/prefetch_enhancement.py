@@ -1,0 +1,64 @@
+"""Section 4.3's motivating example, made concrete: data prefetching.
+
+The paper motivates its enhancement-analysis method with a hypothetical
+memory optimization: "if the L1 D-Cache size and associativity sharply
+drop in significance due to an enhancement, it is reasonable to
+conclude that that particular enhancement does a good job of improving
+memory performance".  Here we run that exact study with a next-2-line
+data prefetcher on memory-streaming benchmarks and read off the rank
+signature.
+
+Runtime: ~1 minute.
+
+Run:  python examples/prefetch_enhancement.py
+"""
+
+from repro.core import (
+    EnhancementAnalysis,
+    PBExperiment,
+    rank_parameters_from_result,
+)
+from repro.reporting import render_enhancement
+from repro.workloads import benchmark_trace
+
+
+def main():
+    names = ["art", "equake", "ammp", "mcf"]
+    traces = {name: benchmark_trace(name, 3000) for name in names}
+
+    print("running the PB experiment without prefetching ...")
+    before = PBExperiment(traces).run()
+    print("running it again with a next-2-line data prefetcher ...")
+    after = PBExperiment(traces, prefetch_lines=2).run()
+
+    speedup = {
+        n: sum(before.responses[n]) / sum(after.responses[n])
+        for n in names
+    }
+    print("\nmean speedup across all 88 configurations:")
+    for n, s in speedup.items():
+        print(f"  {n:8s}: {s:.3f}x")
+
+    analysis = EnhancementAnalysis(
+        rank_parameters_from_result(before),
+        rank_parameters_from_result(after),
+    )
+    print()
+    print(render_enhancement(
+        analysis, top=12,
+        title="Sum-of-ranks shifts under prefetching "
+              "(positive = less significant)",
+    ))
+
+    shifts = {s.factor: s.shift for s in analysis.shifts()}
+    memory_factors = [
+        "L1 D-Cache Size", "L1 D-Cache Latency", "L1 D-Cache Block Size",
+        "Memory Latency First",
+    ]
+    relieved = [f for f in memory_factors if shifts[f] > 0]
+    print("\nmemory-side parameters relieved by prefetching:", relieved)
+    print("(the signature the paper's Section 4.3 example predicts)")
+
+
+if __name__ == "__main__":
+    main()

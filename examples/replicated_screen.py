@@ -1,0 +1,48 @@
+"""Effects with error bars: a workload-replicated screen.
+
+The paper measures each configuration once, so "is that effect real?"
+is answered by comparing ranks.  A deterministic workload generator
+allows a stronger answer: regenerate each benchmark from independent
+seeds, run the design per replicate, and t-test every effect against
+zero.
+
+Runtime: ~30 seconds.
+
+Run:  python examples/replicated_screen.py
+"""
+
+from repro.core import (
+    rank_parameters_from_result,
+    replicated_suite,
+    run_replicated,
+)
+
+FACTORS = [
+    "Reorder Buffer Entries", "L2 Cache Latency", "BPred Type",
+    "Int ALUs", "L1 D-Cache Size", "Memory Latency First",
+    "I-TLB Size", "Return Address Stack Entries", "Memory Ports",
+    "BTB Associativity", "LSQ Entries",
+]
+
+
+def main():
+    print("generating 4 replicates of gzip and mcf ...")
+    traces = replicated_suite(["gzip", "mcf"], 3000, 4)
+
+    print("running the design on every replicate ...")
+    result = run_replicated(traces, parameter_names=FACTORS)
+
+    for bench in ("gzip", "mcf"):
+        print()
+        print(result.table(bench, top=8))
+
+    ranking = rank_parameters_from_result(result.mean_result)
+    print("\nmean-response ranking (top 5):",
+          list(ranking.factors[:5]))
+    print("\nEffects with |t| >> 2 are real machine behaviour; the "
+          "rest is trace noise a single-seed\nexperiment cannot "
+          "distinguish — the error bars the paper's method lacked.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package.
+
+`pip install -e .` needs bdist_wheel; in offline environments without
+the wheel package, `python setup.py develop` performs the equivalent
+editable install using only setuptools.  All project metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""Reproduction of Yi, Lilja & Hawkins, "A Statistically Rigorous
+Approach for Improving Simulation Methodology" (HPCA 2003).
+
+The library has five layers, importable as subpackages:
+
+* :mod:`repro.doe` — Plackett-Burman / factorial designs, effects,
+  ranks, ANOVA (the statistical machinery of Section 2);
+* :mod:`repro.cpu` — a trace-driven out-of-order superscalar simulator
+  exposing all 41 parameters of Tables 6-8;
+* :mod:`repro.workloads` — a statistical workload generator with the
+  13 SPEC 2000-like benchmark profiles of Table 5;
+* :mod:`repro.core` — the paper's methodology itself: parameter
+  selection (Section 4.1, Table 9), benchmark classification (Section
+  4.2, Tables 10-11), and enhancement analysis (Section 4.3, Table 12),
+  plus the paper's own published data for exact validation;
+* :mod:`repro.reporting` — text renderings of every paper table.
+
+Quick start::
+
+    from repro.workloads import benchmark_suite
+    from repro.core import PBExperiment, rank_parameters_from_result
+
+    traces = benchmark_suite(length=5000)
+    result = PBExperiment(traces).run()
+    ranking = rank_parameters_from_result(result)
+    print(ranking.significant_factors())
+"""
+
+__version__ = "1.0.0"
+
+from . import core, cpu, doe, reporting, workloads
+
+__all__ = ["core", "cpu", "doe", "reporting", "workloads", "__version__"]

@@ -1,0 +1,299 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Six commands cover the paper's workflow end to end:
+
+* ``screen``   — §4.1: PB screen over the 41 parameters, print ranks;
+* ``classify`` — §4.2: distance matrix and groups (measured or from
+  the paper's own published data);
+* ``enhance``  — §4.3: before/after analysis for instruction
+  precomputation or data prefetching;
+* ``simulate`` — run one benchmark on one machine and print its stats;
+* ``characterize`` — classical workload characterization (mix, branch
+  statistics, footprints, miss-rate curves);
+* ``tables``   — print the paper's exact exhibits (Tables 1-4, 6-8,
+  10, 11 from bundled data).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.workloads import BENCHMARK_NAMES
+
+
+def _add_workload_args(parser, default_length=4000):
+    parser.add_argument(
+        "--benchmarks", "-b", default="gzip,mcf",
+        help="comma-separated benchmark names, or 'all' "
+             f"(choices: {', '.join(BENCHMARK_NAMES)})",
+    )
+    parser.add_argument(
+        "--length", "-n", type=int, default=default_length,
+        help="trace length in instructions (default %(default)s)",
+    )
+
+
+def _traces(args):
+    from repro.workloads import benchmark_suite
+
+    if args.benchmarks.strip().lower() == "all":
+        names = list(BENCHMARK_NAMES)
+    else:
+        names = [b.strip() for b in args.benchmarks.split(",") if b.strip()]
+    unknown = [n for n in names if n not in BENCHMARK_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+    return benchmark_suite(length=args.length, names=names)
+
+
+def cmd_screen(args) -> int:
+    from repro.core import PBExperiment, rank_parameters_from_result
+    from repro.doe import lenth_test
+    from repro.reporting import render_ranking
+
+    traces = _traces(args)
+    print(f"running 88 configurations x {len(traces)} benchmarks ...",
+          file=sys.stderr)
+    result = PBExperiment(traces).run()
+    ranking = rank_parameters_from_result(result)
+    print(render_ranking(ranking, title="Parameter ranks"))
+    print()
+    print("significant (sum-of-ranks gap):",
+          ", ".join(ranking.significant_factors()))
+    if args.lenth:
+        for bench, table in result.effects.items():
+            significant = lenth_test(table, args.alpha) \
+                .significant_factors()
+            print(f"Lenth-significant on {bench}: "
+                  f"{', '.join(significant) or '(none)'}")
+    if args.plot:
+        from repro.reporting import render_half_normal
+
+        for bench, table in result.effects.items():
+            print()
+            print(render_half_normal(
+                table, alpha=args.alpha,
+                title=f"Half-normal plot: {bench}",
+            ))
+    return 0
+
+
+def cmd_classify(args) -> int:
+    from repro.core import (
+        PAPER_SIMILARITY_THRESHOLD,
+        PBExperiment,
+        rank_parameters_from_result,
+    )
+    from repro.reporting import render_distance_matrix, render_groups
+
+    if args.paper:
+        from repro.core.paper_data import paper_table9_ranking
+
+        ranking = paper_table9_ranking()
+    else:
+        traces = _traces(args)
+        print(f"running 88 configurations x {len(traces)} benchmarks ...",
+              file=sys.stderr)
+        ranking = rank_parameters_from_result(
+            PBExperiment(traces).run()
+        )
+    threshold = args.threshold or PAPER_SIMILARITY_THRESHOLD
+    print(render_distance_matrix(ranking, title="Distance matrix"))
+    print()
+    print(render_groups(ranking, threshold, title="Groups"))
+    return 0
+
+
+def cmd_enhance(args) -> int:
+    from repro.core import (
+        EnhancementAnalysis,
+        PBExperiment,
+        rank_parameters_from_result,
+    )
+    from repro.cpu import build_precompute_table
+    from repro.reporting import render_enhancement
+
+    traces = _traces(args)
+    print(f"running 2 x 88 configurations x {len(traces)} benchmarks ...",
+          file=sys.stderr)
+    before = PBExperiment(traces).run()
+    if args.kind == "precompute":
+        tables = {
+            name: build_precompute_table(trace, args.table_entries)
+            for name, trace in traces.items()
+        }
+        after = PBExperiment(traces, precompute_tables=tables).run()
+    else:
+        after = PBExperiment(traces, prefetch_lines=args.lines).run()
+    analysis = EnhancementAnalysis(
+        rank_parameters_from_result(before),
+        rank_parameters_from_result(after),
+    )
+    print(render_enhancement(
+        analysis, top=args.top,
+        title=f"Sum-of-ranks shifts under {args.kind}",
+    ))
+    shift = analysis.biggest_shift_among_significant()
+    print(f"\nbiggest shift among significant parameters: "
+          f"{shift.factor} ({shift.sum_before} -> {shift.sum_after})")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.cpu import MachineConfig, simulate
+    from repro.workloads import benchmark_trace
+
+    if args.benchmark not in BENCHMARK_NAMES:
+        raise SystemExit(f"unknown benchmark {args.benchmark!r}")
+    overrides = {}
+    for item in args.set or []:
+        try:
+            key, value = item.split("=", 1)
+        except ValueError:
+            raise SystemExit(f"bad --set {item!r}; use field=value")
+        try:
+            overrides[key] = int(value)
+        except ValueError:
+            overrides[key] = value
+    try:
+        config = MachineConfig().evolve(**overrides)
+    except (TypeError, ValueError) as exc:
+        raise SystemExit(f"bad configuration: {exc}")
+    trace = benchmark_trace(args.benchmark, args.length)
+    stats = simulate(config, trace, warmup=not args.cold)
+    print(stats.summary())
+    return 0
+
+
+def cmd_characterize(args) -> int:
+    from repro.workloads import benchmark_trace, characterization_report
+
+    if args.benchmarks.strip().lower() == "all":
+        names = list(BENCHMARK_NAMES)
+    else:
+        names = [b.strip() for b in args.benchmarks.split(",")
+                 if b.strip()]
+    unknown = [n for n in names if n not in BENCHMARK_NAMES]
+    if unknown:
+        raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
+    for name in names:
+        print(characterization_report(
+            benchmark_trace(name, args.length)
+        ))
+        print()
+    return 0
+
+
+def cmd_tables(args) -> int:
+    from repro.core import PAPER_SIMILARITY_THRESHOLD
+    from repro.core.paper_data import paper_table9_ranking
+    from repro.doe import compute_effects, pb_design
+    from repro.reporting import (
+        render_design_cost_table,
+        render_design_matrix,
+        render_distance_matrix,
+        render_effects,
+        render_groups,
+        render_parameter_values,
+        render_ranking,
+    )
+
+    which = set(args.which or ["all"])
+    everything = "all" in which
+
+    if everything or "1" in which:
+        print(render_design_cost_table(40), end="\n\n")
+    if everything or "2" in which:
+        print(render_design_matrix(pb_design(7), title="Table 2"),
+              end="\n\n")
+    if everything or "3" in which:
+        print(render_design_matrix(pb_design(7).foldover(),
+                                   title="Table 3"), end="\n\n")
+    if everything or "4" in which:
+        design = pb_design(7, factor_names=list("ABCDEFG"))
+        table = compute_effects(design, [1, 9, 74, 28, 3, 6, 112, 84])
+        print(render_effects(table, title="Table 4"), end="\n\n")
+    if everything or "params" in which:
+        print(render_parameter_values(), end="\n\n")
+    if everything or "9" in which:
+        print(render_ranking(paper_table9_ranking(),
+                             title="Table 9 (paper's published data)"),
+              end="\n\n")
+    if everything or "10" in which:
+        print(render_distance_matrix(paper_table9_ranking(),
+                                     title="Table 10"), end="\n\n")
+    if everything or "11" in which:
+        print(render_groups(paper_table9_ranking(),
+                            PAPER_SIMILARITY_THRESHOLD,
+                            title="Table 11"), end="\n\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__.splitlines()[0],
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("screen", help="PB parameter screen (§4.1)")
+    _add_workload_args(p)
+    p.add_argument("--lenth", action="store_true",
+                   help="also report Lenth-significant factors")
+    p.add_argument("--alpha", type=float, default=0.05,
+                   help="Lenth significance level (default 0.05)")
+    p.add_argument("--plot", action="store_true",
+                   help="draw a text half-normal plot per benchmark")
+    p.set_defaults(func=cmd_screen)
+
+    p = sub.add_parser("classify", help="benchmark classification (§4.2)")
+    _add_workload_args(p)
+    p.add_argument("--paper", action="store_true",
+                   help="use the paper's published Table 9 data")
+    p.add_argument("--threshold", type=float, default=None,
+                   help="similarity threshold (default sqrt(4000))")
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("enhance", help="enhancement analysis (§4.3)")
+    _add_workload_args(p)
+    p.add_argument("--kind", choices=["precompute", "prefetch"],
+                   default="precompute")
+    p.add_argument("--table-entries", type=int, default=128,
+                   help="precomputation table size (default 128)")
+    p.add_argument("--lines", type=int, default=2,
+                   help="prefetch lines (default 2)")
+    p.add_argument("--top", type=int, default=12,
+                   help="shifts to display (default 12)")
+    p.set_defaults(func=cmd_enhance)
+
+    p = sub.add_parser("simulate", help="run one benchmark once")
+    p.add_argument("benchmark", help="benchmark name")
+    p.add_argument("--length", "-n", type=int, default=10000)
+    p.add_argument("--set", action="append", metavar="FIELD=VALUE",
+                   help="override a MachineConfig field (repeatable)")
+    p.add_argument("--cold", action="store_true",
+                   help="skip the functional warmup")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("characterize",
+                       help="classical workload characterization")
+    _add_workload_args(p, default_length=8000)
+    p.set_defaults(func=cmd_characterize)
+
+    p = sub.add_parser("tables", help="print the paper's exact exhibits")
+    p.add_argument("which", nargs="*",
+                   help="subset: 1 2 3 4 params 9 10 11 (default all)")
+    p.set_defaults(func=cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,110 @@
+"""The paper's methodology: PB experiments over the simulator.
+
+Public surface, mapped to the paper's sections:
+
+* §4.1 parameter selection — :class:`PBExperiment`,
+  :func:`rank_parameters_from_result`, :class:`ParameterRanking`,
+  :func:`recommended_workflow` (the full 4-step procedure);
+* §4.2 benchmark classification — :func:`distance_matrix`,
+  :func:`group_benchmarks`, :func:`single_linkage`,
+  :data:`PAPER_SIMILARITY_THRESHOLD`;
+* §4.3 enhancement analysis — :func:`analyze_enhancement`,
+  :class:`EnhancementAnalysis`;
+* reference data — :mod:`repro.core.paper_data` bundles the published
+  Tables 9/10/11/12 for exact validation.
+"""
+
+from .comparison import RankingComparison, compare_rankings, spearman
+from .interactions import (
+    InteractionEstimate,
+    estimate_interactions,
+    interaction_summary,
+    interactions_smaller_than_mains,
+)
+from .classification import (
+    PAPER_SIMILARITY_THRESHOLD,
+    LinkageStep,
+    benchmark_distance,
+    distance_matrix,
+    group_benchmarks,
+    rank_vectors,
+    representatives,
+    single_linkage,
+)
+from .enhancement import (
+    EnhancementAnalysis,
+    FactorShift,
+    analyze_enhancement,
+)
+from .experiment import PBExperiment, PBExperimentResult, build_design
+from .methodology import (
+    SensitivityStudy,
+    WorkflowResult,
+    choose_final_values,
+    recommended_workflow,
+    sensitivity_analysis,
+)
+from .replication import (
+    FactorInference,
+    ReplicatedResult,
+    replicated_suite,
+    run_replicated,
+)
+from .sweep import (
+    RefinementResult,
+    RefinementStep,
+    SweepResult,
+    iterative_refinement,
+    sweep,
+)
+from .validation import ReplicationOutcome, replicate
+from .parameter_selection import (
+    ParameterRanking,
+    rank_parameters,
+    rank_parameters_from_result,
+    ranking_from_rank_table,
+)
+
+__all__ = [
+    "EnhancementAnalysis",
+    "InteractionEstimate",
+    "RankingComparison",
+    "estimate_interactions",
+    "interaction_summary",
+    "interactions_smaller_than_mains",
+    "compare_rankings",
+    "spearman",
+    "FactorShift",
+    "LinkageStep",
+    "PAPER_SIMILARITY_THRESHOLD",
+    "PBExperiment",
+    "PBExperimentResult",
+    "ParameterRanking",
+    "SensitivityStudy",
+    "WorkflowResult",
+    "analyze_enhancement",
+    "benchmark_distance",
+    "build_design",
+    "choose_final_values",
+    "distance_matrix",
+    "group_benchmarks",
+    "rank_parameters",
+    "rank_parameters_from_result",
+    "rank_vectors",
+    "ranking_from_rank_table",
+    "recommended_workflow",
+    "replicate",
+    "ReplicationOutcome",
+    "FactorInference",
+    "ReplicatedResult",
+    "replicated_suite",
+    "run_replicated",
+    "RefinementResult",
+    "RefinementStep",
+    "SweepResult",
+    "iterative_refinement",
+    "sweep",
+    "representatives",
+    "sensitivity_analysis",
+    "single_linkage",
+]

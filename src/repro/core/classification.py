@@ -1,0 +1,153 @@
+"""Pre-simulation methodology: benchmark classification (§4.2).
+
+Each benchmark's per-parameter rank vector is a point in R^n; the
+Euclidean distance between two benchmarks' vectors measures how
+differently they stress the machine.  Pairs closer than a threshold
+(the paper uses sqrt(4000) ~ 63.2) are "similar", and the connected
+components of the similarity relation form the groups of Table 11 —
+an architect can then simulate one representative per group.
+
+A single-linkage dendrogram builder is included as well so a user can
+choose the threshold by inspection instead of by fiat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .parameter_selection import ParameterRanking
+
+#: The threshold the paper uses for Table 11 (sqrt of 4000).
+PAPER_SIMILARITY_THRESHOLD = sqrt(4000.0)
+
+
+def rank_vectors(ranking: ParameterRanking) -> Dict[str, np.ndarray]:
+    """benchmark -> vector of parameter ranks (in ``ranking.factors`` order)."""
+    return {
+        bench: ranking.ranks[:, j].astype(np.float64)
+        for j, bench in enumerate(ranking.benchmarks)
+    }
+
+
+def distance_matrix(
+    ranking: ParameterRanking,
+) -> Tuple[List[str], np.ndarray]:
+    """The full benchmark-by-benchmark Euclidean distance matrix (Table 10)."""
+    vectors = rank_vectors(ranking)
+    names = list(ranking.benchmarks)
+    n = len(names)
+    out = np.zeros((n, n), dtype=np.float64)
+    for i in range(n):
+        for j in range(i + 1, n):
+            d = float(np.linalg.norm(vectors[names[i]] - vectors[names[j]]))
+            out[i, j] = out[j, i] = d
+    return names, out
+
+
+def benchmark_distance(
+    ranking: ParameterRanking, a: str, b: str
+) -> float:
+    """Distance between two benchmarks (the paper's gzip/vpr-Place 89.8)."""
+    vectors = rank_vectors(ranking)
+    return float(np.linalg.norm(vectors[a] - vectors[b]))
+
+
+class _UnionFind:
+    def __init__(self, n: int):
+        self._parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self._parent[x] != x:
+            self._parent[x] = self._parent[self._parent[x]]
+            x = self._parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self._parent[rb] = ra
+
+
+def group_benchmarks(
+    ranking: ParameterRanking,
+    threshold: float = PAPER_SIMILARITY_THRESHOLD,
+) -> List[List[str]]:
+    """Table 11: groups of benchmarks with similar machine fingerprints.
+
+    Groups are the connected components of the "distance < threshold"
+    relation, ordered by first appearance (which reproduces the paper's
+    row order when fed the paper's own rank data).
+    """
+    names, dist = distance_matrix(ranking)
+    uf = _UnionFind(len(names))
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            if dist[i, j] < threshold:
+                uf.union(i, j)
+    groups: Dict[int, List[str]] = {}
+    for i, name in enumerate(names):
+        groups.setdefault(uf.find(i), []).append(name)
+    ordered = sorted(groups.values(), key=lambda g: names.index(g[0]))
+    return ordered
+
+
+@dataclass(frozen=True)
+class LinkageStep:
+    """One merge of the single-linkage hierarchy."""
+
+    distance: float
+    merged: Tuple[str, ...]   # members of the newly-formed cluster
+
+
+def single_linkage(ranking: ParameterRanking) -> List[LinkageStep]:
+    """The full single-linkage merge sequence over all benchmarks.
+
+    Cutting this dendrogram at distance ``t`` yields exactly
+    ``group_benchmarks(ranking, t)`` — useful for choosing a threshold
+    by looking at where the merge distances jump.
+    """
+    names, dist = distance_matrix(ranking)
+    clusters: List[List[int]] = [[i] for i in range(len(names))]
+    steps: List[LinkageStep] = []
+    while len(clusters) > 1:
+        best = None
+        for a in range(len(clusters)):
+            for b in range(a + 1, len(clusters)):
+                d = min(
+                    dist[i, j] for i in clusters[a] for j in clusters[b]
+                )
+                if best is None or d < best[0]:
+                    best = (d, a, b)
+        d, a, b = best
+        merged = clusters[a] + clusters[b]
+        steps.append(
+            LinkageStep(d, tuple(names[i] for i in sorted(merged)))
+        )
+        clusters = [
+            c for k, c in enumerate(clusters) if k not in (a, b)
+        ] + [merged]
+    return steps
+
+
+def representatives(
+    groups: Sequence[Sequence[str]],
+    weights: Mapping[str, float] = None,
+) -> List[str]:
+    """Pick one benchmark per group (the simulation-time saving of §4.2).
+
+    With ``weights`` (e.g. dynamic instruction counts), the cheapest
+    member of each group is chosen; otherwise the first member.
+    """
+    out = []
+    for group in groups:
+        if not group:
+            continue
+        if weights:
+            out.append(min(group, key=lambda b: weights.get(b, 0.0)))
+        else:
+            out.append(group[0])
+    return out

@@ -1,0 +1,96 @@
+"""Comparing two parameter rankings (e.g. reproduction vs paper).
+
+The reproduction cannot match the paper's absolute ranks — the
+substrate differs — so agreement is quantified the way replication
+studies do: rank correlation of the overall ordering, overlap of the
+significant sets, and per-benchmark fingerprint correlation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from .parameter_selection import ParameterRanking
+
+
+def spearman(x, y) -> float:
+    """Spearman rank correlation of two equal-length sequences.
+
+    Implemented directly (Pearson correlation of the rank transforms)
+    to keep scipy optional.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1 or len(x) < 2:
+        raise ValueError("need two equal-length 1-D sequences")
+    rx = np.argsort(np.argsort(x)).astype(np.float64)
+    ry = np.argsort(np.argsort(y)).astype(np.float64)
+    rx -= rx.mean()
+    ry -= ry.mean()
+    denom = np.sqrt((rx * rx).sum() * (ry * ry).sum())
+    if denom == 0:
+        return 0.0
+    return float((rx * ry).sum() / denom)
+
+
+@dataclass(frozen=True)
+class RankingComparison:
+    """Agreement metrics between two rankings over the same factors."""
+
+    overall_spearman: float          # of the sum-of-ranks orderings
+    top10_overlap: int               # shared members of the two top-10s
+    significant_overlap: float       # Jaccard of the significant sets
+    per_benchmark_spearman: Dict[str, float]
+
+    def summary(self) -> str:
+        lines = [
+            f"overall rank correlation (Spearman): "
+            f"{self.overall_spearman:+.3f}",
+            f"top-10 overlap: {self.top10_overlap}/10",
+            f"significant-set Jaccard: {self.significant_overlap:.2f}",
+        ]
+        if self.per_benchmark_spearman:
+            mean = np.mean(list(self.per_benchmark_spearman.values()))
+            lines.append(
+                f"mean per-benchmark fingerprint correlation: {mean:+.3f}"
+            )
+        return "\n".join(lines)
+
+
+def compare_rankings(
+    ours: ParameterRanking, reference: ParameterRanking
+) -> RankingComparison:
+    """Quantify agreement between two rankings.
+
+    Factors must coincide as sets; benchmarks are compared where both
+    rankings carry them (per-benchmark fingerprints are skipped for
+    benchmarks present in only one).
+    """
+    factors = list(ours.factors)
+    if set(factors) != set(reference.factors):
+        raise ValueError("rankings cover different factor sets")
+
+    our_sums = [ours.sum_of(f) for f in factors]
+    ref_sums = [reference.sum_of(f) for f in factors]
+    overall = spearman(our_sums, ref_sums)
+
+    top10 = len(set(ours.top(10)) & set(reference.top(10)))
+
+    ours_sig = set(ours.significant_factors())
+    ref_sig = set(reference.significant_factors())
+    union = ours_sig | ref_sig
+    jaccard = len(ours_sig & ref_sig) / len(union) if union else 1.0
+
+    per_bench: Dict[str, float] = {}
+    shared = set(ours.benchmarks) & set(reference.benchmarks)
+    for bench in shared:
+        ours_vec = ours.rank_vector(bench)
+        ref_vec = reference.rank_vector(bench)
+        per_bench[bench] = spearman(
+            [ours_vec[f] for f in factors],
+            [ref_vec[f] for f in factors],
+        )
+    return RankingComparison(overall, top10, jaccard, per_bench)

@@ -1,0 +1,102 @@
+"""Two-factor interaction analysis on a foldover PB experiment (§2.2).
+
+The paper argues a foldover PB design "determines the effect of all of
+the main parameters and selected interactions", and cites [Yi02-2] for
+the observation that *significant interactions only arise between
+significant individual parameters* and are small next to the mains.
+This module makes those statements checkable on any experiment: given
+a foldover result, estimate the interaction columns for chosen factor
+pairs and compare their magnitudes to the main effects.
+
+Caveat inherited from the design: in a foldover PB design the product
+column of a pair is orthogonal to every main effect but generally
+*aliased with other two-factor interactions*, so an estimate is a sum
+over an alias chain — exactly the "selected interactions" caveat of
+Table 1.  Estimates are therefore indicative, which is all the paper
+uses them for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.doe import interaction_effect
+
+from .experiment import PBExperimentResult
+
+
+@dataclass(frozen=True)
+class InteractionEstimate:
+    """One pair's estimated interaction on one benchmark."""
+
+    factor_a: str
+    factor_b: str
+    benchmark: str
+    effect: float              # aliased-chain estimate (sign arbitrary)
+    largest_main: float        # max |main effect| of the pair
+
+    @property
+    def relative_magnitude(self) -> float:
+        """|interaction| / max(|main_a|, |main_b|)."""
+        if self.largest_main == 0:
+            return float("inf") if self.effect else 0.0
+        return abs(self.effect) / self.largest_main
+
+
+def estimate_interactions(
+    result: PBExperimentResult,
+    factors: Sequence[str],
+    benchmarks: Sequence[str] = (),
+) -> List[InteractionEstimate]:
+    """Estimate all pairwise interactions among ``factors``.
+
+    ``factors`` is typically the significant set from the screening
+    pass; ``benchmarks`` defaults to all of them.
+    """
+    names = list(benchmarks) or result.benchmarks
+    out: List[InteractionEstimate] = []
+    for a, b in combinations(factors, 2):
+        for bench in names:
+            y = result.responses[bench]
+            effect = interaction_effect(result.design, y, a, b)
+            table = result.effects[bench]
+            largest = max(table.magnitude(a), table.magnitude(b))
+            out.append(InteractionEstimate(a, b, bench, effect, largest))
+    out.sort(key=lambda e: -abs(e.effect))
+    return out
+
+
+def interactions_smaller_than_mains(
+    result: PBExperimentResult,
+    factors: Sequence[str],
+    tolerance: float = 1.0,
+) -> bool:
+    """Check the paper's §2.2 claim on this experiment.
+
+    True if every estimated pairwise interaction among ``factors`` has
+    magnitude at most ``tolerance`` times the larger of its two main
+    effects, for every benchmark.
+    """
+    return all(
+        e.relative_magnitude <= tolerance
+        for e in estimate_interactions(result, factors)
+    )
+
+
+def interaction_summary(
+    result: PBExperimentResult, factors: Sequence[str], top: int = 10
+) -> str:
+    """Human-readable table of the largest interaction estimates."""
+    rows = estimate_interactions(result, factors)[:top]
+    lines = ["Largest two-factor interaction estimates:"]
+    for e in rows:
+        lines.append(
+            f"  {e.factor_a} x {e.factor_b} [{e.benchmark}]: "
+            f"effect {e.effect:+.3g} "
+            f"({e.relative_magnitude:.0%} of its largest main)"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,218 @@
+"""The paper's published rank data (Tables 9 and 12), transcribed.
+
+Bundling the original numbers lets the classification (§4.2) and
+enhancement-analysis (§4.3) pipelines be validated *exactly* against
+the paper — Table 10's distance matrix, Table 11's groups, the worked
+gzip/vpr-Place distance of 89.8, and the Int-ALU sum-of-ranks shift —
+independently of our simulator substrate.
+
+Layout: ``TABLE9_RANKS[factor] = [rank per benchmark]`` with benchmarks
+in :data:`BENCHMARKS` order.  The published "Sum" column is kept
+separately so transcription can be checked against it.
+
+Table 12 names its first row "RUU Entries" (SimpleScalar's name for the
+reorder buffer); it is normalized to "Reorder Buffer Entries" here so
+the two tables share factor keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+#: Benchmark column order of Tables 9, 10 and 12.
+BENCHMARKS: Tuple[str, ...] = (
+    "gzip", "vpr-Place", "vpr-Route", "gcc", "mesa", "art", "mcf",
+    "equake", "ammp", "parser", "vortex", "bzip2", "twolf",
+)
+
+#: Table 9: ranks for the base processor.  {factor: 13 ranks}.
+TABLE9_RANKS: Dict[str, List[int]] = {
+    "Reorder Buffer Entries":          [1, 4, 1, 4, 3, 2, 2, 3, 6, 1, 4, 1, 4],
+    "L2 Cache Latency":                [4, 2, 4, 2, 2, 4, 4, 2, 13, 3, 2, 8, 2],
+    "BPred Type":                      [2, 5, 3, 5, 5, 27, 11, 6, 4, 4, 16, 7, 5],
+    "Int ALUs":                        [3, 7, 5, 8, 4, 29, 8, 9, 19, 6, 9, 2, 9],
+    "L1 D-Cache Latency":              [7, 6, 7, 7, 12, 8, 14, 5, 40, 7, 5, 6, 6],
+    "L1 I-Cache Size":                 [6, 1, 12, 1, 1, 12, 37, 1, 36, 8, 1, 16, 1],
+    "L2 Cache Size":                   [9, 35, 2, 6, 21, 1, 1, 7, 2, 2, 6, 3, 43],
+    "L1 I-Cache Block Size":           [16, 3, 20, 3, 16, 10, 32, 4, 10, 11, 3, 22, 3],
+    "Memory Latency First":            [36, 25, 6, 9, 23, 3, 3, 8, 1, 5, 8, 5, 28],
+    "LSQ Entries":                     [12, 14, 9, 10, 13, 39, 10, 10, 17, 9, 7, 4, 10],
+    "Speculative Branch Update":       [8, 17, 23, 28, 7, 16, 39, 12, 8, 20, 22, 20, 17],
+    "D-TLB Size":                      [20, 28, 11, 23, 29, 13, 12, 11, 25, 14, 25, 11, 24],
+    "L1 D-Cache Size":                 [18, 8, 10, 12, 39, 18, 9, 36, 32, 21, 12, 31, 7],
+    "L1 I-Cache Associativity":        [5, 40, 15, 29, 8, 34, 23, 28, 16, 17, 15, 9, 21],
+    "FP Multiply Latency":             [31, 12, 22, 11, 19, 24, 15, 23, 24, 29, 14, 23, 19],
+    "Memory Bandwidth":                [37, 36, 13, 14, 43, 6, 6, 29, 3, 12, 19, 12, 38],
+    "Int ALU Latencies":               [15, 15, 18, 13, 41, 22, 33, 14, 30, 16, 41, 10, 16],
+    "BTB Entries":                     [10, 24, 19, 20, 9, 42, 31, 20, 22, 19, 20, 17, 34],
+    "L1 D-Cache Block Size":           [17, 29, 34, 22, 15, 9, 24, 19, 28, 13, 32, 28, 26],
+    "Int Divide Latency":              [29, 10, 26, 16, 24, 32, 41, 32, 20, 10, 10, 43, 8],
+    "Int Mult/Div":                    [14, 20, 29, 31, 10, 23, 27, 24, 33, 36, 18, 26, 15],
+    "L2 Cache Associativity":          [23, 19, 14, 19, 32, 28, 5, 39, 37, 18, 42, 21, 12],
+    "I-TLB Latency":                   [33, 18, 24, 18, 37, 30, 30, 16, 21, 32, 11, 29, 18],
+    "Instruction Fetch Queue Entries": [43, 13, 27, 30, 26, 20, 18, 37, 9, 25, 23, 34, 14],
+    "BPred Misprediction Penalty":     [11, 23, 42, 21, 6, 43, 20, 34, 11, 22, 39, 37, 23],
+    "FP ALUs":                         [34, 11, 31, 15, 34, 17, 40, 22, 26, 37, 13, 42, 13],
+    "FP Divide Latency":               [22, 9, 35, 17, 30, 21, 38, 15, 43, 38, 17, 39, 11],
+    "I-TLB Page Size":                 [42, 39, 8, 37, 36, 40, 7, 17, 12, 26, 28, 14, 39],
+    "L1 D-Cache Associativity":        [13, 38, 17, 34, 18, 41, 34, 33, 14, 15, 35, 15, 42],
+    "I-TLB Associativity":             [24, 27, 37, 25, 17, 31, 42, 13, 29, 30, 21, 33, 22],
+    "L2 Cache Block Size":             [25, 43, 16, 38, 31, 7, 35, 27, 7, 35, 38, 13, 40],
+    "BTB Associativity":               [21, 21, 36, 32, 11, 33, 17, 31, 34, 43, 27, 35, 25],
+    "D-TLB Associativity":             [40, 32, 25, 26, 22, 35, 26, 26, 18, 33, 26, 30, 35],
+    "FP ALU Latencies":                [32, 16, 38, 41, 38, 11, 22, 30, 23, 27, 30, 40, 29],
+    "Memory Ports":                    [39, 31, 41, 24, 27, 15, 16, 41, 5, 42, 29, 41, 27],
+    "I-TLB Size":                      [35, 34, 28, 35, 20, 37, 19, 18, 31, 34, 34, 27, 31],
+    "Dummy Factor #2":                 [27, 42, 21, 39, 35, 14, 13, 35, 41, 28, 43, 18, 30],
+    "FP Mult/Div":                     [41, 22, 43, 40, 40, 19, 28, 38, 27, 31, 31, 19, 20],
+    "Int Multiply Latency":            [30, 41, 39, 36, 14, 26, 29, 21, 15, 41, 37, 32, 41],
+    "FP Square Root Latency":          [38, 30, 40, 33, 33, 5, 25, 42, 42, 24, 24, 38, 37],
+    "L1 I-Cache Latency":              [26, 26, 32, 42, 28, 38, 21, 40, 38, 40, 36, 25, 33],
+    "Return Address Stack Entries":    [28, 33, 33, 27, 42, 25, 36, 25, 39, 39, 33, 36, 32],
+    "Dummy Factor #1":                 [19, 37, 30, 43, 25, 36, 43, 43, 35, 23, 40, 24, 36],
+}
+
+#: The published Sum column of Table 9 (for transcription checking).
+TABLE9_PUBLISHED_SUMS: Dict[str, int] = {
+    "Reorder Buffer Entries": 36, "L2 Cache Latency": 52, "BPred Type": 100,
+    "Int ALUs": 118, "L1 D-Cache Latency": 130, "L1 I-Cache Size": 133,
+    "L2 Cache Size": 138, "L1 I-Cache Block Size": 153,
+    "Memory Latency First": 160, "LSQ Entries": 164,
+    "Speculative Branch Update": 237, "D-TLB Size": 246,
+    "L1 D-Cache Size": 253, "L1 I-Cache Associativity": 260,
+    "FP Multiply Latency": 266, "Memory Bandwidth": 268,
+    "Int ALU Latencies": 284, "BTB Entries": 287,
+    "L1 D-Cache Block Size": 296, "Int Divide Latency": 301,
+    "Int Mult/Div": 306, "L2 Cache Associativity": 309,
+    "I-TLB Latency": 317, "Instruction Fetch Queue Entries": 319,
+    "BPred Misprediction Penalty": 332, "FP ALUs": 335,
+    "FP Divide Latency": 335, "I-TLB Page Size": 345,
+    "L1 D-Cache Associativity": 349, "I-TLB Associativity": 351,
+    "L2 Cache Block Size": 355, "BTB Associativity": 366,
+    "D-TLB Associativity": 374, "FP ALU Latencies": 377,
+    "Memory Ports": 378, "I-TLB Size": 383, "Dummy Factor #2": 386,
+    "FP Mult/Div": 399, "Int Multiply Latency": 402,
+    "FP Square Root Latency": 411, "L1 I-Cache Latency": 425,
+    "Return Address Stack Entries": 428, "Dummy Factor #1": 434,
+}
+
+#: Table 12: ranks with instruction precomputation (128-entry table).
+TABLE12_RANKS: Dict[str, List[int]] = {
+    "Reorder Buffer Entries":          [1, 4, 1, 4, 3, 2, 2, 3, 6, 1, 4, 1, 4],
+    "L2 Cache Latency":                [4, 2, 4, 2, 2, 4, 4, 2, 13, 3, 2, 8, 2],
+    "BPred Type":                      [2, 5, 3, 5, 5, 28, 11, 8, 4, 4, 16, 7, 5],
+    "L1 D-Cache Latency":              [7, 6, 5, 7, 11, 8, 14, 5, 40, 7, 5, 4, 6],
+    "L1 I-Cache Size":                 [5, 1, 12, 1, 1, 12, 38, 1, 36, 8, 1, 15, 1],
+    "Int ALUs":                        [6, 8, 8, 9, 8, 29, 9, 13, 20, 6, 9, 3, 9],
+    "L2 Cache Size":                   [9, 35, 2, 6, 22, 1, 1, 6, 2, 2, 6, 2, 43],
+    "L1 I-Cache Block Size":           [15, 3, 20, 3, 14, 10, 32, 4, 10, 11, 3, 20, 3],
+    "Memory Latency First":            [35, 25, 6, 8, 18, 3, 3, 7, 1, 5, 7, 6, 27],
+    "LSQ Entries":                     [13, 14, 9, 10, 15, 40, 10, 9, 17, 9, 8, 5, 10],
+    "D-TLB Size":                      [21, 28, 11, 24, 25, 13, 12, 10, 25, 14, 25, 10, 24],
+    "Speculative Branch Update":       [8, 20, 25, 29, 7, 16, 39, 11, 8, 20, 21, 22, 19],
+    "L1 I-Cache Associativity":        [3, 41, 15, 28, 6, 34, 23, 28, 16, 17, 11, 9, 21],
+    "L1 D-Cache Size":                 [18, 7, 10, 12, 42, 19, 8, 35, 32, 21, 13, 32, 7],
+    "FP Multiply Latency":             [31, 12, 22, 11, 19, 24, 15, 22, 24, 28, 14, 24, 18],
+    "Memory Bandwidth":                [33, 36, 13, 14, 43, 6, 6, 31, 3, 12, 20, 11, 38],
+    "BTB Entries":                     [10, 23, 19, 20, 9, 41, 31, 20, 22, 19, 19, 16, 34],
+    "Int ALU Latencies":               [16, 15, 18, 13, 40, 22, 33, 14, 31, 16, 41, 12, 16],
+    "L1 D-Cache Block Size":           [17, 30, 34, 22, 16, 9, 24, 19, 26, 13, 33, 25, 26],
+    "Int Divide Latency":              [30, 10, 26, 17, 24, 33, 40, 33, 19, 10, 10, 41, 8],
+    "L2 Cache Associativity":          [23, 19, 14, 19, 33, 27, 5, 39, 37, 18, 42, 21, 12],
+    "Int Mult/Div":                    [14, 21, 30, 31, 12, 23, 27, 23, 33, 37, 18, 27, 15],
+    "I-TLB Latency":                   [32, 17, 24, 18, 34, 30, 30, 16, 21, 33, 12, 29, 17],
+    "Instruction Fetch Queue Entries": [43, 13, 27, 30, 23, 20, 19, 37, 9, 25, 23, 34, 14],
+    "BPred Misprediction Penalty":     [11, 24, 41, 21, 4, 43, 20, 32, 11, 22, 39, 35, 23],
+    "FP Divide Latency":               [20, 9, 36, 16, 28, 21, 37, 15, 43, 38, 17, 38, 11],
+    "FP ALUs":                         [34, 11, 31, 15, 38, 17, 41, 24, 27, 36, 15, 43, 13],
+    "I-TLB Page Size":                 [42, 38, 7, 38, 39, 39, 7, 17, 12, 26, 28, 14, 39],
+    "L1 D-Cache Associativity":        [12, 39, 17, 35, 17, 42, 34, 34, 14, 15, 36, 17, 42],
+    "L2 Cache Block Size":             [25, 43, 16, 37, 31, 7, 35, 27, 7, 35, 38, 13, 40],
+    "I-TLB Associativity":             [26, 27, 38, 25, 20, 31, 42, 12, 29, 30, 22, 33, 22],
+    "BTB Associativity":               [22, 18, 35, 32, 10, 32, 17, 30, 34, 43, 27, 36, 25],
+    "D-TLB Associativity":             [40, 32, 23, 26, 27, 35, 25, 26, 18, 32, 26, 28, 35],
+    "Memory Ports":                    [39, 31, 39, 23, 26, 15, 16, 40, 5, 42, 30, 40, 29],
+    "FP ALU Latencies":                [37, 16, 37, 41, 37, 11, 21, 29, 23, 27, 29, 42, 28],
+    "I-TLB Size":                      [36, 34, 28, 34, 21, 37, 18, 18, 30, 34, 34, 30, 32],
+    "Dummy Factor #2":                 [28, 42, 21, 39, 32, 14, 13, 36, 42, 29, 43, 18, 30],
+    "Int Multiply Latency":            [29, 40, 42, 36, 13, 26, 29, 21, 15, 41, 35, 31, 41],
+    "FP Mult/Div":                     [41, 22, 43, 40, 41, 18, 28, 38, 28, 31, 31, 19, 20],
+    "FP Square Root Latency":          [38, 29, 40, 33, 35, 5, 26, 43, 41, 24, 24, 39, 37],
+    "Return Address Stack Entries":    [27, 33, 33, 27, 36, 25, 36, 25, 39, 40, 32, 37, 31],
+    "L1 I-Cache Latency":              [24, 26, 32, 42, 29, 38, 22, 41, 38, 39, 37, 26, 33],
+    "Dummy Factor #1":                 [19, 37, 29, 43, 30, 36, 43, 42, 35, 23, 40, 23, 36],
+}
+
+#: The published Sum column of Table 12.
+TABLE12_PUBLISHED_SUMS: Dict[str, int] = {
+    "Reorder Buffer Entries": 36, "L2 Cache Latency": 52, "BPred Type": 103,
+    "L1 D-Cache Latency": 125, "L1 I-Cache Size": 132, "Int ALUs": 137,
+    "L2 Cache Size": 137, "L1 I-Cache Block Size": 148,
+    "Memory Latency First": 151, "LSQ Entries": 169, "D-TLB Size": 242,
+    "Speculative Branch Update": 245, "L1 I-Cache Associativity": 252,
+    "L1 D-Cache Size": 256, "FP Multiply Latency": 264,
+    "Memory Bandwidth": 266, "BTB Entries": 283, "Int ALU Latencies": 287,
+    "L1 D-Cache Block Size": 294, "Int Divide Latency": 301,
+    "L2 Cache Associativity": 309, "Int Mult/Div": 311,
+    "I-TLB Latency": 313, "Instruction Fetch Queue Entries": 317,
+    "BPred Misprediction Penalty": 326, "FP Divide Latency": 329,
+    "FP ALUs": 345, "I-TLB Page Size": 346,
+    "L1 D-Cache Associativity": 354, "L2 Cache Block Size": 354,
+    "I-TLB Associativity": 357, "BTB Associativity": 361,
+    "D-TLB Associativity": 373, "Memory Ports": 375,
+    "FP ALU Latencies": 378, "I-TLB Size": 386, "Dummy Factor #2": 387,
+    "Int Multiply Latency": 399, "FP Mult/Div": 400,
+    "FP Square Root Latency": 414, "Return Address Stack Entries": 421,
+    "L1 I-Cache Latency": 427, "Dummy Factor #1": 436,
+}
+
+#: Table 10, row/column order = BENCHMARKS: the paper's published
+#: distance matrix (one decimal place).
+TABLE10_DISTANCES: Tuple[Tuple[float, ...], ...] = (
+    (0.0, 89.8, 81.1, 81.9, 62.0, 113.5, 109.6, 79.5, 111.7, 73.6, 92.0, 78.1, 85.5),
+    (89.8, 0.0, 98.9, 63.7, 94.0, 102.8, 110.9, 84.7, 118.1, 89.7, 68.5, 111.4, 35.2),
+    (81.1, 98.9, 0.0, 71.7, 98.5, 100.4, 75.5, 73.3, 91.7, 56.4, 79.2, 45.7, 96.6),
+    (81.9, 63.7, 71.7, 0.0, 90.9, 92.6, 94.5, 63.6, 98.5, 65.0, 54.6, 88.8, 67.3),
+    (62.0, 94.0, 98.5, 90.9, 0.0, 120.9, 109.9, 81.8, 100.2, 88.9, 87.8, 94.1, 91.7),
+    (113.5, 102.8, 100.4, 92.6, 120.9, 0.0, 98.6, 96.3, 105.2, 94.4, 92.7, 102.5, 105.2),
+    (109.6, 110.9, 75.5, 94.5, 109.9, 98.6, 0.0, 104.9, 94.8, 87.6, 101.3, 80.0, 111.1),
+    (79.5, 84.7, 73.3, 63.6, 81.8, 96.3, 104.9, 0.0, 98.4, 77.1, 67.8, 76.1, 86.5),
+    (111.7, 118.1, 91.7, 98.5, 100.2, 105.2, 94.8, 98.4, 0.0, 91.1, 98.8, 92.7, 120.0),
+    (73.6, 89.7, 56.4, 65.0, 88.9, 94.4, 87.6, 77.1, 91.1, 0.0, 77.4, 62.9, 89.7),
+    (92.0, 68.5, 79.2, 54.6, 87.8, 92.7, 101.3, 67.8, 98.8, 77.4, 0.0, 94.8, 73.1),
+    (78.1, 111.4, 45.7, 88.8, 94.1, 102.5, 80.0, 76.1, 92.7, 62.9, 94.8, 0.0, 107.9),
+    (85.5, 35.2, 96.6, 67.3, 91.7, 105.2, 111.1, 86.5, 120.0, 89.7, 73.1, 107.9, 0.0),
+)
+
+#: Table 11: the paper's benchmark groups at threshold sqrt(4000).
+TABLE11_GROUPS: Tuple[Tuple[str, ...], ...] = (
+    ("gzip", "mesa"),
+    ("vpr-Place", "twolf"),
+    ("vpr-Route", "parser", "bzip2"),
+    ("gcc", "vortex"),
+    ("art",),
+    ("mcf",),
+    ("equake",),
+    ("ammp",),
+)
+
+
+def _table_to_ranking(ranks: Dict[str, List[int]]):
+    """Build a :class:`ParameterRanking` from one of the tables above."""
+    from .parameter_selection import ranking_from_rank_table
+
+    factors = list(ranks.keys())
+    grid = np.array([ranks[f] for f in factors], dtype=np.int64)
+    return ranking_from_rank_table(factors, list(BENCHMARKS), grid)
+
+
+def paper_table9_ranking():
+    """The paper's Table 9 as a :class:`ParameterRanking`."""
+    return _table_to_ranking(TABLE9_RANKS)
+
+
+def paper_table12_ranking():
+    """The paper's Table 12 as a :class:`ParameterRanking`."""
+    return _table_to_ranking(TABLE12_RANKS)

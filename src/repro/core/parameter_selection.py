@@ -1,0 +1,120 @@
+"""Pre-simulation methodology: processor parameter selection (§4.1).
+
+The paper's first recommendation: before any sensitivity study, run a
+Plackett-Burman design over *all* parameters to find the critical ones,
+then spend care (and full-factorial ANOVA) only on those.  This module
+turns a :class:`~repro.core.experiment.PBExperimentResult` into the
+paper's Table 9: per-benchmark significance ranks, the cross-benchmark
+sum of ranks, and the significance cut.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.doe import EffectTable, significance_gap, sum_of_ranks
+
+from .experiment import PBExperimentResult
+
+
+@dataclass(frozen=True)
+class ParameterRanking:
+    """Table 9 in object form.
+
+    Attributes
+    ----------
+    factors:
+        Factor names sorted by ascending sum of ranks (most significant
+        first) — the row order of Table 9.
+    benchmarks:
+        Benchmark names, the column order.
+    ranks:
+        Array of shape (factors, benchmarks); ``ranks[i, j]`` is the
+        rank of ``factors[i]`` on ``benchmarks[j]`` (1 = largest
+        effect magnitude).
+    sums:
+        Sum of ranks across benchmarks, aligned with ``factors``.
+    """
+
+    factors: Tuple[str, ...]
+    benchmarks: Tuple[str, ...]
+    ranks: np.ndarray
+    sums: Tuple[int, ...]
+
+    def rank_of(self, factor: str, benchmark: str) -> int:
+        i = self.factors.index(factor)
+        j = self.benchmarks.index(benchmark)
+        return int(self.ranks[i, j])
+
+    def sum_of(self, factor: str) -> int:
+        return self.sums[self.factors.index(factor)]
+
+    def rank_vector(self, benchmark: str) -> Dict[str, int]:
+        """{factor: rank} for one benchmark — the classification vector."""
+        j = self.benchmarks.index(benchmark)
+        return {f: int(self.ranks[i, j]) for i, f in enumerate(self.factors)}
+
+    def significant_factors(self) -> List[str]:
+        """Factors before the largest gap in the sum-of-ranks sequence.
+
+        This is the paper's "only the first ten parameters are
+        significant" argument made algorithmic.
+        """
+        totals = dict(zip(self.factors, self.sums))
+        significant, _ = significance_gap(totals)
+        return significant
+
+    def top(self, k: int) -> List[str]:
+        return list(self.factors[:k])
+
+
+def rank_parameters(
+    effects: Mapping[str, EffectTable]
+) -> ParameterRanking:
+    """Build the Table 9 structure from per-benchmark effect tables."""
+    if not effects:
+        raise ValueError("need at least one benchmark's effects")
+    totals = sum_of_ranks(effects)
+    benchmarks = tuple(effects.keys())
+    factors = tuple(sorted(totals, key=lambda f: (totals[f], f)))
+    grid = np.empty((len(factors), len(benchmarks)), dtype=np.int64)
+    per_bench = {b: effects[b].ranks() for b in benchmarks}
+    for i, factor in enumerate(factors):
+        for j, bench in enumerate(benchmarks):
+            grid[i, j] = per_bench[bench][factor]
+    sums = tuple(int(totals[f]) for f in factors)
+    return ParameterRanking(factors, benchmarks, grid, sums)
+
+
+def rank_parameters_from_result(
+    result: PBExperimentResult,
+) -> ParameterRanking:
+    """Convenience: Table 9 directly from a finished PB experiment."""
+    return rank_parameters(result.effects)
+
+
+def ranking_from_rank_table(
+    factors: List[str],
+    benchmarks: List[str],
+    ranks: np.ndarray,
+) -> ParameterRanking:
+    """Build a :class:`ParameterRanking` from published rank data.
+
+    Used with :mod:`repro.core.paper_data` to run the classification
+    and enhancement analyses on the paper's own Table 9/12 numbers.
+    """
+    ranks = np.asarray(ranks, dtype=np.int64)
+    if ranks.shape != (len(factors), len(benchmarks)):
+        raise ValueError("rank table shape mismatch")
+    sums = ranks.sum(axis=1)
+    order = np.lexsort((np.arange(len(factors)), sums))
+    factors_sorted = tuple(factors[i] for i in order)
+    return ParameterRanking(
+        factors_sorted,
+        tuple(benchmarks),
+        ranks[order],
+        tuple(int(sums[i]) for i in order),
+    )

@@ -1,0 +1,154 @@
+"""Parameter sweeps and iterative value refinement (§4.1, steps 3-4).
+
+After the PB screen names the critical parameters, the paper
+recommends "iterative sets of sensitivity analyses so that the exact
+interaction between key parameters can be accounted for when choosing
+the final parameter values".  This module provides:
+
+* :func:`sweep` — the classical one-parameter sensitivity curve
+  (cycles vs value, per benchmark), run at an explicit base
+  configuration so the operating point is a conscious choice rather
+  than an accident;
+* :func:`iterative_refinement` — the paper's loop: sweep each critical
+  parameter in turn, fix it at the best measured value, and repeat
+  with the updated base until no parameter moves (a coordinate-descent
+  over the design space, with every step's evidence retained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.cpu import MachineConfig
+from repro.cpu.pipeline import simulate
+from repro.workloads import Trace
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Cycles for each swept value, per benchmark."""
+
+    field_name: str
+    values: Tuple[object, ...]
+    cycles: Dict[str, Tuple[int, ...]]   # benchmark -> per-value cycles
+
+    def total_cycles(self) -> List[int]:
+        """Suite-total cycles per swept value."""
+        return [
+            sum(rows[i] for rows in self.cycles.values())
+            for i in range(len(self.values))
+        ]
+
+    def best_value(self):
+        """The swept value with the lowest suite-total cycle count."""
+        totals = self.total_cycles()
+        return self.values[totals.index(min(totals))]
+
+    def table(self) -> str:
+        lines = [f"sweep of {self.field_name}"]
+        header = "  value      " + "  ".join(
+            f"{b:>10s}" for b in self.cycles
+        )
+        lines.append(header)
+        for i, value in enumerate(self.values):
+            row = f"  {str(value):9s}  " + "  ".join(
+                f"{self.cycles[b][i]:10d}" for b in self.cycles
+            )
+            lines.append(row)
+        return "\n".join(lines)
+
+
+def sweep(
+    traces: Mapping[str, Trace],
+    field_name: str,
+    values: Sequence[object],
+    base_config: MachineConfig = MachineConfig(),
+    *,
+    linked: Optional[Mapping[object, Mapping[str, object]]] = None,
+) -> SweepResult:
+    """Measure cycles across values of one ``MachineConfig`` field.
+
+    ``linked`` optionally maps a swept value to extra field overrides
+    applied together with it (e.g. shrinking the LSQ along with the
+    ROB to keep configurations legal).
+    """
+    if not values:
+        raise ValueError("need at least one value to sweep")
+    cycles: Dict[str, List[int]] = {b: [] for b in traces}
+    for value in values:
+        changes = {field_name: value}
+        if linked and value in linked:
+            changes.update(linked[value])
+        config = base_config.evolve(**changes)
+        for bench, trace in traces.items():
+            stats = simulate(config, trace, warmup=True)
+            cycles[bench].append(stats.cycles)
+    return SweepResult(
+        field_name=field_name,
+        values=tuple(values),
+        cycles={b: tuple(v) for b, v in cycles.items()},
+    )
+
+
+@dataclass
+class RefinementStep:
+    """One coordinate step of the iterative refinement."""
+
+    field_name: str
+    sweep: SweepResult
+    chosen: object
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of :func:`iterative_refinement`."""
+
+    final_config: MachineConfig
+    steps: List[RefinementStep] = field(default_factory=list)
+    rounds: int = 0
+
+    def chosen_values(self) -> Dict[str, object]:
+        out: Dict[str, object] = {}
+        for step in self.steps:
+            out[step.field_name] = step.chosen
+        return out
+
+
+def iterative_refinement(
+    traces: Mapping[str, Trace],
+    sweeps: Mapping[str, Sequence[object]],
+    base_config: MachineConfig = MachineConfig(),
+    *,
+    max_rounds: int = 4,
+) -> RefinementResult:
+    """Fix each parameter at its best value, iterating to a fixed point.
+
+    ``sweeps`` maps MachineConfig field names to candidate value lists.
+    Each round sweeps every parameter against the *current* base (so
+    interactions between the chosen values are honoured, per the
+    paper's step 3) and pins it at its best value; rounds repeat until
+    no choice changes or ``max_rounds`` is hit.
+    """
+    if not sweeps:
+        raise ValueError("need at least one parameter to refine")
+    config = base_config
+    result = RefinementResult(final_config=config)
+    previous: Dict[str, object] = {}
+    for round_index in range(max_rounds):
+        result.rounds = round_index + 1
+        changed = False
+        for field_name, values in sweeps.items():
+            outcome = sweep(traces, field_name, values, config)
+            chosen = outcome.best_value()
+            result.steps.append(
+                RefinementStep(field_name, outcome, chosen)
+            )
+            if previous.get(field_name) != chosen:
+                changed = True
+            previous[field_name] = chosen
+            config = config.evolve(**{field_name: chosen})
+        if not changed:
+            break
+    result.final_config = config
+    return result

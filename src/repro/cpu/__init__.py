@@ -1,0 +1,85 @@
+"""The superscalar processor simulator substrate.
+
+A cycle-level, trace-driven out-of-order machine exposing every
+parameter the paper varies (Tables 6-8).  Public surface:
+
+* :class:`MachineConfig` / :data:`PARAMETER_SPACE` /
+  :func:`config_from_levels` — machine description and the bridge from
+  Plackett-Burman levels to concrete machines;
+* :func:`simulate` / :class:`Pipeline` / :class:`CoreStats` — running
+  traces and reading results;
+* :func:`build_precompute_table` — the instruction-precomputation
+  enhancement of Section 4.3;
+* component models (:mod:`~repro.cpu.branch`, :mod:`~repro.cpu.cache`,
+  :mod:`~repro.cpu.memory`, :mod:`~repro.cpu.funits`) usable on their
+  own in tests and teaching examples.
+"""
+
+from .isa import (
+    COMPUTE_CLASSES,
+    NO_REG,
+    NO_VALUE,
+    BranchKind,
+    Instruction,
+    OpClass,
+)
+from .params import (
+    DEFAULT_CONFIG,
+    FULLY_ASSOCIATIVE,
+    KIB,
+    MIB,
+    MachineConfig,
+    PARAMETER_NAMES,
+    PARAMETER_SPACE,
+    ParameterSpec,
+    config_from_levels,
+    parameter_spec,
+)
+from .pipeline import Pipeline, SimulationError, simulate
+from .power import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyBreakdown,
+    EnergyModel,
+    energy_delay_response,
+    energy_response,
+    estimate_energy,
+)
+from .precompute import (
+    PAPER_TABLE_ENTRIES,
+    build_precompute_table,
+    coverage,
+)
+from .stats import CacheSnapshot, CoreStats
+
+__all__ = [
+    "BranchKind",
+    "CacheSnapshot",
+    "COMPUTE_CLASSES",
+    "CoreStats",
+    "DEFAULT_CONFIG",
+    "DEFAULT_ENERGY_MODEL",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "energy_delay_response",
+    "energy_response",
+    "estimate_energy",
+    "FULLY_ASSOCIATIVE",
+    "Instruction",
+    "KIB",
+    "MIB",
+    "MachineConfig",
+    "NO_REG",
+    "NO_VALUE",
+    "OpClass",
+    "PAPER_TABLE_ENTRIES",
+    "PARAMETER_NAMES",
+    "PARAMETER_SPACE",
+    "ParameterSpec",
+    "Pipeline",
+    "SimulationError",
+    "build_precompute_table",
+    "config_from_levels",
+    "coverage",
+    "parameter_spec",
+    "simulate",
+]

@@ -1,0 +1,281 @@
+"""Branch prediction: direction predictors, BTB, and return-address stack.
+
+Table 6 varies four things about the front end's control-flow
+speculation, all modelled here:
+
+* the direction predictor ("BPred Type": a 2-level adaptive predictor
+  at the low setting, perfect prediction at the high setting — perfect
+  is realized in the pipeline by never charging a misprediction);
+* when the predictor's global history is updated ("Speculative Branch
+  Update": at commit, i.e. delayed and possibly stale, or speculatively
+  at decode with repair on misprediction);
+* the branch target buffer size and associativity — a taken branch
+  whose target misses in the BTB cannot redirect fetch and costs a
+  misfetch penalty;
+* the return address stack depth — returns predict their target by
+  popping the RAS; a shallow stack is corrupted by deep call chains.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+class TwoBitCounterTable:
+    """A table of saturating 2-bit counters (initialized weakly taken)."""
+
+    def __init__(self, n_entries: int):
+        if n_entries < 1:
+            raise ValueError("counter table needs at least one entry")
+        self._counters = bytearray([2] * n_entries)
+        self._mask = n_entries - 1
+        if n_entries & self._mask:
+            raise ValueError("counter table size must be a power of two")
+
+    def predict(self, index: int) -> bool:
+        return self._counters[index & self._mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        i = index & self._mask
+        c = self._counters[i]
+        if taken:
+            if c < 3:
+                self._counters[i] = c + 1
+        elif c > 0:
+            self._counters[i] = c - 1
+
+
+class TwoLevelPredictor:
+    """A gshare-style 2-level adaptive predictor.
+
+    A global history register of ``history_bits`` outcomes is XORed
+    with the branch PC to index a pattern history table of 2-bit
+    counters.  ``speculative_update="decode"`` shifts the *predicted*
+    outcome into the history immediately (with repair on
+    misprediction); ``"commit"`` defers the history update until the
+    branch commits, so closely-spaced branches see stale history.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 4,
+        table_bits: int = 10,
+        speculative_update: str = "commit",
+    ):
+        if speculative_update not in ("commit", "decode"):
+            raise ValueError(f"bad update point {speculative_update!r}")
+        self._table = TwoBitCounterTable(1 << table_bits)
+        self._history_mask = (1 << history_bits) - 1
+        self._history = 0
+        self._speculative = speculative_update == "decode"
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        """Predict the branch at ``pc``; speculatively shift history."""
+        prediction = self._table.predict(self._index(pc))
+        if self._speculative:
+            self._push_history(prediction)
+        return prediction
+
+    def update(self, pc: int, taken: bool, history_at_predict: int) -> None:
+        """Train with the actual outcome when the branch resolves.
+
+        ``history_at_predict`` is the value of :attr:`history` captured
+        when :meth:`predict` ran, so the counter trained is the one that
+        produced the prediction.
+        """
+        self._table.update((pc >> 2) ^ history_at_predict, taken)
+        if not self._speculative:
+            self._push_history(taken)
+
+    def repair(self, history_at_predict: int, taken: bool) -> None:
+        """Rewind speculative history after a misprediction."""
+        if self._speculative:
+            self._history = ((history_at_predict << 1) | int(taken)) \
+                & self._history_mask
+
+    @property
+    def history(self) -> int:
+        return self._history
+
+    def _push_history(self, taken: bool) -> None:
+        self._history = ((self._history << 1) | int(taken)) \
+            & self._history_mask
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counters, no history (a simpler comparison point)."""
+
+    def __init__(self, table_bits: int = 11):
+        self._table = TwoBitCounterTable(1 << table_bits)
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(pc >> 2)
+
+    def update(self, pc: int, taken: bool, history_at_predict: int = 0) -> None:
+        self._table.update(pc >> 2, taken)
+
+    def repair(self, history_at_predict: int, taken: bool) -> None:
+        pass
+
+    @property
+    def history(self) -> int:
+        return 0
+
+
+class StaticTakenPredictor:
+    """Always predicts taken; the weakest non-trivial baseline."""
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool, history_at_predict: int = 0) -> None:
+        pass
+
+    def repair(self, history_at_predict: int, taken: bool) -> None:
+        pass
+
+    @property
+    def history(self) -> int:
+        return 0
+
+
+class TournamentPredictor:
+    """A McFarling-style tournament of bimodal and 2-level predictors.
+
+    A chooser table of 2-bit counters picks, per branch, whichever
+    component has been more accurate.  Not used by the paper's Table 6
+    levels (low = 2-level, high = perfect) but provided for ablation
+    studies of the "BPred Type" axis.
+    """
+
+    def __init__(
+        self,
+        history_bits: int = 4,
+        table_bits: int = 10,
+        speculative_update: str = "commit",
+    ):
+        self._gshare = TwoLevelPredictor(
+            history_bits, table_bits, speculative_update
+        )
+        self._bimodal = BimodalPredictor(table_bits)
+        self._chooser = TwoBitCounterTable(1 << table_bits)
+        self._last_components = {}
+
+    def predict(self, pc: int) -> bool:
+        g = self._gshare.predict(pc)
+        b = self._bimodal.predict(pc)
+        use_gshare = self._chooser.predict(pc >> 2)
+        self._last_components[pc] = (g, b)
+        return g if use_gshare else b
+
+    def update(self, pc: int, taken: bool, history_at_predict: int) -> None:
+        g, b = self._last_components.pop(pc, (taken, taken))
+        self._gshare.update(pc, taken, history_at_predict)
+        self._bimodal.update(pc, taken)
+        if g != b:
+            # Train the chooser toward the component that was right.
+            self._chooser.update(pc >> 2, taken == g)
+
+    def repair(self, history_at_predict: int, taken: bool) -> None:
+        self._gshare.repair(history_at_predict, taken)
+
+    @property
+    def history(self) -> int:
+        return self._gshare.history
+
+
+class BranchTargetBuffer:
+    """Set-associative PC -> target cache with LRU replacement.
+
+    ``assoc=0`` (FULLY_ASSOCIATIVE) makes the whole structure one set.
+    """
+
+    def __init__(self, n_entries: int, assoc: int):
+        if n_entries < 1:
+            raise ValueError("BTB needs at least one entry")
+        if assoc == 0 or assoc >= n_entries:
+            assoc = n_entries
+        if n_entries % assoc:
+            raise ValueError("BTB entries must be divisible by associativity")
+        self._n_sets = n_entries // assoc
+        self._assoc = assoc
+        # Each set: list of (pc, target), most recently used first.
+        self._sets: List[List[tuple]] = [[] for _ in range(self._n_sets)]
+
+    def _set_for(self, pc: int) -> List[tuple]:
+        return self._sets[(pc >> 2) % self._n_sets]
+
+    def lookup(self, pc: int) -> Optional[int]:
+        """Return the cached target for ``pc`` or None on a BTB miss."""
+        entries = self._set_for(pc)
+        for i, (tag, target) in enumerate(entries):
+            if tag == pc:
+                if i:
+                    entries.insert(0, entries.pop(i))
+                return target
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        entries = self._set_for(pc)
+        for i, (tag, _) in enumerate(entries):
+            if tag == pc:
+                entries.pop(i)
+                break
+        entries.insert(0, (pc, target))
+        if len(entries) > self._assoc:
+            entries.pop()
+
+
+class ReturnAddressStack:
+    """A fixed-depth return-address stack.
+
+    Pushes beyond the capacity wrap around and overwrite the oldest
+    entries — exactly the corruption that makes a 4-entry RAS worse
+    than a 64-entry one on call-heavy code.
+    """
+
+    def __init__(self, depth: int):
+        if depth < 1:
+            raise ValueError("RAS needs at least one entry")
+        self._entries = [0] * depth
+        self._depth = depth
+        self._top = 0          # index of next push slot
+        self._occupancy = 0    # how many live entries (<= depth)
+
+    def push(self, address: int) -> None:
+        self._entries[self._top] = address
+        self._top = (self._top + 1) % self._depth
+        self._occupancy = min(self._occupancy + 1, self._depth)
+
+    def pop(self) -> Optional[int]:
+        """Pop the predicted return address, or None if empty."""
+        if self._occupancy == 0:
+            return None
+        self._top = (self._top - 1) % self._depth
+        self._occupancy -= 1
+        return self._entries[self._top]
+
+    def __len__(self) -> int:
+        return self._occupancy
+
+
+def make_direction_predictor(kind: str, speculative_update: str):
+    """Factory for the predictor kinds named in :class:`MachineConfig`.
+
+    ``"perfect"`` returns None — the pipeline short-circuits prediction
+    entirely for a perfect front end.
+    """
+    if kind == "perfect":
+        return None
+    if kind == "2level":
+        return TwoLevelPredictor(speculative_update=speculative_update)
+    if kind == "bimodal":
+        return BimodalPredictor()
+    if kind == "taken":
+        return StaticTakenPredictor()
+    if kind == "tournament":
+        return TournamentPredictor(speculative_update=speculative_update)
+    raise ValueError(f"unknown predictor kind {kind!r}")

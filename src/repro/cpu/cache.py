@@ -1,0 +1,279 @@
+"""Set-associative caches and the cache hierarchy.
+
+Table 8 varies size, associativity, block size and hit latency of
+three caches (L1 I, L1 D, unified L2).  The model is a classic
+write-back, write-allocate, set-associative cache with selectable
+replacement (the paper fixes LRU; FIFO and random are provided for
+ablation studies).  Timing is additive: a miss pays this level's
+latency plus whatever the next level reports, down to main memory.
+
+Only timing and tag state are modelled — there is no data array, which
+is all a trace-driven timing study requires.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from .memory import MainMemory
+
+
+class CacheStats:
+    """Hit/miss counters for one cache level."""
+
+    __slots__ = ("accesses", "misses", "writebacks")
+
+    def __init__(self):
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self.writebacks = 0
+
+
+class Cache:
+    """One level of a set-associative cache.
+
+    Parameters
+    ----------
+    size, assoc, block_size:
+        Geometry in bytes / ways.  ``assoc=0`` means fully associative.
+    latency:
+        Cycles charged on every access at this level (the hit latency;
+        a miss additionally pays the lower levels).
+    next_level:
+        The structure a miss falls through to: another :class:`Cache`
+        or a :class:`MainMemory`.
+    replacement:
+        ``"lru"`` (paper default), ``"fifo"``, or ``"random"``.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        assoc: int,
+        block_size: int,
+        latency: int,
+        next_level,
+        *,
+        replacement: str = "lru",
+        name: str = "cache",
+        rng_seed: int = 12345,
+    ):
+        if size < 1 or block_size < 1 or size % block_size:
+            raise ValueError("cache size must be a positive multiple of block")
+        n_blocks = size // block_size
+        if assoc == 0 or assoc >= n_blocks:
+            assoc = n_blocks
+        if n_blocks % assoc:
+            raise ValueError("block count must be divisible by associativity")
+        if replacement not in ("lru", "fifo", "random"):
+            raise ValueError(f"unknown replacement policy {replacement!r}")
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.block_size = block_size
+        self.latency = latency
+        self.next_level = next_level
+        self.replacement = replacement
+        self.n_sets = n_blocks // assoc
+        # Per set: list of [tag, dirty]; position 0 = MRU (for LRU) or
+        # oldest-first (for FIFO).
+        self._sets: List[List[list]] = [[] for _ in range(self.n_sets)]
+        self._rng = random.Random(rng_seed)
+        self.stats = CacheStats()
+
+    # -- lookup helpers -------------------------------------------------------
+
+    def _locate(self, addr: int):
+        block = addr // self.block_size
+        return self._sets[block % self.n_sets], block
+
+    def contains(self, addr: int) -> bool:
+        """True if the block holding ``addr`` is resident (no side effects)."""
+        entries, tag = self._locate(addr)
+        return any(e[0] == tag for e in entries)
+
+    # -- the access path ------------------------------------------------------
+
+    def access(self, addr: int, write: bool = False) -> int:
+        """Access one address; return the total latency in cycles.
+
+        A hit costs :attr:`latency`.  A miss additionally costs the
+        next level's access for this block, allocates the block here,
+        and may evict (write-back of dirty victims is buffered and adds
+        no latency, as in SimpleScalar's default configuration).
+        """
+        self.stats.accesses += 1
+        entries, tag = self._locate(addr)
+        for i, entry in enumerate(entries):
+            if entry[0] == tag:
+                if write:
+                    entry[1] = True
+                if self.replacement == "lru" and i:
+                    entries.insert(0, entries.pop(i))
+                return self.latency
+        # Miss: fetch the block from below.
+        self.stats.misses += 1
+        below = self._fetch_below(addr)
+        self._allocate(entries, tag, write)
+        return self.latency + below
+
+    def _fetch_below(self, addr: int) -> int:
+        if isinstance(self.next_level, MainMemory):
+            return self.next_level.access(self.block_size)
+        return self.next_level.access(addr, write=False)
+
+    def _allocate(self, entries: List[list], tag: int, write: bool) -> None:
+        if len(entries) >= self.assoc:
+            if self.replacement == "random":
+                victim = entries.pop(self._rng.randrange(len(entries)))
+            else:
+                victim = entries.pop()  # LRU/FIFO evict the tail
+            if victim[1]:
+                self.stats.writebacks += 1
+        # New blocks enter at the head for every policy; FIFO differs
+        # from LRU only in never promoting on a hit (see access()).
+        entries.insert(0, [tag, write])
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class TLB:
+    """A translation lookaside buffer (a cache of page translations).
+
+    A hit is free (translation overlaps the cache access); a miss
+    charges ``miss_latency`` cycles for the page walk, per Table 8's
+    I-TLB/D-TLB latency rows.
+    """
+
+    def __init__(
+        self,
+        n_entries: int,
+        page_size: int,
+        assoc: int,
+        miss_latency: int,
+        *,
+        name: str = "tlb",
+    ):
+        if n_entries < 1 or page_size < 1:
+            raise ValueError("TLB needs positive entries and page size")
+        if assoc == 0 or assoc >= n_entries:
+            assoc = n_entries
+        if n_entries % assoc:
+            raise ValueError("TLB entries must be divisible by associativity")
+        self.name = name
+        self.n_entries = n_entries
+        self.page_size = page_size
+        self.assoc = assoc
+        self.miss_latency = miss_latency
+        self.n_sets = n_entries // assoc
+        self._sets: List[List[int]] = [[] for _ in range(self.n_sets)]
+        self.stats = CacheStats()
+
+    def access(self, addr: int) -> int:
+        """Translate ``addr``; return 0 on a hit, miss latency otherwise."""
+        page = addr // self.page_size
+        entries = self._sets[page % self.n_sets]
+        self.stats.accesses += 1
+        for i, tag in enumerate(entries):
+            if tag == page:
+                if i:
+                    entries.insert(0, entries.pop(i))
+                return 0
+        self.stats.misses += 1
+        entries.insert(0, page)
+        if len(entries) > self.assoc:
+            entries.pop()
+        return self.miss_latency
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+
+class MemoryHierarchy:
+    """The full memory system of one machine: L1I, L1D, L2, TLBs, DRAM.
+
+    ``prefetch_lines`` enables a simple next-N-line data prefetcher:
+    on every demand L1D miss the following N blocks are brought in as
+    well (their fill latency is assumed hidden).  This is the second
+    *enhancement* the library models — the paper's Section 4.3 uses
+    data prefetching as its motivating example of an enhancement whose
+    rank signature an architect would want to read.
+    """
+
+    def __init__(self, config, prefetch_lines: int = 0) -> None:
+        if prefetch_lines < 0:
+            raise ValueError("prefetch_lines cannot be negative")
+        self.prefetch_lines = prefetch_lines
+        self.prefetches = 0
+        self.memory = MainMemory(
+            first_latency=config.mem_latency_first,
+            following_latency=config.mem_latency_following,
+            bandwidth=config.mem_bandwidth,
+        )
+        self.l2 = Cache(
+            config.l2_size, config.l2_assoc, config.l2_block,
+            config.l2_latency, self.memory,
+            replacement=config.replacement_policy, name="L2",
+        )
+        self.l1i = Cache(
+            config.l1i_size, config.l1i_assoc, config.l1i_block,
+            config.l1i_latency, self.l2,
+            replacement=config.replacement_policy, name="L1I",
+        )
+        self.l1d = Cache(
+            config.l1d_size, config.l1d_assoc, config.l1d_block,
+            config.l1d_latency, self.l2,
+            replacement=config.replacement_policy, name="L1D",
+        )
+        self.itlb = TLB(
+            config.itlb_entries, config.itlb_page_size,
+            config.itlb_assoc, config.itlb_latency, name="ITLB",
+        )
+        self.dtlb = TLB(
+            config.dtlb_entries, config.dtlb_page_size,
+            config.dtlb_assoc, config.dtlb_latency, name="DTLB",
+        )
+
+    def instruction_fetch(self, pc: int) -> int:
+        """Latency of fetching the block at ``pc`` (I-TLB then L1I)."""
+        return self.itlb.access(pc) + self.l1i.access(pc)
+
+    def data_access(self, addr: int, write: bool) -> int:
+        """Latency of a load/store to ``addr`` (D-TLB then L1D).
+
+        With prefetching enabled, a demand miss also pulls the next
+        ``prefetch_lines`` blocks into the L1D (latency hidden).
+        """
+        misses_before = self.l1d.stats.misses
+        latency = self.dtlb.access(addr) + self.l1d.access(addr, write=write)
+        if self.prefetch_lines and self.l1d.stats.misses > misses_before:
+            block = self.l1d.block_size
+            demand_accesses = self.l1d.stats.accesses
+            demand_misses = self.l1d.stats.misses
+            for k in range(1, self.prefetch_lines + 1):
+                self.l1d.access(addr + k * block, write=False)
+                self.prefetches += 1
+            # Prefetches must not pollute the demand hit/miss counters.
+            self.l1d.stats.accesses = demand_accesses
+            self.l1d.stats.misses = demand_misses
+        return latency
+
+    def reset_stats(self) -> None:
+        for unit in (self.l1i, self.l1d, self.l2, self.itlb, self.dtlb):
+            unit.reset_stats()
+        self.prefetches = 0

@@ -1,0 +1,113 @@
+"""Functional-unit pool: counts, latencies, and issue intervals.
+
+Table 7 varies, per unit class, the number of units and the operation
+latencies; throughputs are either 1 (fully pipelined adders and the
+integer multiplier) or equal to the latency (unpipelined dividers and
+the FP multiplier/sqrt at their slow settings).  An operation occupies
+a unit for its *issue interval* cycles and produces its result after
+its *latency* cycles — the classic latency/initiation-interval model.
+
+Memory ports (Table 6) are modelled as one more unit class limiting
+how many loads/stores may begin per cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .isa import OpClass
+
+
+class UnitClass:
+    """A pool of identical units, each busy until a given cycle."""
+
+    __slots__ = ("name", "_next_free", "issued")
+
+    def __init__(self, name: str, count: int):
+        if count < 1:
+            raise ValueError(f"{name}: need at least one unit")
+        self.name = name
+        self._next_free: List[int] = [0] * count
+        self.issued = 0
+
+    def can_issue(self, cycle: int) -> bool:
+        """True if some unit can accept an operation this cycle."""
+        return any(free <= cycle for free in self._next_free)
+
+    def issue(self, cycle: int, interval: int) -> None:
+        """Occupy one free unit for ``interval`` cycles."""
+        free = self._next_free
+        for i, t in enumerate(free):
+            if t <= cycle:
+                free[i] = cycle + interval
+                self.issued += 1
+                return
+        raise RuntimeError(f"{self.name}: no free unit at cycle {cycle}")
+
+
+class FunctionalUnitPool:
+    """All execution resources of one machine configuration.
+
+    Maps every :class:`OpClass` to the unit class it needs plus its
+    (latency, issue-interval) pair derived from a
+    :class:`~repro.cpu.params.MachineConfig`.
+    """
+
+    def __init__(self, config):
+        self.int_alu = UnitClass("IntALU", config.int_alus)
+        self.fp_alu = UnitClass("FPALU", config.fp_alus)
+        self.int_mult_div = UnitClass("IntMultDiv", config.int_mult_div_units)
+        self.fp_mult_div = UnitClass("FPMultDiv", config.fp_mult_div_units)
+        self.mem_port = UnitClass("MemPort", config.memory_ports)
+        #: op class -> (unit class, latency, issue interval)
+        self._dispatch: Dict[int, Tuple[UnitClass, int, int]] = {
+            OpClass.IALU: (
+                self.int_alu, config.int_alu_latency, config.int_alu_interval),
+            OpClass.IMULT: (
+                self.int_mult_div, config.int_mult_latency,
+                config.int_mult_interval),
+            OpClass.IDIV: (
+                self.int_mult_div, config.int_div_latency,
+                config.int_div_interval),
+            OpClass.FALU: (
+                self.fp_alu, config.fp_alu_latency, config.fp_alu_interval),
+            OpClass.FMULT: (
+                self.fp_mult_div, config.fp_mult_latency,
+                config.fp_mult_interval),
+            OpClass.FDIV: (
+                self.fp_mult_div, config.fp_div_latency,
+                config.fp_div_interval),
+            OpClass.FSQRT: (
+                self.fp_mult_div, config.fp_sqrt_latency,
+                config.fp_sqrt_interval),
+            # Loads/stores consume a memory port; their completion time
+            # additionally includes the cache access computed by the
+            # pipeline.  Address generation itself takes one cycle.
+            OpClass.LOAD: (self.mem_port, 1, 1),
+            OpClass.STORE: (self.mem_port, 1, 1),
+            # Branches resolve on an integer ALU.
+            OpClass.BRANCH: (
+                self.int_alu, config.int_alu_latency, config.int_alu_interval),
+        }
+
+    def requirements(self, op: int) -> Tuple[UnitClass, int, int]:
+        """(unit class, result latency, issue interval) for an op class."""
+        return self._dispatch[op]
+
+    def can_issue(self, op: int, cycle: int) -> bool:
+        unit, _, _ = self._dispatch[op]
+        return unit.can_issue(cycle)
+
+    def issue(self, op: int, cycle: int) -> int:
+        """Issue an op; returns its execution latency (cycles to result)."""
+        unit, latency, interval = self._dispatch[op]
+        unit.issue(cycle, interval)
+        return latency
+
+    def utilization(self) -> Dict[str, int]:
+        """Operations issued per unit class (for analysis/reporting)."""
+        return {
+            u.name: u.issued
+            for u in (self.int_alu, self.fp_alu, self.int_mult_div,
+                      self.fp_mult_div, self.mem_port)
+        }

@@ -1,0 +1,127 @@
+"""Instruction model for the trace-driven simulator.
+
+The simulator is *trace-driven*: a workload is a sequence of dynamic
+instructions annotated with everything timing needs — operation class,
+register dependences, memory address, branch behaviour, and (for the
+instruction-precomputation enhancement) a redundancy key identifying
+repeated computations.  Functional values are never computed; only
+timing is modelled, which is all the Plackett-Burman methodology needs.
+
+Two representations exist:
+
+* :class:`Instruction` — a friendly per-instruction object for tests,
+  examples and trace construction;
+* :class:`~repro.workloads.trace.Trace` — a packed structure-of-arrays
+  the pipeline actually executes (see ``repro.workloads``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+
+class OpClass(IntEnum):
+    """Operation classes, mirroring SimpleScalar's functional-unit classes."""
+
+    IALU = 0        # integer add/sub/logic
+    IMULT = 1       # integer multiply
+    IDIV = 2        # integer divide
+    FALU = 3        # floating-point add/sub/compare
+    FMULT = 4       # floating-point multiply
+    FDIV = 5        # floating-point divide
+    FSQRT = 6       # floating-point square root
+    LOAD = 7
+    STORE = 8
+    BRANCH = 9      # all control transfers (see BranchKind)
+
+
+class BranchKind(IntEnum):
+    """Sub-type of a BRANCH instruction (NONE for everything else)."""
+
+    NONE = 0
+    CONDITIONAL = 1
+    CALL = 2
+    RETURN = 3
+    JUMP = 4  # unconditional direct jump
+
+
+#: Operation classes eligible for instruction precomputation: the
+#: mechanism removes redundant *computations*, not memory or control ops.
+COMPUTE_CLASSES = frozenset(
+    {
+        OpClass.IALU,
+        OpClass.IMULT,
+        OpClass.IDIV,
+        OpClass.FALU,
+        OpClass.FMULT,
+        OpClass.FDIV,
+        OpClass.FSQRT,
+    }
+)
+
+#: Register id meaning "no register".
+NO_REG = -1
+#: Address meaning "no memory access" / "no redundancy key".
+NO_VALUE = -1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    pc:
+        Byte address of the instruction (drives I-cache/I-TLB behaviour).
+    op:
+        Operation class.
+    src1, src2:
+        Source register ids or ``NO_REG``.
+    dst:
+        Destination register id or ``NO_REG``.
+    mem_addr:
+        Effective byte address for LOAD/STORE, else ``NO_VALUE``.
+    branch_kind:
+        Control-transfer sub-type (``NONE`` for non-branches).
+    taken:
+        Actual branch outcome.
+    target:
+        Actual branch target address (``NO_VALUE`` for non-branches).
+    redundancy_key:
+        Identifier of the (opcode, operand-values) computation this
+        instruction performs, shared by dynamically redundant
+        executions; ``NO_VALUE`` when unique.  Used by the instruction
+        precomputation enhancement (paper Section 4.3).
+    """
+
+    pc: int
+    op: OpClass
+    src1: int = NO_REG
+    src2: int = NO_REG
+    dst: int = NO_REG
+    mem_addr: int = NO_VALUE
+    branch_kind: BranchKind = BranchKind.NONE
+    taken: bool = False
+    target: int = NO_VALUE
+    redundancy_key: int = NO_VALUE
+
+    def __post_init__(self):
+        if self.op is OpClass.BRANCH and self.branch_kind is BranchKind.NONE:
+            raise ValueError("BRANCH instructions need a branch_kind")
+        if self.op is not OpClass.BRANCH and self.branch_kind is not BranchKind.NONE:
+            raise ValueError("only BRANCH instructions carry a branch_kind")
+        if self.op in (OpClass.LOAD, OpClass.STORE) and self.mem_addr < 0:
+            raise ValueError(f"{self.op.name} needs a memory address")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op is OpClass.BRANCH
+
+    @property
+    def is_compute(self) -> bool:
+        return self.op in COMPUTE_CLASSES

@@ -1,0 +1,42 @@
+"""Main-memory (DRAM) timing model.
+
+Table 8 gives three knobs: the latency of the *first* chunk of a block
+transfer, the latency of each *following* chunk (fixed by the paper at
+2% of the first-chunk latency), and the memory bus width ("Memory
+Bandwidth", in bytes).  Fetching a cache block of B bytes therefore
+costs::
+
+    first + (ceil(B / bandwidth) - 1) * following
+
+so a larger L2 block size interacts with bandwidth and the following
+latency exactly as in the paper's machine.
+"""
+
+from __future__ import annotations
+
+
+class MainMemory:
+    """Flat DRAM with first/following-chunk latency and a fixed bus width."""
+
+    def __init__(self, first_latency: int, following_latency: int, bandwidth: int):
+        if first_latency < 1:
+            raise ValueError("first-chunk latency must be at least 1 cycle")
+        if following_latency < 0:
+            raise ValueError("following-chunk latency cannot be negative")
+        if bandwidth < 1:
+            raise ValueError("memory bandwidth must be at least 1 byte")
+        self.first_latency = first_latency
+        self.following_latency = following_latency
+        self.bandwidth = bandwidth
+        self.accesses = 0
+
+    def access(self, n_bytes: int) -> int:
+        """Cycles to transfer ``n_bytes`` (one cache block) from DRAM."""
+        if n_bytes < 1:
+            raise ValueError("transfer size must be positive")
+        self.accesses += 1
+        chunks = -(-n_bytes // self.bandwidth)  # ceil division
+        return self.first_latency + (chunks - 1) * self.following_latency
+
+    def reset_stats(self) -> None:
+        self.accesses = 0

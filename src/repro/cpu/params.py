@@ -1,0 +1,302 @@
+"""Machine configuration and the paper's 41-factor parameter space.
+
+Tables 6-8 of the paper define, for each user-configurable processor
+parameter, a *low* value just below the range found in commercial
+processors and a *high* value just above it.  This module captures:
+
+* :class:`MachineConfig` — a concrete, fully-specified machine, with
+  the paper's linked parameters derived automatically (following-block
+  memory latency, divide/sqrt issue intervals, shared TLB page size and
+  latency);
+* :data:`PARAMETER_SPACE` — the 41 varied factors in Table 9 order of
+  appearance in Tables 6-8, each with its name, low and high values;
+* :func:`config_from_levels` — the bridge from a Plackett-Burman design
+  row (a ``{factor: +-1}`` mapping) to a runnable machine, honouring the
+  gray-shaded linkage rules of Section 3 (e.g. LSQ entries expressed as
+  a fraction of the reorder buffer so an 8-entry ROB never carries a
+  64-entry LSQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, List, Mapping, Tuple, Union
+
+#: Marker for fully-associative structures.
+FULLY_ASSOCIATIVE = 0
+
+Level = int  # +1 or -1
+Value = Union[int, float, str]
+
+KIB = 1024
+MIB = 1024 * KIB
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete superscalar machine configuration.
+
+    Defaults model a plausible mid-range 4-way machine (between the
+    paper's low and high values).  Derived fields may be passed
+    explicitly; when left at ``None`` they are computed from their
+    governing parameter exactly as Tables 7-8 specify.
+    """
+
+    # -- processor core (Table 6) -------------------------------------------
+    width: int = 4                      # decode/issue/commit width (fixed)
+    ifq_entries: int = 16
+    branch_predictor: str = "2level"    # 2level|bimodal|taken|tournament|perfect
+    mispredict_penalty: int = 4
+    ras_entries: int = 16
+    btb_entries: int = 128
+    btb_assoc: int = 4                  # FULLY_ASSOCIATIVE (0) allowed
+    speculative_update: str = "commit"  # commit | decode
+    rob_entries: int = 32
+    lsq_entries: int = 16
+    memory_ports: int = 2
+
+    # -- functional units (Table 7) ------------------------------------------
+    int_alus: int = 2
+    int_alu_latency: int = 1
+    int_alu_interval: int = 1
+    fp_alus: int = 2
+    fp_alu_latency: int = 2
+    fp_alu_interval: int = 1
+    int_mult_div_units: int = 1
+    int_mult_latency: int = 3
+    int_mult_interval: int = 1
+    int_div_latency: int = 20
+    int_div_interval: int = None        # = int_div_latency
+    fp_mult_div_units: int = 1
+    fp_mult_latency: int = 4
+    fp_mult_interval: int = None        # = fp_mult_latency
+    fp_div_latency: int = 12
+    fp_div_interval: int = None         # = fp_div_latency
+    fp_sqrt_latency: int = 24
+    fp_sqrt_interval: int = None        # = fp_sqrt_latency
+
+    # -- memory hierarchy (Table 8) -------------------------------------------
+    l1i_size: int = 16 * KIB
+    l1i_assoc: int = 2
+    l1i_block: int = 32
+    l1i_latency: int = 1
+    l1d_size: int = 16 * KIB
+    l1d_assoc: int = 4
+    l1d_block: int = 32
+    l1d_latency: int = 2
+    l2_size: int = 1 * MIB
+    l2_assoc: int = 4
+    l2_block: int = 64
+    l2_latency: int = 12
+    replacement_policy: str = "lru"     # lru | fifo | random
+    mem_latency_first: int = 100
+    mem_latency_following: int = None   # = max(1, round(0.02 * first))
+    mem_bandwidth: int = 8              # bytes per following-chunk transfer
+    itlb_entries: int = 64
+    itlb_page_size: int = 4 * KIB
+    itlb_assoc: int = 4
+    itlb_latency: int = 40
+    dtlb_entries: int = 64
+    dtlb_page_size: int = None          # = itlb_page_size
+    dtlb_assoc: int = 4
+    dtlb_latency: int = None            # = itlb_latency
+
+    def __post_init__(self):
+        derive = {
+            "int_div_interval": self.int_div_latency,
+            "fp_mult_interval": self.fp_mult_latency,
+            "fp_div_interval": self.fp_div_latency,
+            "fp_sqrt_interval": self.fp_sqrt_latency,
+            "mem_latency_following": max(
+                1, round(0.02 * self.mem_latency_first)
+            ),
+            "dtlb_page_size": self.itlb_page_size,
+            "dtlb_latency": self.itlb_latency,
+        }
+        for name, value in derive.items():
+            if getattr(self, name) is None:
+                object.__setattr__(self, name, value)
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be positive")
+        if self.lsq_entries > self.rob_entries:
+            raise ValueError(
+                "LSQ cannot be larger than the reorder buffer (Section 3): "
+                f"lsq={self.lsq_entries} rob={self.rob_entries}"
+            )
+        if self.branch_predictor not in (
+            "2level", "bimodal", "taken", "tournament", "perfect"
+        ):
+            raise ValueError(f"unknown predictor {self.branch_predictor!r}")
+        if self.speculative_update not in ("commit", "decode"):
+            raise ValueError(
+                f"unknown speculative update point {self.speculative_update!r}"
+            )
+        if self.replacement_policy not in ("lru", "fifo", "random"):
+            raise ValueError(
+                f"unknown replacement policy {self.replacement_policy!r}"
+            )
+        for name in (
+            "ifq_entries", "rob_entries", "lsq_entries", "memory_ports",
+            "ras_entries", "btb_entries", "int_alus", "fp_alus",
+            "int_mult_div_units", "fp_mult_div_units", "mem_bandwidth",
+            "itlb_entries", "dtlb_entries",
+        ):
+            if getattr(self, name) < 1:
+                raise ValueError(f"{name} must be at least 1")
+        for prefix in ("l1i", "l1d", "l2"):
+            size = getattr(self, f"{prefix}_size")
+            block = getattr(self, f"{prefix}_block")
+            assoc = getattr(self, f"{prefix}_assoc")
+            if size % block:
+                raise ValueError(f"{prefix} size not a multiple of block size")
+            n_blocks = size // block
+            if assoc != FULLY_ASSOCIATIVE and n_blocks % assoc:
+                raise ValueError(f"{prefix} blocks not divisible by assoc")
+
+    def evolve(self, **changes) -> "MachineConfig":
+        """A copy with fields replaced (derived fields recomputed when
+        their governing parameter changes and they are not overridden).
+        """
+        governed = {
+            "int_div_latency": "int_div_interval",
+            "fp_mult_latency": "fp_mult_interval",
+            "fp_div_latency": "fp_div_interval",
+            "fp_sqrt_latency": "fp_sqrt_interval",
+            "mem_latency_first": "mem_latency_following",
+            "itlb_page_size": "dtlb_page_size",
+            "itlb_latency": "dtlb_latency",
+        }
+        for governor, derived in governed.items():
+            if governor in changes and derived not in changes:
+                changes[derived] = None  # force recomputation
+        return replace(self, **changes)
+
+
+#: The default baseline machine.
+DEFAULT_CONFIG = MachineConfig()
+
+
+@dataclass(frozen=True)
+class ParameterSpec:
+    """One varied factor: paper name, low/high values, config binding.
+
+    ``field`` is either a :class:`MachineConfig` field name or one of
+    the special keys handled by :func:`config_from_levels`
+    (``"lsq_ratio"``).
+    """
+
+    name: str
+    field: str
+    low: Value
+    high: Value
+
+    def value(self, level: Level) -> Value:
+        if level == 1:
+            return self.high
+        if level == -1:
+            return self.low
+        raise ValueError(f"level must be +1 or -1, got {level}")
+
+
+#: The 41 varied parameters of Tables 6-8, in table order.  Names match
+#: the paper's Table 9 rows.
+PARAMETER_SPACE: Tuple[ParameterSpec, ...] = (
+    # Table 6: processor core
+    ParameterSpec("Instruction Fetch Queue Entries", "ifq_entries", 4, 32),
+    ParameterSpec("BPred Type", "branch_predictor", "2level", "perfect"),
+    ParameterSpec("BPred Misprediction Penalty", "mispredict_penalty", 10, 2),
+    ParameterSpec("Return Address Stack Entries", "ras_entries", 4, 64),
+    ParameterSpec("BTB Entries", "btb_entries", 16, 512),
+    ParameterSpec("BTB Associativity", "btb_assoc", 2, FULLY_ASSOCIATIVE),
+    ParameterSpec("Speculative Branch Update", "speculative_update",
+                  "commit", "decode"),
+    ParameterSpec("Reorder Buffer Entries", "rob_entries", 8, 64),
+    ParameterSpec("LSQ Entries", "lsq_ratio", 0.25, 1.0),
+    ParameterSpec("Memory Ports", "memory_ports", 1, 4),
+    # Table 7: functional units
+    ParameterSpec("Int ALUs", "int_alus", 1, 4),
+    ParameterSpec("Int ALU Latencies", "int_alu_latency", 2, 1),
+    ParameterSpec("FP ALUs", "fp_alus", 1, 4),
+    ParameterSpec("FP ALU Latencies", "fp_alu_latency", 5, 1),
+    ParameterSpec("Int Mult/Div", "int_mult_div_units", 1, 4),
+    ParameterSpec("Int Multiply Latency", "int_mult_latency", 15, 2),
+    ParameterSpec("Int Divide Latency", "int_div_latency", 80, 10),
+    ParameterSpec("FP Mult/Div", "fp_mult_div_units", 1, 4),
+    ParameterSpec("FP Multiply Latency", "fp_mult_latency", 5, 2),
+    ParameterSpec("FP Divide Latency", "fp_div_latency", 35, 10),
+    ParameterSpec("FP Square Root Latency", "fp_sqrt_latency", 35, 15),
+    # Table 8: memory hierarchy
+    ParameterSpec("L1 I-Cache Size", "l1i_size", 4 * KIB, 128 * KIB),
+    ParameterSpec("L1 I-Cache Associativity", "l1i_assoc", 1, 8),
+    ParameterSpec("L1 I-Cache Block Size", "l1i_block", 16, 64),
+    ParameterSpec("L1 I-Cache Latency", "l1i_latency", 4, 1),
+    ParameterSpec("L1 D-Cache Size", "l1d_size", 4 * KIB, 128 * KIB),
+    ParameterSpec("L1 D-Cache Associativity", "l1d_assoc", 1, 8),
+    ParameterSpec("L1 D-Cache Block Size", "l1d_block", 16, 64),
+    ParameterSpec("L1 D-Cache Latency", "l1d_latency", 4, 1),
+    ParameterSpec("L2 Cache Size", "l2_size", 256 * KIB, 8192 * KIB),
+    ParameterSpec("L2 Cache Associativity", "l2_assoc", 1, 8),
+    ParameterSpec("L2 Cache Block Size", "l2_block", 64, 256),
+    ParameterSpec("L2 Cache Latency", "l2_latency", 20, 5),
+    ParameterSpec("Memory Latency First", "mem_latency_first", 200, 50),
+    ParameterSpec("Memory Bandwidth", "mem_bandwidth", 4, 32),
+    ParameterSpec("I-TLB Size", "itlb_entries", 32, 256),
+    ParameterSpec("I-TLB Page Size", "itlb_page_size", 4 * KIB, 4096 * KIB),
+    ParameterSpec("I-TLB Associativity", "itlb_assoc", 2, FULLY_ASSOCIATIVE),
+    ParameterSpec("I-TLB Latency", "itlb_latency", 80, 30),
+    ParameterSpec("D-TLB Size", "dtlb_entries", 32, 256),
+    ParameterSpec("D-TLB Associativity", "dtlb_assoc", 2, FULLY_ASSOCIATIVE),
+)
+
+#: Factor names in design-column order.
+PARAMETER_NAMES: Tuple[str, ...] = tuple(p.name for p in PARAMETER_SPACE)
+
+_SPEC_BY_NAME: Dict[str, ParameterSpec] = {p.name: p for p in PARAMETER_SPACE}
+
+
+def parameter_spec(name: str) -> ParameterSpec:
+    """Look up one factor by its paper (Table 9) name."""
+    try:
+        return _SPEC_BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown parameter {name!r}") from None
+
+
+def config_from_levels(
+    levels: Mapping[str, Level],
+    base: MachineConfig = DEFAULT_CONFIG,
+) -> MachineConfig:
+    """Build a machine from a design row of ``{factor name: +-1}``.
+
+    Unknown names (e.g. ``Dummy Factor #1``) are ignored — by
+    construction dummy columns must not influence the machine.  Factors
+    absent from ``levels`` keep the ``base`` value.  The linkage rules
+    of Section 3 are applied: the LSQ factor is a fraction of whatever
+    ROB size this row selects, and derived latencies/intervals follow
+    their governing parameter.
+    """
+    changes: Dict[str, Value] = {}
+    lsq_ratio = None
+    for name, level in levels.items():
+        spec = _SPEC_BY_NAME.get(name)
+        if spec is None:
+            continue  # dummy factor
+        value = spec.value(level)
+        if spec.field == "lsq_ratio":
+            lsq_ratio = float(value)
+        else:
+            changes[spec.field] = value
+    rob = changes.get("rob_entries", base.rob_entries)
+    if lsq_ratio is not None:
+        changes["lsq_entries"] = max(1, int(round(lsq_ratio * rob)))
+    elif base.lsq_entries > rob:
+        changes["lsq_entries"] = rob
+    return base.evolve(**changes)
+
+
+def config_field_names() -> List[str]:
+    """All MachineConfig field names (for introspection/reporting)."""
+    return [f.name for f in fields(MachineConfig)]

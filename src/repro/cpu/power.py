@@ -1,0 +1,137 @@
+"""An activity-based energy proxy.
+
+The paper's introduction motivates statistical screening for "other
+important design metrics, such as the power consumption"; this module
+supplies a simple, monotone, structure-aware energy estimate so the
+same Plackett-Burman machinery can rank parameters by their effect on
+energy instead of (or alongside) execution time.
+
+The model is a classic activity-count proxy, not a calibrated power
+model: each microarchitectural event costs a fixed dynamic energy,
+storage-structure access costs scale with capacity and associativity
+(a CACTI-flavoured ``(size)^0.5 * (assoc)^0.3`` shape), and a static
+term charges every cycle in proportion to the total state the
+configuration carries.  Units are arbitrary ("energy units"); only
+comparisons between configurations are meaningful — which is all a PB
+effect needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import sqrt
+from typing import Dict
+
+from .params import MachineConfig
+from .stats import CoreStats
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy coefficients (arbitrary units)."""
+
+    int_op: float = 1.0
+    fp_op: float = 2.0
+    mult_div_op: float = 4.0
+    mem_port_op: float = 1.0
+    cache_access_base: float = 2.0      # at the reference geometry
+    cache_reference_size: int = 16 * 1024
+    tlb_access: float = 0.4
+    dram_access: float = 120.0
+    branch_recovery: float = 12.0       # per misprediction flush
+    static_per_cycle_base: float = 2.0  # at the reference machine
+    leakage_per_kb: float = 0.005       # static adder per KB of storage
+
+    def cache_access_energy(self, size: int, assoc: int) -> float:
+        """Access energy scaling with capacity and associativity."""
+        ways = assoc if assoc else max(1, size // 4096)
+        return (self.cache_access_base
+                * sqrt(size / self.cache_reference_size)
+                * ways ** 0.3)
+
+
+#: The default coefficients.
+DEFAULT_ENERGY_MODEL = EnergyModel()
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one run, split by component."""
+
+    components: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.components.values())
+
+    def dominant(self) -> str:
+        return max(self.components, key=self.components.get)
+
+    def summary(self) -> str:
+        total = self.total
+        lines = [f"total energy: {total:.0f} units"]
+        for name, value in sorted(self.components.items(),
+                                  key=lambda kv: -kv[1]):
+            lines.append(f"  {name:12s} {value:12.0f} "
+                         f"({value / total:6.1%})")
+        return "\n".join(lines)
+
+
+def _storage_kb(config: MachineConfig) -> float:
+    """Total stateful storage of a configuration, in KB."""
+    caches = config.l1i_size + config.l1d_size + config.l2_size
+    tlbs = 16 * (config.itlb_entries + config.dtlb_entries)
+    core = 64 * (config.rob_entries + config.lsq_entries
+                 + config.ifq_entries) + 8 * config.btb_entries \
+        + 8 * config.ras_entries
+    return (caches + tlbs + core) / 1024.0
+
+
+def estimate_energy(
+    stats: CoreStats,
+    config: MachineConfig,
+    model: EnergyModel = DEFAULT_ENERGY_MODEL,
+) -> EnergyBreakdown:
+    """Estimate the energy of a finished run from its statistics."""
+    ops = stats.unit_operations or {}
+    dynamic_core = (
+        model.int_op * ops.get("IntALU", 0)
+        + model.fp_op * ops.get("FPALU", 0)
+        + model.mult_div_op * (ops.get("IntMultDiv", 0)
+                               + ops.get("FPMultDiv", 0))
+        + model.mem_port_op * ops.get("MemPort", 0)
+    )
+    caches = (
+        stats.l1i.accesses
+        * model.cache_access_energy(config.l1i_size, config.l1i_assoc)
+        + stats.l1d.accesses
+        * model.cache_access_energy(config.l1d_size, config.l1d_assoc)
+        + stats.l2.accesses
+        * model.cache_access_energy(config.l2_size, config.l2_assoc)
+    )
+    tlbs = model.tlb_access * (stats.itlb.accesses + stats.dtlb.accesses)
+    dram = model.dram_access * stats.l2.misses
+    recovery = model.branch_recovery * stats.mispredictions
+    static = stats.cycles * (
+        model.static_per_cycle_base
+        + model.leakage_per_kb * _storage_kb(config)
+    )
+    return EnergyBreakdown(components={
+        "core": dynamic_core,
+        "caches": caches,
+        "tlbs": tlbs,
+        "dram": dram,
+        "recovery": recovery,
+        "static": static,
+    })
+
+
+def energy_response(stats: CoreStats, config: MachineConfig) -> float:
+    """Response function for energy-based PB experiments."""
+    return estimate_energy(stats, config).total
+
+
+def energy_delay_response(stats: CoreStats,
+                          config: MachineConfig) -> float:
+    """Energy-delay product: the classic efficiency metric."""
+    return estimate_energy(stats, config).total * stats.cycles

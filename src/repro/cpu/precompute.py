@@ -1,0 +1,58 @@
+"""Instruction precomputation (Yi, Sendag, Lilja — Euro-Par 2002).
+
+The enhancement the paper analyses in Section 4.3: the compiler
+profiles the program, identifies the *highest-frequency redundant
+computations* (same opcode, same operand values), and loads them into
+an on-chip precomputation table before execution.  At issue, a compute
+instruction whose (opcode, operands) tuple is present in the table
+reads its result instead of executing — it bypasses the functional
+units entirely.  Unlike value reuse (Sodani & Sohi 1997) the table is
+never updated at run time.
+
+In the trace model, every compute instruction carries a *redundancy
+key* identifying its (opcode, operand-values) computation; this module
+plays the compiler's role, selecting the top-``table_size`` keys by
+dynamic execution count.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set
+
+from repro.cpu.isa import COMPUTE_CLASSES, NO_VALUE
+
+#: The table size the paper evaluates (Section 4.3).
+PAPER_TABLE_ENTRIES = 128
+
+
+def build_precompute_table(
+    trace, table_entries: int = PAPER_TABLE_ENTRIES
+) -> FrozenSet[int]:
+    """Select the highest-frequency redundant computations of a trace.
+
+    Mirrors the paper's compiler pass: rank redundancy keys by dynamic
+    execution count and keep the top ``table_entries``.  Keys executed
+    only once are *not* redundant and are excluded — precomputing them
+    could never remove a computation.
+    """
+    if table_entries < 1:
+        raise ValueError("the precomputation table needs at least one entry")
+    counts = trace.redundancy_counts()
+    redundant = {k: c for k, c in counts.items() if c > 1 and k != NO_VALUE}
+    chosen = sorted(redundant, key=lambda k: (-redundant[k], k))
+    return frozenset(chosen[:table_entries])
+
+
+def coverage(trace, table: Set[int]) -> float:
+    """Fraction of dynamic compute instructions the table would satisfy."""
+    compute_ops = frozenset(int(c) for c in COMPUTE_CLASSES)
+    total = 0
+    hits = 0
+    op = trace.op
+    key = trace.redundancy_key
+    for i in range(len(trace)):
+        if int(op[i]) in compute_ops:
+            total += 1
+            if int(key[i]) in table:
+                hits += 1
+    return hits / total if total else 0.0

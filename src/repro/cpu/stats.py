@@ -1,0 +1,91 @@
+"""Simulation result statistics.
+
+:class:`CoreStats` is what one simulation run returns: the cycle count
+(the response variable every Plackett-Burman experiment analyses) plus
+the per-structure counters an architect uses to sanity-check behaviour
+(miss rates, prediction accuracy, unit utilization, occupancy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class CacheSnapshot:
+    """Immutable copy of one cache/TLB's counters at end of run."""
+
+    accesses: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.accesses - self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class CoreStats:
+    """Everything measured by one run of the superscalar core."""
+
+    cycles: int = 0
+    instructions: int = 0
+
+    # Front end
+    branches: int = 0
+    mispredictions: int = 0
+    btb_misfetches: int = 0
+    ras_mispredictions: int = 0
+
+    # Memory system
+    l1i: CacheSnapshot = field(default_factory=CacheSnapshot)
+    l1d: CacheSnapshot = field(default_factory=CacheSnapshot)
+    l2: CacheSnapshot = field(default_factory=CacheSnapshot)
+    itlb: CacheSnapshot = field(default_factory=CacheSnapshot)
+    dtlb: CacheSnapshot = field(default_factory=CacheSnapshot)
+
+    # Back end
+    unit_operations: Dict[str, int] = field(default_factory=dict)
+    dispatch_stall_rob: int = 0
+    dispatch_stall_lsq: int = 0
+    rob_occupancy_sum: int = 0
+
+    # Enhancement
+    precompute_hits: int = 0
+
+    @property
+    def ipc(self) -> float:
+        """Committed instructions per cycle — the headline metric."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def misprediction_rate(self) -> float:
+        return self.mispredictions / self.branches if self.branches else 0.0
+
+    @property
+    def average_rob_occupancy(self) -> float:
+        return self.rob_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    def summary(self) -> str:
+        """A one-paragraph human-readable run summary."""
+        lines = [
+            f"cycles={self.cycles} instructions={self.instructions} "
+            f"IPC={self.ipc:.3f}",
+            f"branches={self.branches} "
+            f"mispredict_rate={self.misprediction_rate:.3%} "
+            f"btb_misfetches={self.btb_misfetches} "
+            f"ras_mispredictions={self.ras_mispredictions}",
+            f"L1I miss={self.l1i.miss_rate:.3%} "
+            f"L1D miss={self.l1d.miss_rate:.3%} "
+            f"L2 miss={self.l2.miss_rate:.3%}",
+            f"ITLB miss={self.itlb.miss_rate:.3%} "
+            f"DTLB miss={self.dtlb.miss_rate:.3%}",
+            f"avg ROB occupancy={self.average_rob_occupancy:.1f} "
+            f"precompute_hits={self.precompute_hits}",
+        ]
+        return "\n".join(lines)

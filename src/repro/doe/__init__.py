@@ -1,0 +1,91 @@
+"""Design-of-experiments substrate: Plackett-Burman, factorial, ANOVA.
+
+This package is the statistical machinery of the reproduction.  The
+public surface:
+
+* :func:`pb_design` / :func:`pb_matrix` — Plackett-Burman designs of
+  any constructible size, with foldover (paper Section 2.2).
+* :class:`DesignMatrix` — named, validated +-1 design matrices.
+* :func:`compute_effects` / :class:`EffectTable` / :func:`sum_of_ranks`
+  — the paper's effect and rank computations (Table 4, Table 9).
+* :func:`full_factorial_design` / :func:`anova` — the full
+  multifactorial technique of Table 1 and workflow step 3.
+* :func:`oat_design` — the one-at-a-time baseline the paper critiques.
+* :class:`GaloisField` — finite fields backing the Paley construction.
+"""
+
+from .anova import AnovaResult, EffectVariation, anova
+from .effects import (
+    EffectTable,
+    compute_effects,
+    interaction_effect,
+    rank_matrix,
+    significance_gap,
+    sum_of_ranks,
+)
+from .factorial import (
+    contrast_column,
+    effect_subsets,
+    full_factorial_design,
+    subset_label,
+)
+from .fractional import (
+    FractionalFactorial,
+    fractional_factorial,
+    half_fraction,
+)
+from .galois import GaloisField, is_prime, prime_power_decomposition
+from .lenth import (
+    LenthResult,
+    lenth_test,
+    pseudo_standard_error,
+    significant_by_lenth,
+)
+from .matrix import HIGH, LOW, DesignMatrix
+from .oat import design_cost, oat_design, oat_effects
+from .pb import (
+    dummy_factor_names,
+    next_multiple_of_four,
+    pb_design,
+    pb_design_size,
+    pb_matrix,
+    quadratic_residue_row,
+)
+
+__all__ = [
+    "AnovaResult",
+    "DesignMatrix",
+    "EffectTable",
+    "EffectVariation",
+    "FractionalFactorial",
+    "fractional_factorial",
+    "half_fraction",
+    "GaloisField",
+    "HIGH",
+    "LenthResult",
+    "lenth_test",
+    "pseudo_standard_error",
+    "significant_by_lenth",
+    "LOW",
+    "anova",
+    "compute_effects",
+    "contrast_column",
+    "design_cost",
+    "dummy_factor_names",
+    "effect_subsets",
+    "full_factorial_design",
+    "interaction_effect",
+    "is_prime",
+    "next_multiple_of_four",
+    "oat_design",
+    "oat_effects",
+    "pb_design",
+    "pb_design_size",
+    "pb_matrix",
+    "prime_power_decomposition",
+    "quadratic_residue_row",
+    "rank_matrix",
+    "significance_gap",
+    "subset_label",
+    "sum_of_ranks",
+]

@@ -1,0 +1,149 @@
+"""Analysis of variance for replicated 2^k full-factorial experiments.
+
+This is the "full multifactorial" technique of the paper's Table 1 (the
+paper cites Lilja, *Measuring Computer Performance*, for it) and step 3
+of the recommended workflow in Section 4.1: after the PB screening pass
+finds the critical parameters, an ANOVA over just those parameters
+quantifies each main effect, each interaction, and — with replicated
+measurements — the statistical significance of each via an F-test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .factorial import contrast_column, effect_subsets, subset_label
+from .matrix import DesignMatrix
+
+
+@dataclass(frozen=True)
+class EffectVariation:
+    """One row of an ANOVA table."""
+
+    label: str
+    subset: Tuple[str, ...]
+    effect: float  # classical effect estimate (high mean - low mean)
+    sum_of_squares: float
+    variation_fraction: float  # share of total variation explained
+    f_statistic: Optional[float]  # None without replication
+    p_value: Optional[float]
+
+
+@dataclass(frozen=True)
+class AnovaResult:
+    """Complete allocation-of-variation breakdown of a 2^k experiment."""
+
+    rows: Tuple[EffectVariation, ...]
+    total_sum_of_squares: float
+    error_sum_of_squares: float
+    error_degrees_of_freedom: int
+
+    def row(self, *subset: str) -> EffectVariation:
+        """Look up one effect by its factor subset (order-insensitive)."""
+        wanted = tuple(sorted(subset))
+        for row in self.rows:
+            if tuple(sorted(row.subset)) == wanted:
+                return row
+        raise KeyError(f"no effect for subset {subset}")
+
+    def variation_explained(self) -> Dict[str, float]:
+        """Mapping of effect label to fraction of variation explained."""
+        return {r.label: r.variation_fraction for r in self.rows}
+
+    def sorted_by_variation(self) -> List[EffectVariation]:
+        """Rows ordered by descending share of variation."""
+        return sorted(self.rows, key=lambda r: -r.variation_fraction)
+
+    def significant(self, alpha: float = 0.05) -> List[EffectVariation]:
+        """Rows whose F-test rejects at level ``alpha`` (needs replication)."""
+        out = []
+        for row in self.rows:
+            if row.p_value is not None and row.p_value < alpha:
+                out.append(row)
+        return out
+
+
+def _f_survival(f: float, dfn: int, dfd: int) -> float:
+    """P(F >= f) for the F distribution, via the regularized beta function."""
+    from scipy.special import betainc
+
+    if f <= 0:
+        return 1.0
+    x = dfd / (dfd + dfn * f)
+    return float(betainc(dfd / 2.0, dfn / 2.0, x))
+
+
+def anova(
+    design: DesignMatrix,
+    responses: Sequence[Sequence[float]],
+    *,
+    max_order: Optional[int] = None,
+) -> AnovaResult:
+    """Allocate the variation of a replicated 2^k experiment.
+
+    Parameters
+    ----------
+    design:
+        A full factorial design from :func:`full_factorial_design`.
+    responses:
+        Shape ``(runs, replications)`` — or ``(runs,)`` for a single
+        unreplicated measurement per run, in which case no F-tests are
+        possible and rows carry ``None`` for the statistic and p-value.
+    max_order:
+        Highest interaction order to report (all orders by default).
+        Variation of unreported higher-order interactions is left out
+        of the rows but still counted in the total, so fractions remain
+        comparable across calls.
+
+    Notes
+    -----
+    With the design orthogonal, ``SST = sum(SS_effect) + SSE`` exactly
+    (up to float rounding) when all orders are reported.
+    """
+    y = np.asarray(responses, dtype=np.float64)
+    if y.ndim == 1:
+        y = y[:, None]
+    if y.shape[0] != design.n_runs:
+        raise ValueError(f"expected {design.n_runs} response rows")
+    runs, reps = y.shape
+    if runs & (runs - 1):
+        raise ValueError("ANOVA here requires a full 2^k design")
+    cell_means = y.mean(axis=1)
+    grand_mean = float(y.mean())
+
+    sse = float(((y - cell_means[:, None]) ** 2).sum())
+    sst = float(((y - grand_mean) ** 2).sum())
+    error_df = runs * (reps - 1)
+
+    rows: List[EffectVariation] = []
+    mse = sse / error_df if error_df > 0 else None
+    for subset in effect_subsets(design.factor_names, max_order):
+        column = contrast_column(design, subset).astype(np.float64)
+        coefficient = float(column @ cell_means) / runs
+        effect = 2.0 * coefficient  # high-level mean minus low-level mean
+        ss = runs * reps * coefficient * coefficient
+        if mse is not None and mse > 0:
+            f_stat = ss / mse
+            p = _f_survival(f_stat, 1, error_df)
+        else:
+            f_stat, p = None, None
+        rows.append(
+            EffectVariation(
+                label=subset_label(subset),
+                subset=tuple(subset),
+                effect=effect,
+                sum_of_squares=ss,
+                variation_fraction=ss / sst if sst > 0 else 0.0,
+                f_statistic=f_stat,
+                p_value=p,
+            )
+        )
+    return AnovaResult(
+        rows=tuple(rows),
+        total_sum_of_squares=sst,
+        error_sum_of_squares=sse,
+        error_degrees_of_freedom=error_df,
+    )

@@ -1,0 +1,230 @@
+"""Effect computation and ranking for two-level designs.
+
+The paper computes a factor's *effect* by multiplying each run's
+response by that factor's +-1 entry for the run and summing (Section
+2.2, Table 4).  Only the magnitude of an effect is meaningful — the
+sign depends on the arbitrary orientation of "high" and "low" — so
+factors are *ranked* by ``|effect|`` with rank 1 for the largest.
+
+These ranks are the raw material of everything in Section 4: summed
+across benchmarks they identify key parameters (Table 9), collected
+into vectors they classify benchmarks (Table 10), and compared
+before/after an enhancement they explain its impact (Table 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from .matrix import DesignMatrix
+
+
+@dataclass(frozen=True)
+class EffectTable:
+    """Effects of every factor of one design on one response.
+
+    Attributes
+    ----------
+    factor_names:
+        Column names in design order.
+    effects:
+        Signed effect per factor, in the paper's un-normalized
+        convention (sum of ``entry * response`` over runs).
+    """
+
+    factor_names: Tuple[str, ...]
+    effects: Tuple[float, ...]
+    _by_name: Dict[str, float] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self):
+        object.__setattr__(
+            self, "_by_name", dict(zip(self.factor_names, self.effects))
+        )
+
+    def effect(self, factor: str) -> float:
+        """Signed effect of one factor."""
+        return self._by_name[factor]
+
+    def magnitude(self, factor: str) -> float:
+        """Absolute effect of one factor (the quantity that matters)."""
+        return abs(self._by_name[factor])
+
+    def relative_magnitude(self, factor: str) -> float:
+        """|effect| as a fraction of the largest |effect| in the table.
+
+        The paper's Section 4.1 warns that "the rank alone cannot be
+        used to measure the significance of a parameter's impact":
+        its example is art's FP square-root latency at rank 5 yet
+        "completely overshadowed" by ranks 1-4.  This quantity is the
+        overshadowing made visible: rank 5 with relative magnitude
+        0.02 is noise; rank 5 at 0.6 is a real contender.
+        """
+        largest = max(abs(e) for e in self.effects)
+        if largest == 0:
+            return 0.0
+        return abs(self._by_name[factor]) / largest
+
+    def ranks(self) -> Dict[str, int]:
+        """Competition-free ranks by |effect|: 1 = most significant.
+
+        Ties are broken by design column order so that every factor
+        receives a distinct rank, as in the paper's tables.
+        """
+        order = sorted(
+            range(len(self.effects)),
+            key=lambda i: (-abs(self.effects[i]), i),
+        )
+        ranks = {}
+        for rank, idx in enumerate(order, start=1):
+            ranks[self.factor_names[idx]] = rank
+        return ranks
+
+    def sorted_by_magnitude(self) -> List[Tuple[str, float]]:
+        """(factor, effect) pairs, most significant first."""
+        pairs = list(zip(self.factor_names, self.effects))
+        pairs.sort(key=lambda item: -abs(item[1]))
+        return pairs
+
+    def top(self, k: int) -> List[str]:
+        """The ``k`` most significant factor names."""
+        return [name for name, _ in self.sorted_by_magnitude()[:k]]
+
+
+def compute_effects(
+    design: DesignMatrix,
+    responses: Sequence[float],
+    *,
+    normalize: bool = False,
+) -> EffectTable:
+    """Compute every factor's effect from a design and its run responses.
+
+    Parameters
+    ----------
+    design:
+        The design matrix whose rows produced ``responses``.
+    responses:
+        One response value (e.g. simulated cycle count) per run, in row
+        order.
+    normalize:
+        If True, divide each effect by half the run count, turning the
+        paper's raw sums into the classical "average response at high
+        minus average response at low" effect estimate.  Ranks are
+        unaffected.
+
+    >>> from repro.doe import pb_design
+    >>> design = pb_design(7)
+    >>> table = compute_effects(design, [1, 9, 74, 28, 3, 6, 112, 84])
+    >>> round(table.effect("F1"))
+    -23
+    """
+    y = np.asarray(responses, dtype=np.float64)
+    if y.shape != (design.n_runs,):
+        raise ValueError(
+            f"expected {design.n_runs} responses, got {y.shape}"
+        )
+    raw = design.matrix.astype(np.float64).T @ y
+    if normalize:
+        raw = raw / (design.n_runs / 2.0)
+    return EffectTable(tuple(design.factor_names), tuple(float(v) for v in raw))
+
+
+def interaction_effect(
+    design: DesignMatrix,
+    responses: Sequence[float],
+    factor_a: str,
+    factor_b: str,
+    *,
+    normalize: bool = False,
+) -> float:
+    """Estimate a two-factor interaction from a (foldover) design.
+
+    The estimate is the dot product of the elementwise product column
+    with the responses.  In a non-foldover PB design this column is
+    aliased with main effects; the foldover design de-aliases it, which
+    is why the paper recommends foldover for its experiments.
+    """
+    y = np.asarray(responses, dtype=np.float64)
+    if y.shape != (design.n_runs,):
+        raise ValueError(
+            f"expected {design.n_runs} responses, got {y.shape}"
+        )
+    column = design.interaction_column(factor_a, factor_b).astype(np.float64)
+    value = float(column @ y)
+    if normalize:
+        value /= design.n_runs / 2.0
+    return value
+
+
+def sum_of_ranks(
+    tables: Mapping[str, EffectTable],
+) -> Dict[str, int]:
+    """Sum each factor's rank across several responses (benchmarks).
+
+    ``tables`` maps a benchmark name to its :class:`EffectTable`.  The
+    result maps each factor to the sum of its per-benchmark ranks —
+    low sums mark the parameters that matter across the whole suite
+    (the paper's Table 9 "Sum" column).
+    """
+    if not tables:
+        raise ValueError("need at least one effect table")
+    names = None
+    totals: Dict[str, int] = {}
+    for bench, table in tables.items():
+        if names is None:
+            names = table.factor_names
+        elif table.factor_names != names:
+            raise ValueError(
+                f"effect table for {bench!r} has mismatched factors"
+            )
+        for factor, rank in table.ranks().items():
+            totals[factor] = totals.get(factor, 0) + rank
+    return totals
+
+
+def rank_matrix(
+    tables: Mapping[str, EffectTable],
+) -> Tuple[List[str], List[str], np.ndarray]:
+    """Per-benchmark rank matrix in Table 9 layout.
+
+    Returns ``(factor_names, benchmark_names, ranks)`` where ``ranks``
+    has shape (factors, benchmarks) and rows are sorted by ascending
+    sum of ranks — exactly the presentation of the paper's Tables 9
+    and 12.
+    """
+    totals = sum_of_ranks(tables)
+    benchmarks = list(tables.keys())
+    factors = sorted(totals, key=lambda f: (totals[f], f))
+    per_bench_ranks = {b: tables[b].ranks() for b in benchmarks}
+    grid = np.empty((len(factors), len(benchmarks)), dtype=np.int64)
+    for i, factor in enumerate(factors):
+        for j, bench in enumerate(benchmarks):
+            grid[i, j] = per_bench_ranks[bench][factor]
+    return factors, benchmarks, grid
+
+
+def significance_gap(totals: Mapping[str, int]) -> Tuple[List[str], int]:
+    """Split factors into significant/rest at the largest sum-of-ranks gap.
+
+    The paper identifies the key parameters by eye: "the large
+    difference between the sum of the ranks of the tenth parameter and
+    the ... eleventh".  This helper formalizes that: factors are sorted
+    by ascending sum and the cut is placed at the largest consecutive
+    gap in the first half of the list (a gap deep in the insignificant
+    tail is noise, not a boundary).
+
+    Returns ``(significant_factors, cut_index)``.
+    """
+    ordered = sorted(totals, key=lambda f: (totals[f], f))
+    if len(ordered) < 2:
+        return list(ordered), len(ordered)
+    sums = [totals[f] for f in ordered]
+    search_end = max(1, len(ordered) // 2)
+    best_gap, best_cut = -1, 1
+    for i in range(search_end):
+        gap = sums[i + 1] - sums[i]
+        if gap > best_gap:
+            best_gap, best_cut = gap, i + 1
+    return ordered[:best_cut], best_cut

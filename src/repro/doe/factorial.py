@@ -1,0 +1,93 @@
+"""Full multifactorial (2^k) designs.
+
+The full factorial is the gold standard the paper positions at the
+expensive end of Table 1: ``2^N`` runs quantify every main effect *and*
+every interaction.  The paper's recommended workflow (Section 4.1,
+step 3) uses it — via ANOVA — on the small set of critical parameters
+that the PB screening pass identifies first.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .matrix import DesignMatrix
+
+
+def full_factorial_design(
+    n_factors: Optional[int] = None,
+    *,
+    factor_names: Optional[Sequence[str]] = None,
+) -> DesignMatrix:
+    """All ``2^k`` level combinations of ``k`` two-level factors.
+
+    Runs are ordered in standard (Yates) order: the first factor varies
+    fastest.
+
+    >>> full_factorial_design(2).matrix.tolist()
+    [[-1, -1], [1, -1], [-1, 1], [1, 1]]
+    """
+    if factor_names is not None:
+        factor_names = list(factor_names)
+        if n_factors is None:
+            n_factors = len(factor_names)
+        elif n_factors != len(factor_names):
+            raise ValueError("n_factors disagrees with factor_names length")
+    if n_factors is None or n_factors < 1:
+        raise ValueError("a design needs at least one factor")
+    if n_factors > 20:
+        raise ValueError(
+            f"2^{n_factors} runs is exactly the cost explosion the paper "
+            "warns about; use a Plackett-Burman screening design first"
+        )
+    runs = 1 << n_factors
+    matrix = np.empty((runs, n_factors), dtype=np.int8)
+    for j in range(n_factors):
+        period = 1 << j
+        column = np.tile(
+            np.concatenate(
+                [np.full(period, -1, np.int8), np.full(period, 1, np.int8)]
+            ),
+            runs // (2 * period),
+        )
+        matrix[:, j] = column
+    return DesignMatrix(matrix, factor_names)
+
+
+def effect_subsets(
+    factor_names: Sequence[str], max_order: Optional[int] = None
+) -> Iterator[Tuple[str, ...]]:
+    """All non-empty factor subsets (main effects and interactions).
+
+    ``max_order`` limits the interaction order (2 = main effects plus
+    pairwise interactions).
+    """
+    names = list(factor_names)
+    top = len(names) if max_order is None else min(max_order, len(names))
+    for order in range(1, top + 1):
+        yield from combinations(names, order)
+
+
+def contrast_column(
+    design: DesignMatrix, subset: Sequence[str]
+) -> np.ndarray:
+    """The +-1 contrast column for a main effect or interaction.
+
+    The column is the elementwise product of the subset's factor
+    columns; in a full factorial all such columns are mutually
+    orthogonal, which is what lets ANOVA cleanly split the variation.
+    """
+    if not subset:
+        raise ValueError("a contrast needs at least one factor")
+    column = np.ones(design.n_runs, dtype=np.int64)
+    for name in subset:
+        column = column * design.column(name)
+    return column
+
+
+def subset_label(subset: Sequence[str]) -> str:
+    """Canonical display name for an effect subset, e.g. ``A:B``."""
+    return ":".join(subset)

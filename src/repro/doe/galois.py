@@ -1,0 +1,261 @@
+"""Finite (Galois) field arithmetic for experimental-design construction.
+
+The Paley construction of Hadamard matrices — and therefore of
+Plackett-Burman designs of size ``X = q + 1`` — needs the quadratic
+character of a finite field GF(q).  For prime ``q`` this is the ordinary
+Legendre symbol; for prime powers (e.g. ``q = 27``, which yields the
+28-run design) full polynomial-basis field arithmetic is required.
+
+This module implements GF(p^n) from scratch:
+
+* elements are represented as integers ``0 .. q-1`` whose base-``p``
+  digits are the coefficients of a polynomial over GF(p);
+* multiplication reduces modulo a monic irreducible polynomial found by
+  exhaustive search (cheap at the sizes used for designs);
+* the quadratic character is computed as ``x^((q-1)/2)``.
+
+Only a handful of small fields are ever needed, so clarity is preferred
+over asymptotic cleverness throughout.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+
+def is_prime(n: int) -> bool:
+    """Return True if ``n`` is a prime number (deterministic trial division)."""
+    if n < 2:
+        return False
+    if n < 4:
+        return True
+    if n % 2 == 0:
+        return False
+    d = 3
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 2
+    return True
+
+
+def prime_power_decomposition(q: int) -> Optional[Tuple[int, int]]:
+    """Decompose ``q`` as ``p ** n`` with ``p`` prime, or return None.
+
+    >>> prime_power_decomposition(27)
+    (3, 3)
+    >>> prime_power_decomposition(43)
+    (43, 1)
+    >>> prime_power_decomposition(12) is None
+    True
+    """
+    if q < 2:
+        return None
+    p = 2
+    while p * p <= q:
+        if q % p == 0:
+            n = 0
+            m = q
+            while m % p == 0:
+                m //= p
+                n += 1
+            if m == 1:
+                return (p, n)
+            return None
+        p += 1
+    return (q, 1)  # q itself is prime
+
+
+def _poly_trim(coeffs: List[int]) -> List[int]:
+    """Strip trailing zero coefficients (highest-degree terms)."""
+    out = list(coeffs)
+    while out and out[-1] == 0:
+        out.pop()
+    return out
+
+
+def _poly_mul(a: List[int], b: List[int], p: int) -> List[int]:
+    """Multiply two polynomials with coefficients in GF(p)."""
+    if not a or not b:
+        return []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, ai in enumerate(a):
+        if ai == 0:
+            continue
+        for j, bj in enumerate(b):
+            out[i + j] = (out[i + j] + ai * bj) % p
+    return _poly_trim(out)
+
+
+def _poly_mod(a: List[int], m: List[int], p: int) -> List[int]:
+    """Reduce polynomial ``a`` modulo monic polynomial ``m`` over GF(p)."""
+    a = _poly_trim(a)
+    deg_m = len(m) - 1
+    while len(a) - 1 >= deg_m and a:
+        shift = len(a) - 1 - deg_m
+        factor = a[-1]
+        for i, mi in enumerate(m):
+            a[shift + i] = (a[shift + i] - factor * mi) % p
+        a = _poly_trim(a)
+    return a
+
+
+def _int_to_poly(x: int, p: int) -> List[int]:
+    """Base-``p`` digits of ``x``, least significant first."""
+    out = []
+    while x:
+        out.append(x % p)
+        x //= p
+    return out
+
+
+def _poly_to_int(coeffs: List[int], p: int) -> int:
+    out = 0
+    for c in reversed(_poly_trim(coeffs)):
+        out = out * p + c
+    return out
+
+
+def _find_irreducible(p: int, n: int) -> List[int]:
+    """Find a monic irreducible polynomial of degree ``n`` over GF(p).
+
+    Exhaustive search with trial division by every monic polynomial of
+    degree 1..n//2; fine for the tiny fields used by design construction.
+    """
+    if n == 1:
+        return [0, 1]  # x, any degree-1 monic is irreducible
+    # Candidate: x^n + (lower-degree part encoded by k).
+    for k in range(p ** n):
+        cand = _int_to_poly(k, p)
+        cand = cand + [0] * (n - len(cand)) + [1]  # make monic of degree n
+        if _is_irreducible(cand, p):
+            return cand
+    raise ArithmeticError(
+        f"no monic irreducible polynomial of degree {n} over GF({p})"
+    )
+
+
+def _is_irreducible(poly: List[int], p: int) -> bool:
+    """True if monic ``poly`` has no monic divisor of degree 1..deg//2."""
+    deg = len(poly) - 1
+    for d in range(1, deg // 2 + 1):
+        for k in range(p ** d):
+            div = _int_to_poly(k, p)
+            div = div + [0] * (d - len(div)) + [1]
+            if not _poly_mod(list(poly), div, p):
+                return False
+    return True
+
+
+class GaloisField:
+    """The finite field GF(q) for a prime power ``q``.
+
+    Elements are the integers ``0 .. q-1``.  For ``q = p**n`` with
+    ``n > 1``, an integer's base-``p`` digits are the coefficients of
+    its polynomial representation.
+
+    >>> f = GaloisField(7)
+    >>> f.mul(3, 5)
+    1
+    >>> f.quadratic_character(2)
+    1
+    >>> f.quadratic_character(3)
+    -1
+    """
+
+    def __init__(self, q: int):
+        decomp = prime_power_decomposition(q)
+        if decomp is None:
+            raise ValueError(f"{q} is not a prime power")
+        self.q = q
+        self.p, self.n = decomp
+        if self.n == 1:
+            self._modulus: Optional[List[int]] = None
+        else:
+            self._modulus = _find_irreducible(self.p, self.n)
+        self._squares: Optional[frozenset] = None
+
+    # -- element arithmetic -------------------------------------------------
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition."""
+        self._check(a)
+        self._check(b)
+        if self.n == 1:
+            return (a + b) % self.p
+        pa, pb = _int_to_poly(a, self.p), _int_to_poly(b, self.p)
+        length = max(len(pa), len(pb))
+        pa += [0] * (length - len(pa))
+        pb += [0] * (length - len(pb))
+        return _poly_to_int([(x + y) % self.p for x, y in zip(pa, pb)], self.p)
+
+    def neg(self, a: int) -> int:
+        """Additive inverse."""
+        self._check(a)
+        if self.n == 1:
+            return (-a) % self.p
+        pa = _int_to_poly(a, self.p)
+        return _poly_to_int([(-x) % self.p for x in pa], self.p)
+
+    def sub(self, a: int, b: int) -> int:
+        """Field subtraction ``a - b``."""
+        return self.add(a, self.neg(b))
+
+    def mul(self, a: int, b: int) -> int:
+        """Field multiplication."""
+        self._check(a)
+        self._check(b)
+        if self.n == 1:
+            return (a * b) % self.p
+        prod = _poly_mul(
+            _int_to_poly(a, self.p), _int_to_poly(b, self.p), self.p
+        )
+        assert self._modulus is not None
+        return _poly_to_int(_poly_mod(prod, self._modulus, self.p), self.p)
+
+    def pow(self, a: int, e: int) -> int:
+        """Field exponentiation by square-and-multiply."""
+        if e < 0:
+            return self.pow(self.inverse(a), -e)
+        result = 1
+        base = a
+        while e:
+            if e & 1:
+                result = self.mul(result, base)
+            base = self.mul(base, base)
+            e >>= 1
+        return result
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse via ``a^(q-2)``."""
+        if a == 0:
+            raise ZeroDivisionError("0 has no multiplicative inverse")
+        return self.pow(a, self.q - 2)
+
+    # -- structure ----------------------------------------------------------
+
+    def elements(self) -> range:
+        """All field elements as integers."""
+        return range(self.q)
+
+    def squares(self) -> frozenset:
+        """The set of nonzero quadratic residues."""
+        if self._squares is None:
+            self._squares = frozenset(
+                self.mul(x, x) for x in range(1, self.q)
+            )
+        return self._squares
+
+    def quadratic_character(self, a: int) -> int:
+        """Return +1 for a nonzero square, -1 for a nonsquare, 0 for 0."""
+        self._check(a)
+        if a == 0:
+            return 0
+        return 1 if a in self.squares() else -1
+
+    def _check(self, a: int) -> None:
+        if not 0 <= a < self.q:
+            raise ValueError(f"{a} is not an element of GF({self.q})")
+
+    def __repr__(self) -> str:
+        return f"GaloisField({self.q})"

@@ -1,0 +1,141 @@
+"""Lenth's method: significance testing for unreplicated designs.
+
+The paper identifies the "significant" parameters by eyeballing the
+jump in the sum-of-ranks column.  The statistics literature has a
+formal tool for exactly this situation — an unreplicated two-level
+design with no error degrees of freedom — in Lenth (1989):
+
+1. estimate the effect scale robustly:
+   ``s0 = 1.5 * median(|effect|)``;
+2. re-estimate using only effects plausibly null:
+   ``PSE = 1.5 * median(|effect| : |effect| < 2.5 * s0)``
+   (the *pseudo standard error*);
+3. an effect is significant when ``|effect| / PSE`` exceeds the margin
+   of error ``t(0.975, d) `` with ``d = m / 3`` degrees of freedom for
+   ``m`` effects.
+
+This module implements the method on :class:`EffectTable` objects, so
+a PB screen can report statistically-backed significance per benchmark
+in addition to the paper's cross-benchmark rank heuristic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from .effects import EffectTable
+
+
+def pseudo_standard_error(effects: Sequence[float]) -> float:
+    """Lenth's PSE: a robust scale estimate from the effects alone."""
+    magnitudes = np.abs(np.asarray(effects, dtype=np.float64))
+    if len(magnitudes) < 3:
+        raise ValueError("Lenth's method needs at least 3 effects")
+    s0 = 1.5 * float(np.median(magnitudes))
+    if s0 == 0.0:
+        return 0.0
+    trimmed = magnitudes[magnitudes < 2.5 * s0]
+    if len(trimmed) == 0:
+        return s0
+    return 1.5 * float(np.median(trimmed))
+
+
+def _t_quantile(p: float, dof: float) -> float:
+    """Student-t quantile via scipy when available, else a Cornish-
+    Fisher style normal correction (adequate for dof >= 3)."""
+    try:
+        from scipy.stats import t
+
+        return float(t.ppf(p, dof))
+    except ImportError:  # pragma: no cover - scipy is a soft dep
+        from math import sqrt
+
+        # Abramowitz & Stegun 26.7.5 expansion around the normal.
+        z = _normal_quantile(p)
+        g1 = (z ** 3 + z) / 4.0
+        g2 = (5 * z ** 5 + 16 * z ** 3 + 3 * z) / 96.0
+        return z + g1 / dof + g2 / dof ** 2
+
+
+def _normal_quantile(p: float) -> float:
+    """Standard normal quantile (Acklam's rational approximation)."""
+    # Only used in the scipy-free fallback path.
+    from math import sqrt, log
+
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    # Symmetry
+    if p < 0.5:
+        return -_normal_quantile(1.0 - p)
+    q = sqrt(-2.0 * log(1.0 - p))
+    return q - (2.515517 + 0.802853 * q + 0.010328 * q * q) / (
+        1.0 + 1.432788 * q + 0.189269 * q * q + 0.001308 * q ** 3
+    )
+
+
+@dataclass(frozen=True)
+class LenthResult:
+    """Outcome of Lenth's test on one effect table."""
+
+    pse: float
+    margin_of_error: float            # PSE * t(0.975, m/3)
+    t_ratios: Tuple[float, ...]       # effect / PSE, per factor
+    factor_names: Tuple[str, ...]
+
+    def significant_factors(self) -> List[str]:
+        """Factors whose |t-ratio| exceeds the margin threshold."""
+        if self.pse == 0.0:
+            return []
+        threshold = self.margin_of_error / self.pse
+        return [
+            name
+            for name, ratio in zip(self.factor_names, self.t_ratios)
+            if abs(ratio) > threshold
+        ]
+
+    def t_ratio(self, factor: str) -> float:
+        return self.t_ratios[self.factor_names.index(factor)]
+
+
+def lenth_test(table: EffectTable, alpha: float = 0.05) -> LenthResult:
+    """Apply Lenth's method to one benchmark's effect table.
+
+    Returns the PSE, the margin of error at level ``alpha`` and the
+    per-factor t-like ratios; dummy-factor effects participate exactly
+    like real factors (they *should* land below the margin — a useful
+    self-check of the whole experiment).
+    """
+    effects = np.asarray(table.effects, dtype=np.float64)
+    pse = pseudo_standard_error(effects)
+    m = len(effects)
+    dof = max(1.0, m / 3.0)
+    t_crit = _t_quantile(1.0 - alpha / 2.0, dof)
+    margin = pse * t_crit
+    ratios = tuple(
+        float(e / pse) if pse else 0.0 for e in effects
+    )
+    return LenthResult(pse, margin, ratios, table.factor_names)
+
+
+def significant_by_lenth(
+    tables: Dict[str, EffectTable],
+    alpha: float = 0.05,
+    min_benchmarks: int = 1,
+) -> List[str]:
+    """Factors Lenth-significant on at least ``min_benchmarks`` tables.
+
+    A cross-benchmark complement to the paper's sum-of-ranks rule: a
+    parameter counts if its effect clears the statistical bar on
+    enough individual benchmarks.
+    """
+    counts: Dict[str, int] = {}
+    for table in tables.values():
+        for factor in lenth_test(table, alpha).significant_factors():
+            counts[factor] = counts.get(factor, 0) + 1
+    return sorted(
+        (f for f, c in counts.items() if c >= min_benchmarks),
+        key=lambda f: -counts[f],
+    )

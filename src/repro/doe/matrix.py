@@ -1,0 +1,154 @@
+"""Two-level design matrices.
+
+A design matrix is the central object of this library: an ``R x C``
+array of +1/-1 entries where each row is one *run* (a simulator
+configuration) and each column is one *factor* (a processor parameter).
+``DesignMatrix`` wraps the raw array with factor names, validation, and
+the handful of structural operations the methodology needs (foldover,
+column selection, run enumeration).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+HIGH = 1
+LOW = -1
+
+
+class DesignMatrix:
+    """An ``R x C`` matrix of +-1 entries with named factor columns.
+
+    Parameters
+    ----------
+    matrix:
+        Array-like of shape (runs, factors) containing only +1 and -1.
+    factor_names:
+        Optional column names; defaults to ``F1 .. Fc``.  Names must be
+        unique and match the column count.
+    """
+
+    def __init__(
+        self,
+        matrix: Sequence[Sequence[int]],
+        factor_names: Optional[Sequence[str]] = None,
+    ):
+        arr = np.asarray(matrix, dtype=np.int8)
+        if arr.ndim != 2:
+            raise ValueError("design matrix must be two-dimensional")
+        if not np.isin(arr, (HIGH, LOW)).all():
+            raise ValueError("design matrix entries must be +1 or -1")
+        self._matrix = arr
+        if factor_names is None:
+            factor_names = [f"F{i + 1}" for i in range(arr.shape[1])]
+        factor_names = list(factor_names)
+        if len(factor_names) != arr.shape[1]:
+            raise ValueError(
+                f"{len(factor_names)} factor names for {arr.shape[1]} columns"
+            )
+        if len(set(factor_names)) != len(factor_names):
+            raise ValueError("factor names must be unique")
+        self.factor_names = factor_names
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying +-1 array (do not mutate)."""
+        return self._matrix
+
+    @property
+    def n_runs(self) -> int:
+        return self._matrix.shape[0]
+
+    @property
+    def n_factors(self) -> int:
+        return self._matrix.shape[1]
+
+    def column(self, factor: str) -> np.ndarray:
+        """The +-1 column for a named factor."""
+        return self._matrix[:, self._index(factor)]
+
+    def run(self, i: int) -> Dict[str, int]:
+        """Run ``i`` as a ``{factor_name: +-1}`` mapping."""
+        row = self._matrix[i]
+        return dict(zip(self.factor_names, (int(v) for v in row)))
+
+    def runs(self) -> Iterator[Dict[str, int]]:
+        """Iterate over all runs as factor->level mappings."""
+        for i in range(self.n_runs):
+            yield self.run(i)
+
+    def _index(self, factor: str) -> int:
+        try:
+            return self.factor_names.index(factor)
+        except ValueError:
+            raise KeyError(f"unknown factor {factor!r}") from None
+
+    # -- structural properties ----------------------------------------------
+
+    def is_balanced(self) -> bool:
+        """True if every column has equally many +1s and -1s."""
+        return bool((self._matrix.sum(axis=0) == 0).all())
+
+    def is_orthogonal(self) -> bool:
+        """True if all pairs of distinct columns are orthogonal."""
+        gram = self._matrix.astype(np.int64).T @ self._matrix.astype(np.int64)
+        off_diagonal = gram - np.diag(np.diag(gram))
+        return bool((off_diagonal == 0).all())
+
+    # -- derived designs ----------------------------------------------------
+
+    def foldover(self) -> "DesignMatrix":
+        """Return this design augmented with its sign-reversed mirror.
+
+        The foldover doubles the run count and de-aliases main effects
+        from two-factor interactions (Montgomery 1991); it is the form
+        the paper uses for all its experiments (Table 3).
+        """
+        folded = np.vstack([self._matrix, -self._matrix])
+        return DesignMatrix(folded, self.factor_names)
+
+    def with_factor_names(self, names: Sequence[str]) -> "DesignMatrix":
+        """A copy of this design with different column names.
+
+        If fewer names than columns are given, the remaining columns are
+        labelled as dummy factors — exactly how the paper handles
+        ``N < X - 1`` (its Table 9 carries "Dummy Factor #1/#2").
+        """
+        names = list(names)
+        if len(names) > self.n_factors:
+            raise ValueError(
+                f"{len(names)} names exceed {self.n_factors} design columns"
+            )
+        n_dummies = self.n_factors - len(names)
+        full = names + [f"Dummy Factor #{i + 1}" for i in range(n_dummies)]
+        return DesignMatrix(self._matrix, full)
+
+    def interaction_column(self, factor_a: str, factor_b: str) -> np.ndarray:
+        """Elementwise product column used to estimate an interaction."""
+        return self.column(factor_a) * self.column(factor_b)
+
+    # -- dunder -------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DesignMatrix):
+            return NotImplemented
+        return (
+            self.factor_names == other.factor_names
+            and np.array_equal(self._matrix, other._matrix)
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DesignMatrix(runs={self.n_runs}, factors={self.n_factors})"
+        )
+
+    def to_lines(self) -> List[str]:
+        """Render the matrix as the paper renders it: '+1'/'-1' cells."""
+        return [
+            " ".join(f"{v:+d}".replace("+1", "+1").rjust(2) for v in row)
+            for row in self._matrix
+        ]

@@ -1,0 +1,95 @@
+"""One-at-a-time experimental designs.
+
+This is the ad-hoc "simple sensitivity analysis" the paper argues
+*against* (Section 2.1, Table 1): hold every factor at a baseline level
+and flip a single factor per run, for ``N + 1`` total runs.  It is
+implemented here as the baseline the methodology is compared with —
+the Table 1 bench contrasts its run count and blindness to interactions
+against the PB and full-factorial designs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .matrix import DesignMatrix
+
+
+def oat_design(
+    n_factors: Optional[int] = None,
+    *,
+    factor_names: Optional[Sequence[str]] = None,
+    baseline: int = -1,
+) -> DesignMatrix:
+    """Build a one-at-a-time design: baseline run + one flip per factor.
+
+    Parameters
+    ----------
+    n_factors:
+        Number of factors (or pass ``factor_names``).
+    baseline:
+        Level (+1 or -1) every factor takes in the baseline run; each
+        subsequent run flips exactly one factor to the other level.
+
+    >>> oat_design(3).n_runs
+    4
+    """
+    if factor_names is not None:
+        factor_names = list(factor_names)
+        if n_factors is None:
+            n_factors = len(factor_names)
+        elif n_factors != len(factor_names):
+            raise ValueError("n_factors disagrees with factor_names length")
+    if n_factors is None or n_factors < 1:
+        raise ValueError("a design needs at least one factor")
+    if baseline not in (-1, 1):
+        raise ValueError("baseline level must be +1 or -1")
+    matrix = np.full((n_factors + 1, n_factors), baseline, dtype=np.int8)
+    for i in range(n_factors):
+        matrix[i + 1, i] = -baseline
+    return DesignMatrix(matrix, factor_names)
+
+
+def oat_effects(
+    design: DesignMatrix, responses: Sequence[float]
+) -> Dict[str, float]:
+    """Single-difference effect estimates from a one-at-a-time design.
+
+    Each factor's effect is ``response(flip run) - response(baseline)``
+    — one observation per factor, at one fixed level of everything
+    else, which is precisely the weakness Section 2.1 describes.
+    """
+    y = np.asarray(responses, dtype=np.float64)
+    if y.shape != (design.n_runs,):
+        raise ValueError(f"expected {design.n_runs} responses")
+    baseline_row = design.matrix[0]
+    effects: Dict[str, float] = {}
+    for j, name in enumerate(design.factor_names):
+        flip_rows = np.where(design.matrix[:, j] != baseline_row[j])[0]
+        if len(flip_rows) != 1:
+            raise ValueError("not a one-at-a-time design")
+        effects[name] = float(y[flip_rows[0]] - y[0])
+    return effects
+
+
+def design_cost(kind: str, n_factors: int, levels: int = 2) -> int:
+    """Run count of each design family for Table 1's comparison.
+
+    ``kind`` is one of ``"one-at-a-time"``, ``"plackett-burman"``,
+    ``"plackett-burman-foldover"``, or ``"full-factorial"``.
+    """
+    from .pb import pb_design_size
+
+    if n_factors < 1:
+        raise ValueError("need at least one factor")
+    if kind == "one-at-a-time":
+        return n_factors + 1
+    if kind == "plackett-burman":
+        return pb_design_size(n_factors)
+    if kind == "plackett-burman-foldover":
+        return 2 * pb_design_size(n_factors)
+    if kind == "full-factorial":
+        return levels ** n_factors
+    raise ValueError(f"unknown design kind {kind!r}")

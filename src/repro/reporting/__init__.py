@@ -1,0 +1,42 @@
+"""Text and markdown renderers for every table of the paper."""
+
+from .halfnormal import half_normal_points, render_half_normal
+from .markdown import (
+    distance_markdown,
+    enhancement_markdown,
+    groups_markdown,
+    markdown_table,
+    parameters_markdown,
+    ranking_markdown,
+)
+from .tables import (
+    format_table,
+    render_design_cost_table,
+    render_design_matrix,
+    render_distance_matrix,
+    render_effects,
+    render_enhancement,
+    render_groups,
+    render_parameter_values,
+    render_ranking,
+)
+
+__all__ = [
+    "distance_markdown",
+    "enhancement_markdown",
+    "format_table",
+    "groups_markdown",
+    "half_normal_points",
+    "render_half_normal",
+    "markdown_table",
+    "parameters_markdown",
+    "ranking_markdown",
+    "render_design_cost_table",
+    "render_design_matrix",
+    "render_distance_matrix",
+    "render_effects",
+    "render_enhancement",
+    "render_groups",
+    "render_parameter_values",
+    "render_ranking",
+]

@@ -1,0 +1,86 @@
+"""Text half-normal plots of Plackett-Burman effects.
+
+The half-normal plot is the classical graphical companion to Lenth's
+method: |effects| are sorted and plotted against half-normal quantiles;
+null effects fall on a line through the origin and real effects peel
+off to the right.  This renderer draws the plot in plain text so the
+diagnostic works in a terminal or a log file, and labels the points
+that Lenth's test flags as significant.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+from typing import List, Sequence, Tuple
+
+from repro.doe.effects import EffectTable
+from repro.doe.lenth import lenth_test
+
+
+def _half_normal_quantile(p: float) -> float:
+    """Quantile of |Z| for standard normal Z (via the normal quantile)."""
+    from repro.doe.lenth import _normal_quantile
+
+    return _normal_quantile((1.0 + p) / 2.0)
+
+
+def half_normal_points(
+    table: EffectTable,
+) -> List[Tuple[float, float, str]]:
+    """(quantile, |effect|, factor) triples in plotting order."""
+    pairs = sorted(
+        zip((abs(e) for e in table.effects), table.factor_names)
+    )
+    m = len(pairs)
+    out = []
+    for i, (magnitude, name) in enumerate(pairs):
+        p = (i + 0.5) / m
+        out.append((_half_normal_quantile(p), magnitude, name))
+    return out
+
+
+def render_half_normal(
+    table: EffectTable,
+    *,
+    width: int = 60,
+    height: int = 18,
+    alpha: float = 0.05,
+    title: str = "Half-normal plot of |effects|",
+) -> str:
+    """Render the half-normal plot as ASCII art.
+
+    Significant factors (per Lenth's test at ``alpha``) are drawn as
+    ``*`` and listed beneath the plot; null-looking effects are ``.``.
+    """
+    points = half_normal_points(table)
+    if not points:
+        raise ValueError("no effects to plot")
+    significant = set(lenth_test(table, alpha).significant_factors())
+    max_q = max(q for q, _, _ in points) or 1.0
+    max_m = max(m for _, m, _ in points) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    labelled: List[Tuple[str, float]] = []
+    for q, magnitude, name in points:
+        x = min(width - 1, int(q / max_q * (width - 1)))
+        y = min(height - 1, int(magnitude / max_m * (height - 1)))
+        row = height - 1 - y
+        mark = "*" if name in significant else "."
+        grid[row][x] = mark
+        if name in significant:
+            labelled.append((name, magnitude))
+
+    lines = [title]
+    lines.append(f"|effect| (max {max_m:.3g})")
+    lines.extend("  |" + "".join(row) for row in grid)
+    lines.append("  +" + "-" * width)
+    lines.append("   half-normal quantile ->")
+    if labelled:
+        lines.append("significant (Lenth, alpha="
+                     f"{alpha:g}):")
+        for name, magnitude in sorted(labelled, key=lambda t: -t[1]):
+            lines.append(f"  * {name} (|effect| {magnitude:.3g})")
+    else:
+        lines.append("no significant effects at alpha="
+                     f"{alpha:g}")
+    return "\n".join(lines)

@@ -1,0 +1,90 @@
+"""Markdown renderings of the paper's tables.
+
+Mirrors :mod:`repro.reporting.tables` but emits GitHub-flavoured
+markdown, for dropping regenerated exhibits straight into documents
+like EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.classification import distance_matrix, group_benchmarks
+from repro.core.enhancement import EnhancementAnalysis
+from repro.core.parameter_selection import ParameterRanking
+from repro.cpu.params import PARAMETER_SPACE
+
+
+def markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    align_first_left: bool = True,
+) -> str:
+    """A GitHub-flavoured markdown table."""
+    cells = [[_escape(str(c)) for c in row] for row in rows]
+    head = "| " + " | ".join(_escape(str(h)) for h in headers) + " |"
+    marks = []
+    for i in range(len(headers)):
+        marks.append(":--" if (i == 0 and align_first_left) else "--:")
+    sep = "| " + " | ".join(marks) + " |"
+    body = ["| " + " | ".join(row) + " |" for row in cells]
+    return "\n".join([head, sep] + body)
+
+
+def _escape(text: str) -> str:
+    return text.replace("|", "\\|")
+
+
+def ranking_markdown(
+    ranking: ParameterRanking, top: Optional[int] = None
+) -> str:
+    """Tables 9/12 as markdown (optionally truncated to the top rows)."""
+    headers = ["Parameter"] + list(ranking.benchmarks) + ["Sum"]
+    rows = []
+    factors = ranking.factors[:top] if top else ranking.factors
+    for i, factor in enumerate(factors):
+        rows.append(
+            [factor]
+            + [int(v) for v in ranking.ranks[i]]
+            + [ranking.sums[i]]
+        )
+    return markdown_table(headers, rows)
+
+
+def distance_markdown(ranking: ParameterRanking) -> str:
+    """Table 10 as markdown."""
+    names, dist = distance_matrix(ranking)
+    headers = [""] + list(names)
+    rows = [
+        [names[i]] + [f"{dist[i, j]:.1f}" for j in range(len(names))]
+        for i in range(len(names))
+    ]
+    return markdown_table(headers, rows)
+
+
+def groups_markdown(ranking: ParameterRanking, threshold: float) -> str:
+    """Table 11 as markdown."""
+    rows = [[", ".join(group)]
+            for group in group_benchmarks(ranking, threshold)]
+    return markdown_table([f"Groups (threshold {threshold:.1f})"], rows)
+
+
+def enhancement_markdown(analysis: EnhancementAnalysis,
+                         top: int = 10) -> str:
+    """§4.3 shift table as markdown."""
+    rows = [
+        [s.factor, s.sum_before, s.sum_after, f"{s.shift:+d}"]
+        for s in analysis.shifts()[:top]
+    ]
+    return markdown_table(
+        ["Parameter", "Sum before", "Sum after", "Shift"], rows
+    )
+
+
+def parameters_markdown() -> str:
+    """Tables 6-8 as markdown."""
+    rows = [[spec.name, spec.low, spec.high] for spec in PARAMETER_SPACE]
+    return markdown_table(
+        ["Parameter", "Low/Off Value", "High/On Value"], rows
+    )

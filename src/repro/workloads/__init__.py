@@ -1,0 +1,57 @@
+"""Synthetic SPEC 2000-like workloads (the MinneSPEC substitute).
+
+Public surface:
+
+* :class:`Trace` — packed dynamic instruction streams;
+* :class:`WorkloadProfile` / :class:`SyntheticProgram` /
+  :func:`generate_trace` — the statistical workload generator;
+* :data:`PROFILES` / :func:`benchmark_trace` / :func:`benchmark_suite`
+  — the thirteen named benchmarks of the paper's Table 5.
+"""
+
+from .profiles import (
+    BENCHMARK_NAMES,
+    INSTRUCTIONS_PER_MILLION,
+    PAPER_INSTRUCTION_COUNTS_M,
+    PROFILES,
+    benchmark_suite,
+    benchmark_trace,
+    default_length,
+    profile,
+)
+from .characterize import (
+    BranchProfile,
+    FootprintProfile,
+    branch_profile,
+    characterization_report,
+    characterize,
+    footprint_profile,
+    miss_rate_curve,
+)
+from .io import load_trace, save_trace
+from .synthetic import SyntheticProgram, WorkloadProfile, generate_trace
+from .trace import Trace
+
+__all__ = [
+    "BENCHMARK_NAMES",
+    "BranchProfile",
+    "FootprintProfile",
+    "branch_profile",
+    "characterization_report",
+    "characterize",
+    "footprint_profile",
+    "miss_rate_curve",
+    "INSTRUCTIONS_PER_MILLION",
+    "PAPER_INSTRUCTION_COUNTS_M",
+    "PROFILES",
+    "SyntheticProgram",
+    "Trace",
+    "WorkloadProfile",
+    "benchmark_suite",
+    "benchmark_trace",
+    "default_length",
+    "generate_trace",
+    "load_trace",
+    "profile",
+    "save_trace",
+]

@@ -1,0 +1,165 @@
+"""Workload characterization: the classical curves behind the ranks.
+
+The paper classifies benchmarks by PB rank vectors; the traditional
+approach characterizes them directly — instruction mixes, miss-rate
+versus cache size curves, working-set and page-footprint counts,
+branch statistics.  This module computes those classical metrics from
+a trace, which is useful both for sanity-checking the synthetic
+profiles against their SPEC role models and for interpreting *why* a
+benchmark's rank vector looks the way it does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.cache import Cache
+from repro.cpu.isa import BranchKind, OpClass
+from repro.cpu.memory import MainMemory
+
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Control-flow statistics of a trace."""
+
+    branches: int
+    taken_fraction: float
+    conditional_fraction: float
+    call_fraction: float
+    return_fraction: float
+    unique_sites: int
+
+    @property
+    def dynamic_per_static(self) -> float:
+        """Average executions per static branch site."""
+        return self.branches / self.unique_sites if self.unique_sites \
+            else 0.0
+
+
+def branch_profile(trace: Trace) -> BranchProfile:
+    """Summarize a trace's branches."""
+    is_branch = trace.op == int(OpClass.BRANCH)
+    n = int(is_branch.sum())
+    if n == 0:
+        return BranchProfile(0, 0.0, 0.0, 0.0, 0.0, 0)
+    kinds = trace.branch_kind[is_branch]
+    return BranchProfile(
+        branches=n,
+        taken_fraction=float(trace.taken[is_branch].mean()),
+        conditional_fraction=float(
+            (kinds == int(BranchKind.CONDITIONAL)).mean()
+        ),
+        call_fraction=float((kinds == int(BranchKind.CALL)).mean()),
+        return_fraction=float((kinds == int(BranchKind.RETURN)).mean()),
+        unique_sites=len(np.unique(trace.pc[is_branch])),
+    )
+
+
+@dataclass(frozen=True)
+class FootprintProfile:
+    """Touched-memory statistics of a trace."""
+
+    code_bytes: int            # distinct instruction bytes (block granular)
+    data_bytes: int            # distinct data bytes (block granular)
+    data_pages: int            # distinct 4 KB data pages
+    code_pages: int
+    memory_references: int
+
+
+def footprint_profile(trace: Trace, block: int = 32,
+                      page: int = 4096) -> FootprintProfile:
+    """Count the trace's touched code/data footprints."""
+    data = trace.mem_addr[trace.mem_addr >= 0]
+    return FootprintProfile(
+        code_bytes=len(np.unique(trace.pc // block)) * block,
+        data_bytes=len(np.unique(data // block)) * block if len(data)
+        else 0,
+        data_pages=len(np.unique(data // page)) if len(data) else 0,
+        code_pages=len(np.unique(trace.pc // page)),
+        memory_references=int(len(data)),
+    )
+
+
+def miss_rate_curve(
+    trace: Trace,
+    sizes: Sequence[int] = (4096, 8192, 16384, 32768, 65536, 131072),
+    *,
+    assoc: int = 4,
+    block: int = 32,
+    stream: str = "data",
+) -> List[Tuple[int, float]]:
+    """Demand miss rate of an isolated cache across sizes.
+
+    ``stream`` selects the reference stream: ``"data"`` replays
+    loads/stores, ``"code"`` replays instruction-block fetches.  The
+    result is the classical miss-rate-vs-capacity curve whose knee
+    tells you which of the paper's cache-size levels a benchmark can
+    tell apart.
+    """
+    if stream == "data":
+        refs = trace.mem_addr[trace.mem_addr >= 0]
+        writes = trace.op[trace.mem_addr >= 0] == int(OpClass.STORE)
+    elif stream == "code":
+        pcs = trace.pc
+        keep = np.empty(len(pcs), dtype=bool)
+        keep[0] = True
+        keep[1:] = (pcs[1:] // block) != (pcs[:-1] // block)
+        refs = pcs[keep]
+        writes = np.zeros(len(refs), dtype=bool)
+    else:
+        raise ValueError("stream must be 'data' or 'code'")
+    out: List[Tuple[int, float]] = []
+    for size in sizes:
+        memory = MainMemory(100, 2, 8)
+        cache = Cache(size, assoc, block, 1, memory)
+        for addr, write in zip(refs, writes):
+            cache.access(int(addr), write=bool(write))
+        # Replay once more so compulsory misses don't dominate short
+        # traces (mirrors the simulator's functional warmup).
+        cache.reset_stats()
+        for addr, write in zip(refs, writes):
+            cache.access(int(addr), write=bool(write))
+        out.append((size, cache.stats.miss_rate))
+    return out
+
+
+def characterize(trace: Trace) -> Dict[str, object]:
+    """One-call characterization bundle for a trace."""
+    return {
+        "name": trace.name,
+        "instructions": len(trace),
+        "mix": trace.instruction_mix(),
+        "branches": branch_profile(trace),
+        "footprint": footprint_profile(trace),
+        "l1d_curve": miss_rate_curve(trace),
+        "l1i_curve": miss_rate_curve(trace, stream="code"),
+    }
+
+
+def characterization_report(trace: Trace) -> str:
+    """A readable characterization of one trace."""
+    c = characterize(trace)
+    b: BranchProfile = c["branches"]
+    f: FootprintProfile = c["footprint"]
+    mix = ", ".join(f"{k} {v:.1%}" for k, v in sorted(c["mix"].items()))
+    lines = [
+        f"{c['name']}: {c['instructions']} instructions",
+        f"  mix: {mix}",
+        f"  branches: {b.branches} ({b.taken_fraction:.0%} taken, "
+        f"{b.unique_sites} sites, "
+        f"{b.dynamic_per_static:.0f} execs/site)",
+        f"  footprint: code {f.code_bytes // 1024} KB, "
+        f"data {f.data_bytes // 1024} KB over {f.data_pages} pages",
+        "  L1D miss-rate curve (warm): " + "  ".join(
+            f"{size // 1024}K:{rate:.1%}" for size, rate in c["l1d_curve"]
+        ),
+        "  L1I miss-rate curve (warm): " + "  ".join(
+            f"{size // 1024}K:{rate:.1%}" for size, rate in c["l1i_curve"]
+        ),
+    ]
+    return "\n".join(lines)

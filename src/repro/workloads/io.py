@@ -1,0 +1,68 @@
+"""Saving and loading traces.
+
+Traces are plain structure-of-arrays, so they serialize naturally to
+compressed ``.npz`` archives.  This lets expensive generated workloads
+(or externally converted ones — any tool that can emit the nine arrays
+can feed the simulator) be reused across sessions and shared between
+machines.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .trace import Trace
+
+#: Archive format version, stored alongside the arrays.
+FORMAT_VERSION = 1
+
+_FIELDS = (
+    "pc", "op", "src1", "src2", "dst", "mem_addr",
+    "branch_kind", "taken", "target", "redundancy_key",
+)
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write a trace to a compressed ``.npz`` archive.
+
+    The benchmark name and a format version travel with the arrays, so
+    :func:`load_trace` can validate what it reads.
+    """
+    arrays = {field: getattr(trace, field) for field in _FIELDS}
+    np.savez_compressed(
+        path,
+        __version__=np.int64(FORMAT_VERSION),
+        __name__=np.bytes_(trace.name.encode("utf-8")),
+        **arrays,
+    )
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Read a trace archive written by :func:`save_trace`.
+
+    The loaded trace is validated structurally before being returned,
+    so a corrupt or hand-rolled archive fails loudly here rather than
+    deep inside a simulation.
+    """
+    with np.load(path) as archive:
+        try:
+            version = int(archive["__version__"])
+        except KeyError:
+            raise ValueError(f"{path}: not a repro trace archive") from None
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: trace format v{version}, expected "
+                f"v{FORMAT_VERSION}"
+            )
+        name = bytes(archive["__name__"]).decode("utf-8")
+        arrays = {}
+        for field in _FIELDS:
+            if field not in archive:
+                raise ValueError(f"{path}: missing array {field!r}")
+            arrays[field] = archive[field]
+    trace = Trace(name=name, **arrays)
+    trace.validate()
+    return trace

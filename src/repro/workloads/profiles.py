@@ -1,0 +1,364 @@
+"""The thirteen SPEC 2000-like benchmark profiles.
+
+Table 5 of the paper lists the benchmarks (MinneSPEC large reduced
+inputs, run to completion).  Each profile below is tuned so the
+machine-level *fingerprint* — which parameters its Plackett-Burman
+column ranks highly — matches what Table 9 reports for the real
+benchmark:
+
+* ``gzip``/``bzip2`` — integer compute, window-sized working sets,
+  branch-heavy inner loops (ROB, branch predictor, Int ALUs high);
+* ``vpr-Place``/``twolf`` — placement/annealing codes with large
+  instruction footprints and moderate data (L1 I-cache dominant; the
+  paper measures them as each other's nearest neighbours);
+* ``vpr-Route``/``parser`` — pointer-walking integer codes with
+  L2-sized data;
+* ``gcc``/``vortex`` — huge code footprints, deep call chains
+  (I-cache and call/return machinery);
+* ``mesa`` — FP rendering with a large instruction working set and
+  predictable-but-frequent branches;
+* ``art``/``ammp``/``equake`` — FP floating-point codes whose data
+  streams past every cache (memory latency/bandwidth/L2 size);
+* ``mcf`` — the classic pointer-chasing, TLB-thrashing memory hog.
+
+Relative dynamic instruction counts follow Table 5 (gcc longest at
+4040.7M, mcf shortest at 601.2M), scaled down by
+``INSTRUCTIONS_PER_MILLION``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+from .synthetic import SyntheticProgram, WorkloadProfile
+from .trace import Trace
+
+#: Dynamic instruction counts from Table 5, in millions.
+PAPER_INSTRUCTION_COUNTS_M: Dict[str, float] = {
+    "gzip": 1364.2,
+    "vpr-Place": 1521.7,
+    "vpr-Route": 881.1,
+    "gcc": 4040.7,
+    "mesa": 1217.9,
+    "art": 2181.1,
+    "mcf": 601.2,
+    "equake": 713.7,
+    "ammp": 1228.1,
+    "parser": 2721.6,
+    "vortex": 1050.2,
+    "bzip2": 2467.7,
+    "twolf": 764.6,
+}
+
+#: Default scale: simulated instructions per paper-million.
+INSTRUCTIONS_PER_MILLION = 5.0
+
+_KB = 1024
+_MB = 1024 * _KB
+
+
+def _p(name: str, seed: int, **kw) -> WorkloadProfile:
+    return WorkloadProfile(name=name, seed=seed, **kw)
+
+
+#: The thirteen profiles, in Table 5 order.
+PROFILES: Dict[str, WorkloadProfile] = {
+    # Integer compression: hot loops, window-sized data, branchy.
+    "gzip": _p(
+        "gzip", 101,
+        n_streams=2,
+        n_arenas=6,
+        loop_bias_cap=0.93,
+        dep_lookback_p=0.22,
+        ialu_weight=0.52, imult_weight=0.004, idiv_weight=0.0,
+        load_weight=0.22, store_weight=0.09,
+        n_blocks=160, block_len_mean=5.5,
+        loop_fraction=0.45, loop_span=10,
+        bias_alpha=13.0, bias_beta=1.0,
+        call_fraction=0.02, n_functions=6, max_call_depth=3,
+        stack_fraction=0.70, hot_fraction=0.24, hot_bytes=8 * _KB,
+        data_footprint=512 * _KB, reuse_exponent=3.0,
+        streaming_fraction=0.05, pointer_fraction=0.01,
+        redundancy_fraction=0.35,
+    ),
+    # Placement: big code, simulated annealing, some FP.
+    "vpr-Place": _p(
+        "vpr-Place", 102,
+        n_streams=2,
+        n_arenas=6,
+        loop_bias_cap=0.72,
+        dep_lookback_p=0.19,
+        ialu_weight=0.40, falu_weight=0.08, fmult_weight=0.04,
+        load_weight=0.24, store_weight=0.10,
+        n_blocks=2600, block_len_mean=6.5,
+        loop_fraction=0.25, loop_span=25,
+        bias_alpha=11.5, bias_beta=1.0,
+        call_fraction=0.05, n_functions=24, max_call_depth=4,
+        stack_fraction=0.70, hot_fraction=0.24, hot_bytes=8 * _KB,
+        data_footprint=512 * _KB, reuse_exponent=3.0,
+        streaming_fraction=0.02, pointer_fraction=0.03,
+        redundancy_fraction=0.25,
+    ),
+    # Routing: pointer walking over the routing graph.
+    "vpr-Route": _p(
+        "vpr-Route", 103,
+        n_arenas=48,
+        loop_bias_cap=0.85,
+        
+        dep_lookback_p=0.24,
+        ialu_weight=0.46, falu_weight=0.03,
+        load_weight=0.28, store_weight=0.08,
+        n_blocks=300, block_len_mean=5.5,
+        loop_fraction=0.40, loop_span=25,
+        bias_alpha=9.0, bias_beta=1.0,
+        call_fraction=0.03, n_functions=10, max_call_depth=4,
+        stack_fraction=0.60, hot_fraction=0.26, hot_bytes=16 * _KB,
+        data_footprint=2 * _MB, reuse_exponent=2.1,
+        streaming_fraction=0.03, pointer_fraction=0.12,
+        redundancy_fraction=0.22,
+    ),
+    # Compiler: huge code footprint, deep calls, hard branches.
+    "gcc": _p(
+        "gcc", 104,
+        n_streams=2,
+        n_arenas=6,
+        loop_bias_cap=0.60,
+        
+        dep_lookback_p=0.22,
+        ialu_weight=0.50, imult_weight=0.003,
+        load_weight=0.25, store_weight=0.12,
+        n_blocks=3600, block_len_mean=5.0,
+        loop_fraction=0.18, loop_span=25,
+        bias_alpha=5.0, bias_beta=1.3,
+        call_fraction=0.08, n_functions=48, function_blocks=4,
+        nested_call_fraction=0.35, max_call_depth=12,
+        stack_fraction=0.66, hot_fraction=0.25, hot_bytes=8 * _KB,
+        data_footprint=1 * _MB, reuse_exponent=2.5,
+        streaming_fraction=0.02, pointer_fraction=0.05,
+        redundancy_fraction=0.20,
+    ),
+    # 3D rendering: large code, FP pipeline, predictable branches.
+    "mesa": _p(
+        "mesa", 105,
+        n_streams=2,
+        n_arenas=6,
+        loop_bias_cap=0.72,
+        dep_lookback_p=0.14,
+        ialu_weight=0.30, falu_weight=0.16, fmult_weight=0.10,
+        fdiv_weight=0.008, fsqrt_weight=0.004,
+        load_weight=0.24, store_weight=0.11,
+        n_blocks=3000, block_len_mean=7.0,
+        loop_fraction=0.30, loop_span=25,
+        bias_alpha=13.0, bias_beta=1.0,
+        call_fraction=0.06, n_functions=36, max_call_depth=6,
+        stack_fraction=0.70, hot_fraction=0.24, hot_bytes=8 * _KB,
+        data_footprint=512 * _KB, reuse_exponent=3.0,
+        streaming_fraction=0.06, pointer_fraction=0.01,
+        redundancy_fraction=0.35,
+    ),
+    # Neural-net image recognition: tiny code, streams a big matrix.
+    "art": _p(
+        "art", 106,
+        n_arenas=48,
+        n_streams=8,
+        loop_bias_cap=0.95,
+        
+        dep_lookback_p=0.10,
+        ialu_weight=0.16, falu_weight=0.26, fmult_weight=0.18,
+        fdiv_weight=0.004, fsqrt_weight=0.0,
+        load_weight=0.28, store_weight=0.06,
+        n_blocks=60, block_len_mean=7.5,
+        loop_fraction=0.55, loop_span=6,
+        bias_alpha=33.0, bias_beta=0.5,
+        call_fraction=0.01, n_functions=4, max_call_depth=2,
+        stack_fraction=0.30, hot_fraction=0.20, hot_bytes=24 * _KB,
+        data_footprint=4 * _MB, reuse_exponent=1.4,
+        streaming_fraction=0.12, pointer_fraction=0.0,
+        stream_region=1 << 25,
+        redundancy_fraction=0.18,
+    ),
+    # Network-flow optimizer: pure pointer chasing, TLB thrashing.
+    "mcf": _p(
+        "mcf", 107,
+        n_arenas=48,
+        loop_bias_cap=0.92,
+        
+        dep_lookback_p=0.34,
+        ialu_weight=0.42, imult_weight=0.002,
+        load_weight=0.33, store_weight=0.07,
+        n_blocks=110, block_len_mean=5.0,
+        loop_fraction=0.45, loop_span=10,
+        bias_alpha=11.5, bias_beta=1.0,
+        call_fraction=0.02, n_functions=4, max_call_depth=3,
+        stack_fraction=0.34, hot_fraction=0.20, hot_bytes=24 * _KB,
+        data_footprint=8 * _MB, reuse_exponent=1.3,
+        streaming_fraction=0.02, pointer_fraction=0.35,
+        redundancy_fraction=0.15,
+    ),
+    # Seismic simulation: FP with sizeable code and streaming data.
+    "equake": _p(
+        "equake", 108,
+        n_arenas=48,
+        n_streams=6,
+        loop_bias_cap=0.8,
+        
+        dep_lookback_p=0.10,
+        ialu_weight=0.28, falu_weight=0.18, fmult_weight=0.12,
+        fdiv_weight=0.006,
+        load_weight=0.27, store_weight=0.08,
+        n_blocks=2200, block_len_mean=6.5,
+        loop_fraction=0.30, loop_span=25,
+        bias_alpha=19.0, bias_beta=1.0,
+        call_fraction=0.04, n_functions=20, max_call_depth=5,
+        stack_fraction=0.55, hot_fraction=0.27, hot_bytes=16 * _KB,
+        data_footprint=3 * _MB, reuse_exponent=1.8,
+        streaming_fraction=0.1, pointer_fraction=0.03,
+        redundancy_fraction=0.22,
+    ),
+    # Molecular dynamics: streams particle arrays past every cache.
+    "ammp": _p(
+        "ammp", 109,
+        n_arenas=16,
+        n_streams=8,
+        loop_bias_cap=0.95,
+        
+        dep_lookback_p=0.10,
+        ialu_weight=0.20, falu_weight=0.24, fmult_weight=0.16,
+        fdiv_weight=0.012, fsqrt_weight=0.006,
+        load_weight=0.28, store_weight=0.08,
+        n_blocks=120, block_len_mean=8.0,
+        loop_fraction=0.55, loop_span=8,
+        bias_alpha=33.0, bias_beta=0.5,
+        call_fraction=0.01, n_functions=4, max_call_depth=2,
+        stack_fraction=0.30, hot_fraction=0.20, hot_bytes=24 * _KB,
+        data_footprint=6 * _MB, reuse_exponent=1.3,
+        streaming_fraction=0.14, pointer_fraction=0.02,
+        stream_region=1 << 25,
+        redundancy_fraction=0.15,
+    ),
+    # Dictionary parser: pointerish integer code, hard branches.
+    "parser": _p(
+        "parser", 110,
+        n_arenas=48,
+        loop_bias_cap=0.85,
+        
+        dep_lookback_p=0.24,
+        ialu_weight=0.48,
+        load_weight=0.27, store_weight=0.09,
+        n_blocks=420, block_len_mean=5.0,
+        loop_fraction=0.30, loop_span=25,
+        bias_alpha=8.0, bias_beta=1.1,
+        call_fraction=0.06, n_functions=18, function_blocks=3,
+        nested_call_fraction=0.3, max_call_depth=10,
+        stack_fraction=0.62, hot_fraction=0.26, hot_bytes=16 * _KB,
+        data_footprint=2 * _MB, reuse_exponent=2.1,
+        streaming_fraction=0.02, pointer_fraction=0.1,
+        redundancy_fraction=0.28,
+    ),
+    # OO database: very large code, deepest call chains.
+    "vortex": _p(
+        "vortex", 111,
+        n_streams=2,
+        n_arenas=6,
+        loop_bias_cap=0.58,
+        dep_lookback_p=0.20,
+        ialu_weight=0.46, imult_weight=0.002,
+        load_weight=0.26, store_weight=0.13,
+        n_blocks=3200, block_len_mean=5.5,
+        loop_fraction=0.15, loop_span=25,
+        bias_alpha=16.0, bias_beta=1.0,
+        call_fraction=0.09, n_functions=56, function_blocks=4,
+        nested_call_fraction=0.4, max_call_depth=14,
+        stack_fraction=0.66, hot_fraction=0.25, hot_bytes=8 * _KB,
+        data_footprint=1 * _MB, reuse_exponent=2.5,
+        streaming_fraction=0.02, pointer_fraction=0.03,
+        redundancy_fraction=0.22,
+    ),
+    # Block-sorting compression: compute bound with L2-sized data.
+    "bzip2": _p(
+        "bzip2", 112,
+        n_arenas=48,
+        loop_bias_cap=0.92,
+        
+        dep_lookback_p=0.18,
+        ialu_weight=0.56, imult_weight=0.004,
+        load_weight=0.24, store_weight=0.08,
+        n_blocks=140, block_len_mean=5.5,
+        loop_fraction=0.50, loop_span=10,
+        bias_alpha=9.0, bias_beta=1.0,
+        call_fraction=0.015, n_functions=5, max_call_depth=3,
+        stack_fraction=0.62, hot_fraction=0.27, hot_bytes=16 * _KB,
+        data_footprint=2 * _MB, reuse_exponent=1.7,
+        streaming_fraction=0.06, pointer_fraction=0.02,
+        redundancy_fraction=0.30,
+    ),
+    # Standard-cell place & route: vpr-Place's sibling.
+    "twolf": _p(
+        "twolf", 113,
+        n_streams=2,
+        n_arenas=6,
+        loop_bias_cap=0.72,
+        dep_lookback_p=0.20,
+        ialu_weight=0.42, falu_weight=0.06, fmult_weight=0.03,
+        load_weight=0.25, store_weight=0.10,
+        n_blocks=2400, block_len_mean=6.0,
+        loop_fraction=0.25, loop_span=25,
+        bias_alpha=10.0, bias_beta=1.0,
+        call_fraction=0.05, n_functions=22, max_call_depth=4,
+        stack_fraction=0.70, hot_fraction=0.24, hot_bytes=8 * _KB,
+        data_footprint=512 * _KB, reuse_exponent=3.0,
+        streaming_fraction=0.02, pointer_fraction=0.04,
+        redundancy_fraction=0.25,
+    ),
+}
+
+#: Benchmark names in Table 5 / Table 9 column order.
+BENCHMARK_NAMES: List[str] = list(PAPER_INSTRUCTION_COUNTS_M)
+
+
+def profile(name: str) -> WorkloadProfile:
+    """Look up one benchmark profile by its paper name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; choose from {BENCHMARK_NAMES}"
+        ) from None
+
+
+def default_length(
+    name: str, instructions_per_million: float = INSTRUCTIONS_PER_MILLION
+) -> int:
+    """Trace length proportional to the paper's Table 5 dynamic count."""
+    return max(1000, int(
+        PAPER_INSTRUCTION_COUNTS_M[name] * instructions_per_million
+    ))
+
+
+@lru_cache(maxsize=64)
+def _cached_trace(name: str, length: int) -> Trace:
+    program = SyntheticProgram(profile(name))
+    return program.emit(length, name=name)
+
+
+def benchmark_trace(name: str, length: Optional[int] = None) -> Trace:
+    """The canonical trace of one benchmark (cached per length).
+
+    The same (name, length) pair always yields the identical trace, so
+    all 88 configurations of a PB experiment measure the same workload
+    — the analogue of the paper running each benchmark to completion on
+    the same input.
+    """
+    if length is None:
+        length = default_length(name)
+    return _cached_trace(name, int(length))
+
+
+def benchmark_suite(length: Optional[int] = None,
+                    names: Optional[List[str]] = None) -> Dict[str, Trace]:
+    """Traces for the whole suite (or a subset), keyed by name."""
+    return {
+        name: benchmark_trace(name, length)
+        for name in (names or BENCHMARK_NAMES)
+    }

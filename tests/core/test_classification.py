@@ -1,0 +1,133 @@
+"""Generic tests for benchmark classification (repro.core.classification).
+
+Exact reproduction of Tables 10/11 lives in test_paper_data.py; these
+tests cover the machinery on synthetic rank data and property checks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    benchmark_distance,
+    distance_matrix,
+    group_benchmarks,
+    rank_vectors,
+    ranking_from_rank_table,
+    single_linkage,
+)
+
+
+def ranking_of(grid, benchmarks=None):
+    grid = np.asarray(grid)
+    factors = [f"f{i}" for i in range(grid.shape[0])]
+    benchmarks = benchmarks or [f"b{j}" for j in range(grid.shape[1])]
+    return ranking_from_rank_table(factors, benchmarks, grid)
+
+
+class TestDistances:
+    def test_identical_benchmarks_distance_zero(self):
+        r = ranking_of([[1, 1], [2, 2], [3, 3]])
+        assert benchmark_distance(r, "b0", "b1") == 0.0
+
+    def test_hand_computed(self):
+        # Vectors (1,2,3) vs (3,2,1): sqrt(4 + 0 + 4)
+        r = ranking_of([[1, 3], [2, 2], [3, 1]])
+        assert benchmark_distance(r, "b0", "b1") == pytest.approx(
+            np.sqrt(8.0)
+        )
+
+    def test_matrix_symmetric_zero_diagonal(self):
+        rng = np.random.default_rng(0)
+        grid = np.stack(
+            [rng.permutation(np.arange(1, 9)) for _ in range(5)]
+        ).T  # 8 factors x 5 benchmarks
+        r = ranking_of(grid)
+        names, dist = distance_matrix(r)
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0)
+
+    def test_rank_vectors_keyed_by_benchmark(self):
+        r = ranking_of([[1, 2], [2, 1]])
+        vectors = rank_vectors(r)
+        assert set(vectors) == {"b0", "b1"}
+
+
+class TestGrouping:
+    def test_transitive_closure(self):
+        """a~b and b~c merge all three even if a and c are far."""
+        #                 a  b  c
+        grid = np.array([[1, 1, 2],
+                         [2, 2, 1],
+                         [3, 3, 3],
+                         [4, 4, 4]])
+        # a == b, c differs by sqrt(2) in two coordinates
+        r = ranking_of(grid, ["a", "b", "c"])
+        groups = group_benchmarks(r, threshold=2.0)
+        assert groups == [["a", "b", "c"]]
+
+    def test_groups_partition(self):
+        rng = np.random.default_rng(5)
+        grid = np.stack(
+            [rng.permutation(np.arange(1, 11)) for _ in range(6)]
+        ).T
+        r = ranking_of(grid)
+        groups = group_benchmarks(r, threshold=8.0)
+        flat = [b for g in groups for b in g]
+        assert sorted(flat) == sorted(r.benchmarks)
+        assert len(flat) == len(set(flat))
+
+    def test_order_by_first_appearance(self):
+        grid = np.array([[1, 5, 1], [2, 4, 2], [3, 3, 3], [4, 2, 4],
+                         [5, 1, 5]])
+        r = ranking_of(grid, ["x", "y", "z"])
+        groups = group_benchmarks(r, threshold=1.0)
+        assert groups[0][0] == "x"
+
+
+class TestSingleLinkage:
+    def test_merge_count(self):
+        rng = np.random.default_rng(7)
+        grid = np.stack(
+            [rng.permutation(np.arange(1, 8)) for _ in range(5)]
+        ).T
+        r = ranking_of(grid)
+        steps = single_linkage(r)
+        assert len(steps) == 4   # n - 1 merges
+
+    def test_final_merge_contains_all(self):
+        rng = np.random.default_rng(8)
+        grid = np.stack(
+            [rng.permutation(np.arange(1, 8)) for _ in range(4)]
+        ).T
+        r = ranking_of(grid)
+        steps = single_linkage(r)
+        assert set(steps[-1].merged) == set(r.benchmarks)
+
+    def test_distances_non_decreasing(self):
+        """Single linkage merge distances are monotone."""
+        rng = np.random.default_rng(9)
+        grid = np.stack(
+            [rng.permutation(np.arange(1, 13)) for _ in range(6)]
+        ).T
+        r = ranking_of(grid)
+        steps = single_linkage(r)
+        distances = [s.distance for s in steps]
+        assert distances == sorted(distances)
+
+
+@given(st.integers(0, 10_000))
+@settings(max_examples=20, deadline=None)
+def test_grouping_threshold_monotonicity(seed):
+    """Raising the threshold never increases the number of groups."""
+    rng = np.random.default_rng(seed)
+    grid = np.stack(
+        [rng.permutation(np.arange(1, 9)) for _ in range(5)]
+    ).T
+    r = ranking_of(grid)
+    sizes = [
+        len(group_benchmarks(r, threshold=t))
+        for t in (0.0, 2.0, 5.0, 10.0, 100.0)
+    ]
+    assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,86 @@
+"""Tests for ranking comparison utilities (repro.core.comparison)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import compare_rankings, ranking_from_rank_table, spearman
+from repro.core.paper_data import paper_table9_ranking, paper_table12_ranking
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariant(self):
+        x = [3.0, 1.0, 4.0, 1.5, 9.0]
+        y = [v ** 3 for v in x]
+        assert spearman(x, y) == pytest.approx(1.0)
+
+    def test_constant_input(self):
+        assert spearman([1, 1, 1], [1, 2, 3]) == pytest.approx(
+            spearman([1, 2, 3], [1, 1, 1])
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman([1], [1])
+        with pytest.raises(ValueError):
+            spearman([1, 2], [1, 2, 3])
+
+
+def tiny_ranking(grid, benchmarks=("a", "b")):
+    factors = [f"f{i}" for i in range(len(grid))]
+    return ranking_from_rank_table(factors, list(benchmarks),
+                                   np.asarray(grid))
+
+
+class TestCompareRankings:
+    def test_self_comparison_is_perfect(self):
+        r = paper_table9_ranking()
+        cmp = compare_rankings(r, r)
+        assert cmp.overall_spearman == pytest.approx(1.0)
+        assert cmp.top10_overlap == 10
+        assert cmp.significant_overlap == pytest.approx(1.0)
+        assert all(v == pytest.approx(1.0)
+                   for v in cmp.per_benchmark_spearman.values())
+
+    def test_paper_table9_vs_table12_strongly_correlated(self):
+        """The paper's own before/after rankings agree strongly —
+        which is its 'same parameters stay significant' conclusion."""
+        cmp = compare_rankings(paper_table9_ranking(),
+                               paper_table12_ranking())
+        assert cmp.overall_spearman > 0.95
+        assert cmp.top10_overlap >= 9
+
+    def test_factor_mismatch_rejected(self):
+        a = tiny_ranking([[1, 1], [2, 2]])
+        b = ranking_from_rank_table(["x", "y"], ["a", "b"],
+                                    np.array([[1, 1], [2, 2]]))
+        with pytest.raises(ValueError):
+            compare_rankings(a, b)
+
+    def test_disjoint_benchmarks_skip_fingerprints(self):
+        a = tiny_ranking([[1, 1], [2, 2]], benchmarks=("a", "b"))
+        b = tiny_ranking([[1, 1], [2, 2]], benchmarks=("c", "d"))
+        cmp = compare_rankings(a, b)
+        assert cmp.per_benchmark_spearman == {}
+
+    def test_summary_text(self):
+        cmp = compare_rankings(paper_table9_ranking(),
+                               paper_table12_ranking())
+        text = cmp.summary()
+        assert "Spearman" in text
+        assert "top-10 overlap" in text
+
+
+@given(st.permutations(list(range(8))))
+@settings(max_examples=30, deadline=None)
+def test_spearman_bounds(perm):
+    """Spearman always lies in [-1, 1]."""
+    rho = spearman(list(range(8)), list(perm))
+    assert -1.0 - 1e-9 <= rho <= 1.0 + 1e-9

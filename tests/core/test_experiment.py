@@ -1,0 +1,130 @@
+"""Tests for the PB experiment runner (repro.core.experiment).
+
+Full 88-run experiments are exercised at reduced trace lengths and with
+reduced parameter subsets to keep the suite fast.
+"""
+
+import pytest
+
+from repro.core import (
+    PBExperiment,
+    PBExperimentResult,
+    build_design,
+    rank_parameters_from_result,
+)
+from repro.cpu import MachineConfig
+from repro.cpu.params import PARAMETER_NAMES
+from repro.workloads import benchmark_trace
+
+#: A small but meaningful factor subset for fast experiments.
+SUBSET = [
+    "Reorder Buffer Entries",
+    "LSQ Entries",
+    "BPred Type",
+    "Int ALUs",
+    "L1 D-Cache Size",
+    "L2 Cache Latency",
+    "Memory Latency First",
+]
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {
+        "gzip": benchmark_trace("gzip", 2500),
+        "mcf": benchmark_trace("mcf", 2500),
+    }
+
+
+@pytest.fixture(scope="module")
+def small_result(traces):
+    return PBExperiment(traces, parameter_names=SUBSET).run()
+
+
+class TestBuildDesign:
+    def test_paper_design_shape(self):
+        design = build_design()
+        assert design.n_runs == 88
+        assert design.n_factors == 43
+        assert design.factor_names[:41] == list(PARAMETER_NAMES)
+        assert design.factor_names[41:] == [
+            "Dummy Factor #1", "Dummy Factor #2",
+        ]
+
+    def test_without_foldover(self):
+        assert build_design(foldover=False).n_runs == 44
+
+    def test_subset_design(self):
+        design = build_design(SUBSET)
+        assert design.n_runs == 16   # X = 8, foldover
+        assert design.n_factors == 7
+
+
+class TestPBExperiment:
+    def test_requires_traces(self):
+        with pytest.raises(ValueError):
+            PBExperiment({})
+
+    def test_configs_match_rows(self, traces):
+        exp = PBExperiment(traces, parameter_names=SUBSET)
+        configs = exp.configs()
+        assert len(configs) == exp.design.n_runs
+        # First row of the X=8 design: ROB high (+1) -> 64 entries.
+        assert configs[0].rob_entries == 64
+        # Last row of the base half: all low.
+        assert configs[7].rob_entries == 8
+
+    def test_result_structure(self, small_result, traces):
+        assert isinstance(small_result, PBExperimentResult)
+        assert set(small_result.benchmarks) == set(traces)
+        for rows in small_result.responses.values():
+            assert len(rows) == 16
+            assert all(c > 0 for c in rows)
+
+    def test_effects_computed(self, small_result):
+        for table in small_result.effects.values():
+            assert len(table.factor_names) == 7
+
+    def test_ranks_are_permutations(self, small_result):
+        for ranks in small_result.ranks().values():
+            assert sorted(ranks.values()) == list(range(1, 8))
+
+    def test_progress_callback(self, traces):
+        seen = []
+        PBExperiment(
+            traces, parameter_names=SUBSET,
+            progress=lambda done, total: seen.append((done, total)),
+        ).run()
+        assert seen[0] == (1, 32)
+        assert seen[-1] == (32, 32)
+
+    def test_deterministic(self, traces, small_result):
+        again = PBExperiment(traces, parameter_names=SUBSET).run()
+        assert again.responses == small_result.responses
+
+    def test_base_config_respected(self, traces):
+        exp = PBExperiment(
+            traces, parameter_names=SUBSET,
+            base_config=MachineConfig(memory_ports=4),
+        )
+        assert all(c.memory_ports == 4 for c in exp.configs())
+
+
+class TestExperimentPhysics:
+    """The experiment must reflect real machine behaviour."""
+
+    def test_rob_significant_for_all(self, small_result):
+        ranking = rank_parameters_from_result(small_result)
+        for bench in small_result.benchmarks:
+            assert ranking.rank_of("Reorder Buffer Entries", bench) <= 3
+
+    def test_memory_latency_matters_more_for_mcf(self, small_result):
+        ranking = rank_parameters_from_result(small_result)
+        assert (
+            ranking.rank_of("Memory Latency First", "mcf")
+            <= ranking.rank_of("Memory Latency First", "gzip")
+        )
+
+    def test_responses_vary_across_configs(self, small_result):
+        for rows in small_result.responses.values():
+            assert max(rows) > 1.2 * min(rows)

@@ -1,0 +1,67 @@
+"""Tests for interaction analysis (repro.core.interactions)."""
+
+import pytest
+
+from repro.core import (
+    PBExperiment,
+    estimate_interactions,
+    interaction_summary,
+    interactions_smaller_than_mains,
+    rank_parameters_from_result,
+)
+from repro.workloads import benchmark_trace
+
+FACTORS = [
+    "Reorder Buffer Entries",
+    "L2 Cache Latency",
+    "BPred Type",
+    "Int ALUs",
+    "Memory Latency First",
+    "L1 D-Cache Size",
+    "LSQ Entries",
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    traces = {
+        "gzip": benchmark_trace("gzip", 2500),
+        "mcf": benchmark_trace("mcf", 2500),
+    }
+    return PBExperiment(traces, parameter_names=FACTORS).run()
+
+
+class TestEstimates:
+    def test_all_pairs_all_benchmarks(self, result):
+        pairs = estimate_interactions(result, FACTORS[:3])
+        # C(3,2) pairs x 2 benchmarks
+        assert len(pairs) == 6
+
+    def test_sorted_by_magnitude(self, result):
+        pairs = estimate_interactions(result, FACTORS[:4])
+        mags = [abs(p.effect) for p in pairs]
+        assert mags == sorted(mags, reverse=True)
+
+    def test_benchmark_subset(self, result):
+        pairs = estimate_interactions(result, FACTORS[:3],
+                                      benchmarks=["gzip"])
+        assert {p.benchmark for p in pairs} == {"gzip"}
+
+    def test_relative_magnitude(self, result):
+        for p in estimate_interactions(result, FACTORS[:3]):
+            assert p.relative_magnitude >= 0.0
+
+
+class TestPaperClaim:
+    def test_interactions_smaller_than_mains_for_top_params(self, result):
+        """§2.2: interactions among the significant parameters are
+        small relative to the main effects — on our substrate too."""
+        ranking = rank_parameters_from_result(result)
+        top = ranking.top(3)
+        assert interactions_smaller_than_mains(result, top,
+                                               tolerance=1.0)
+
+    def test_summary_text(self, result):
+        text = interaction_summary(result, FACTORS[:3], top=4)
+        assert "x" in text
+        assert "effect" in text

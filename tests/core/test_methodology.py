@@ -1,0 +1,101 @@
+"""Tests for the four-step recommended workflow (repro.core.methodology)."""
+
+import pytest
+
+from repro.core import (
+    SensitivityStudy,
+    choose_final_values,
+    sensitivity_analysis,
+)
+from repro.core.methodology import _is_real_parameter
+from repro.cpu import MachineConfig
+from repro.workloads import benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {"gzip": benchmark_trace("gzip", 2000)}
+
+
+@pytest.fixture(scope="module")
+def study(traces):
+    return sensitivity_analysis(
+        traces,
+        ["Reorder Buffer Entries", "L2 Cache Latency"],
+    )
+
+
+class TestSensitivityAnalysis:
+    def test_anova_per_benchmark(self, study, traces):
+        assert set(study.anovas) == set(traces)
+        assert study.factors == ("Reorder Buffer Entries",
+                                 "L2 Cache Latency")
+
+    def test_interactions_quantified(self, study):
+        """The full factorial exposes the ROB x L2-latency interaction
+        the PB screen could not quantify."""
+        result = study.anovas["gzip"]
+        row = result.row("Reorder Buffer Entries", "L2 Cache Latency")
+        assert row.sum_of_squares >= 0.0
+
+    def test_main_effects_dominate(self, study):
+        variation = study.mean_variation()
+        mains = (variation["Reorder Buffer Entries"]
+                 + variation["L2 Cache Latency"])
+        assert mains > 0.5
+
+    def test_refuses_cost_explosion(self, traces):
+        with pytest.raises(ValueError):
+            sensitivity_analysis(traces, [f"f{i}" for i in range(7)])
+
+
+class TestChooseFinalValues:
+    def test_significant_factor_set_high(self, study, traces):
+        from repro.core import rank_parameters_from_result
+        from repro.core.experiment import PBExperiment
+
+        ranking = rank_parameters_from_result(
+            PBExperiment(
+                traces,
+                parameter_names=[
+                    "Reorder Buffer Entries", "L2 Cache Latency",
+                    "Int ALUs",
+                ],
+            ).run()
+        )
+        config = choose_final_values(ranking, study,
+                                     variation_threshold=0.05)
+        # ROB explains most variation -> set to its generous value.
+        assert config.rob_entries == 64
+
+    def test_threshold_one_keeps_base(self, study):
+        from repro.core.paper_data import paper_table9_ranking
+
+        config = choose_final_values(
+            paper_table9_ranking(), study, variation_threshold=1.1
+        )
+        assert config == MachineConfig()
+
+
+class TestHelpers:
+    def test_real_parameter_detection(self):
+        assert _is_real_parameter("Reorder Buffer Entries")
+        assert not _is_real_parameter("Dummy Factor #1")
+
+
+@pytest.mark.slow
+class TestFullWorkflow:
+    def test_recommended_workflow_runs(self):
+        """Steps 1-4 execute end to end on a reduced problem."""
+        from repro.core import recommended_workflow
+
+        traces = {
+            "gzip": benchmark_trace("gzip", 1200),
+            "mcf": benchmark_trace("mcf", 1200),
+        }
+        result = recommended_workflow(traces, max_critical=2)
+        assert 1 <= len(result.critical) <= 2
+        assert all(_is_real_parameter(f) for f in result.critical)
+        assert result.final_config.lsq_entries <= \
+            result.final_config.rob_entries
+        assert set(result.sensitivity.anovas) == set(traces)

@@ -1,0 +1,200 @@
+"""Exact validation against the paper's published numbers.
+
+These tests exercise the classification and enhancement pipelines on
+the paper's own Table 9/12 rank data and require bit-level agreement
+with Tables 10 and 11 and with the stated conclusions of Sections
+4.1-4.3.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EnhancementAnalysis,
+    PAPER_SIMILARITY_THRESHOLD,
+    benchmark_distance,
+    distance_matrix,
+    group_benchmarks,
+    representatives,
+    single_linkage,
+)
+from repro.core.paper_data import (
+    BENCHMARKS,
+    TABLE9_PUBLISHED_SUMS,
+    TABLE9_RANKS,
+    TABLE10_DISTANCES,
+    TABLE11_GROUPS,
+    TABLE12_PUBLISHED_SUMS,
+    TABLE12_RANKS,
+    paper_table9_ranking,
+    paper_table12_ranking,
+)
+
+
+class TestTranscriptionIntegrity:
+    def test_table9_row_sums_match_published(self):
+        for factor, ranks in TABLE9_RANKS.items():
+            assert sum(ranks) == TABLE9_PUBLISHED_SUMS[factor], factor
+
+    def test_table12_row_sums_match_published(self):
+        for factor, ranks in TABLE12_RANKS.items():
+            assert sum(ranks) == TABLE12_PUBLISHED_SUMS[factor], factor
+
+    def test_each_benchmark_column_is_permutation(self):
+        for table in (TABLE9_RANKS, TABLE12_RANKS):
+            grid = np.array(list(table.values()))
+            for j in range(len(BENCHMARKS)):
+                assert sorted(grid[:, j]) == list(range(1, 44))
+
+    def test_43_factors_13_benchmarks(self):
+        assert len(TABLE9_RANKS) == 43
+        assert len(TABLE12_RANKS) == 43
+        assert len(BENCHMARKS) == 13
+
+    def test_same_factor_sets(self):
+        assert set(TABLE9_RANKS) == set(TABLE12_RANKS)
+
+
+class TestTable9Structure:
+    def test_row_order_by_sum(self):
+        r = paper_table9_ranking()
+        assert list(r.sums) == sorted(r.sums)
+        assert r.factors[0] == "Reorder Buffer Entries"
+        assert r.factors[1] == "L2 Cache Latency"
+
+    def test_top_ten_significance_gap(self):
+        """Section 4.1: 'only the first ten parameters are significant'
+        — the gap rule finds exactly the paper's cut."""
+        r = paper_table9_ranking()
+        significant = r.significant_factors()
+        assert len(significant) == 10
+        assert significant == [
+            "Reorder Buffer Entries", "L2 Cache Latency", "BPred Type",
+            "Int ALUs", "L1 D-Cache Latency", "L1 I-Cache Size",
+            "L2 Cache Size", "L1 I-Cache Block Size",
+            "Memory Latency First", "LSQ Entries",
+        ]
+
+    def test_dummy_factors_insignificant(self):
+        r = paper_table9_ranking()
+        order = list(r.factors)
+        assert order.index("Dummy Factor #1") >= 40
+        assert order.index("Dummy Factor #2") >= 30
+
+    def test_rank_lookup(self):
+        r = paper_table9_ranking()
+        assert r.rank_of("Reorder Buffer Entries", "gzip") == 1
+        assert r.rank_of("FP Square Root Latency", "art") == 5  # §4.1 note
+
+
+class TestTable10Reproduction:
+    def test_full_distance_matrix(self):
+        """Every entry of Table 10 is recomputed to 0.05 absolute."""
+        names, dist = distance_matrix(paper_table9_ranking())
+        index = [names.index(b) for b in BENCHMARKS]
+        for i, bi in enumerate(BENCHMARKS):
+            for j, bj in enumerate(BENCHMARKS):
+                recomputed = dist[index[i], index[j]]
+                assert recomputed == pytest.approx(
+                    TABLE10_DISTANCES[i][j], abs=0.05
+                ), (bi, bj)
+
+    def test_worked_example_distance(self):
+        """Section 4.2's worked example: d(gzip, vpr-Place) = 89.8."""
+        d = benchmark_distance(paper_table9_ranking(), "gzip", "vpr-Place")
+        assert round(d, 1) == 89.8
+
+    def test_gzip_mesa_similar(self):
+        d = benchmark_distance(paper_table9_ranking(), "gzip", "mesa")
+        assert d < PAPER_SIMILARITY_THRESHOLD
+
+    def test_threshold_value(self):
+        assert PAPER_SIMILARITY_THRESHOLD == pytest.approx(
+            math.sqrt(4000)
+        )
+
+    def test_matrix_metric_axioms(self):
+        names, dist = distance_matrix(paper_table9_ranking())
+        assert np.allclose(dist, dist.T)
+        assert np.allclose(np.diag(dist), 0.0)
+        n = len(names)
+        for i in range(n):
+            for j in range(n):
+                for k in range(0, n, 3):
+                    assert dist[i, j] <= dist[i, k] + dist[k, j] + 1e-9
+
+
+class TestTable11Reproduction:
+    def test_exact_groups(self):
+        groups = group_benchmarks(paper_table9_ranking())
+        assert [tuple(g) for g in groups] == [tuple(g)
+                                              for g in TABLE11_GROUPS]
+
+    def test_zero_threshold_all_singletons(self):
+        groups = group_benchmarks(paper_table9_ranking(), threshold=0.0)
+        assert len(groups) == 13
+
+    def test_huge_threshold_one_group(self):
+        groups = group_benchmarks(paper_table9_ranking(), threshold=1e6)
+        assert len(groups) == 1
+
+    def test_representatives_one_per_group(self):
+        groups = group_benchmarks(paper_table9_ranking())
+        reps = representatives(groups)
+        assert len(reps) == len(groups)
+        assert reps[0] == "gzip"
+
+    def test_representatives_weighted(self):
+        from repro.workloads import PAPER_INSTRUCTION_COUNTS_M
+
+        groups = group_benchmarks(paper_table9_ranking())
+        reps = representatives(groups, PAPER_INSTRUCTION_COUNTS_M)
+        # mesa (1217.9M) is cheaper to simulate than gzip (1364.2M).
+        assert "mesa" in reps
+
+    def test_single_linkage_consistent_with_groups(self):
+        """Cutting the dendrogram at the paper threshold yields the
+        same partition as the connected-component grouping."""
+        ranking = paper_table9_ranking()
+        steps = single_linkage(ranking)
+        n_groups = 13 - sum(
+            1 for s in steps if s.distance < PAPER_SIMILARITY_THRESHOLD
+        )
+        assert n_groups == len(TABLE11_GROUPS)
+
+    def test_single_linkage_distances_monotone_enough(self):
+        steps = single_linkage(paper_table9_ranking())
+        assert len(steps) == 12
+        assert steps[0].distance == pytest.approx(35.2, abs=0.05)
+
+
+class TestTable12Conclusions:
+    def test_significant_set_stable(self):
+        """Section 4.3, first conclusion: the same parameters stay
+        significant after instruction precomputation."""
+        analysis = EnhancementAnalysis(
+            paper_table9_ranking(), paper_table12_ranking()
+        )
+        assert analysis.significant_set_stable()
+
+    def test_int_alus_biggest_shift(self):
+        """Section 4.3, second conclusion: Int ALUs moves the most
+        among the significant parameters (118 -> 137)."""
+        analysis = EnhancementAnalysis(
+            paper_table9_ranking(), paper_table12_ranking()
+        )
+        shift = analysis.biggest_shift_among_significant()
+        assert shift.factor == "Int ALUs"
+        assert shift.sum_before == 118
+        assert shift.sum_after == 137
+        assert shift.shift == 19
+
+    def test_rob_and_l2_unmoved(self):
+        analysis = EnhancementAnalysis(
+            paper_table9_ranking(), paper_table12_ranking()
+        )
+        shifts = {s.factor: s.shift for s in analysis.shifts()}
+        assert shifts["Reorder Buffer Entries"] == 0
+        assert shifts["L2 Cache Latency"] == 0

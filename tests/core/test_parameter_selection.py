@@ -1,0 +1,85 @@
+"""Tests for parameter ranking (repro.core.parameter_selection)."""
+
+import numpy as np
+import pytest
+
+from repro.core import rank_parameters, ranking_from_rank_table
+from repro.doe import compute_effects, pb_design
+
+
+def make_effects(responses_by_bench, factor_names):
+    design = pb_design(factor_names=factor_names)
+    return {
+        bench: compute_effects(design, y)
+        for bench, y in responses_by_bench.items()
+    }
+
+
+class TestRankParameters:
+    def test_sorted_by_sum(self):
+        rng = np.random.default_rng(0)
+        effects = make_effects(
+            {f"b{i}": rng.normal(size=8) for i in range(5)},
+            list("ABCDEFG"),
+        )
+        ranking = rank_parameters(effects)
+        assert list(ranking.sums) == sorted(ranking.sums)
+
+    def test_ranks_grid_consistent(self):
+        rng = np.random.default_rng(1)
+        effects = make_effects(
+            {"x": rng.normal(size=8), "y": rng.normal(size=8)},
+            list("ABCDEFG"),
+        )
+        ranking = rank_parameters(effects)
+        for j, bench in enumerate(ranking.benchmarks):
+            per_bench = effects[bench].ranks()
+            for i, factor in enumerate(ranking.factors):
+                assert ranking.ranks[i, j] == per_bench[factor]
+
+    def test_rank_vector(self):
+        rng = np.random.default_rng(2)
+        effects = make_effects({"x": rng.normal(size=8)}, list("ABCDEFG"))
+        ranking = rank_parameters(effects)
+        vec = ranking.rank_vector("x")
+        assert sorted(vec.values()) == list(range(1, 8))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            rank_parameters({})
+
+    def test_dominant_factor_first(self):
+        design = pb_design(factor_names=list("ABCDEFG"))
+        y = 100.0 * design.column("D").astype(float)
+        effects = {"only": compute_effects(design, y)}
+        ranking = rank_parameters(effects)
+        assert ranking.factors[0] == "D"
+        assert ranking.sum_of("D") == 1
+
+    def test_top(self):
+        rng = np.random.default_rng(3)
+        effects = make_effects({"x": rng.normal(size=8)}, list("ABCDEFG"))
+        ranking = rank_parameters(effects)
+        assert ranking.top(3) == list(ranking.factors[:3])
+
+
+class TestRankingFromRankTable:
+    def test_roundtrip(self):
+        factors = ["p", "q", "r"]
+        benchmarks = ["a", "b"]
+        grid = np.array([[1, 2], [3, 1], [2, 3]])
+        ranking = ranking_from_rank_table(factors, benchmarks, grid)
+        assert ranking.rank_of("p", "a") == 1
+        assert ranking.rank_of("r", "b") == 3
+        # q has sum 4, p has 3, r has 5 -> sorted p, q, r
+        assert list(ranking.factors) == ["p", "q", "r"]
+        assert list(ranking.sums) == [3, 4, 5]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            ranking_from_rank_table(["p"], ["a", "b"], np.array([[1]]))
+
+    def test_tie_stable_order(self):
+        grid = np.array([[1, 2], [2, 1]])
+        ranking = ranking_from_rank_table(["p", "q"], ["a", "b"], grid)
+        assert list(ranking.factors) == ["p", "q"]  # original order

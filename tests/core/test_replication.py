@@ -1,0 +1,85 @@
+"""Tests for replicated PB experiments (repro.core.replication)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    rank_parameters_from_result,
+    replicated_suite,
+    run_replicated,
+)
+
+FACTORS = [
+    "Reorder Buffer Entries", "L2 Cache Latency", "BPred Type",
+    "Int ALUs", "I-TLB Size", "Return Address Stack Entries",
+    "Memory Ports",
+]
+
+
+@pytest.fixture(scope="module")
+def result():
+    traces = replicated_suite(["gzip", "mcf"], 1200, 3)
+    return run_replicated(traces, parameter_names=FACTORS)
+
+
+class TestReplicatedSuite:
+    def test_counts(self):
+        traces = replicated_suite(["gzip"], 800, 3)
+        assert len(traces["gzip"]) == 3
+        assert all(len(t) == 800 for t in traces["gzip"])
+
+    def test_replicates_differ(self):
+        traces = replicated_suite(["gzip"], 800, 2)
+        a, b = traces["gzip"]
+        assert not np.array_equal(a.mem_addr, b.mem_addr)
+
+    def test_replicates_share_static_program(self):
+        """Same code layout: identical PC sets (same static slots)."""
+        traces = replicated_suite(["gzip"], 3000, 2)
+        a, b = traces["gzip"]
+        shared = set(np.unique(a.pc)) & set(np.unique(b.pc))
+        assert len(shared) > 0.5 * len(np.unique(a.pc))
+
+    def test_minimum_replicates(self):
+        with pytest.raises(ValueError):
+            replicated_suite(["gzip"], 800, 1)
+
+
+class TestInference:
+    def test_real_factors_significant(self, result):
+        for bench in ("gzip", "mcf"):
+            significant = result.significant_factors(bench)
+            assert "Reorder Buffer Entries" in significant, bench
+
+    def test_noise_factors_not_strongly_significant(self, result):
+        """The RAS (untouched by these traces' shallow call depth)
+        should not beat the real factors."""
+        for bench in ("gzip", "mcf"):
+            inf = result.inference[bench]
+            assert abs(inf["Return Address Stack Entries"].t_statistic) \
+                < abs(inf["Reorder Buffer Entries"].t_statistic)
+
+    def test_p_values_in_range(self, result):
+        for per_factor in result.inference.values():
+            for inf in per_factor.values():
+                assert 0.0 <= inf.p_value <= 1.0
+
+    def test_mean_result_usable_downstream(self, result):
+        ranking = rank_parameters_from_result(result.mean_result)
+        assert "Reorder Buffer Entries" in ranking.top(3)
+
+    def test_table_renders(self, result):
+        text = result.table("gzip", top=4)
+        assert "replicated effect estimates" in text
+        assert "t=" in text
+
+    def test_mismatched_replicate_counts_rejected(self):
+        traces = replicated_suite(["gzip", "mcf"], 600, 2)
+        traces["mcf"] = traces["mcf"][:1]
+        with pytest.raises(ValueError):
+            run_replicated(traces, parameter_names=FACTORS)
+
+    def test_single_replicate_rejected(self):
+        traces = {"gzip": replicated_suite(["gzip"], 600, 2)["gzip"][:1]}
+        with pytest.raises(ValueError):
+            run_replicated(traces, parameter_names=FACTORS)

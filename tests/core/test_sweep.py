@@ -1,0 +1,74 @@
+"""Tests for sweeps and iterative refinement (repro.core.sweep)."""
+
+import pytest
+
+from repro.core import iterative_refinement, sweep
+from repro.cpu import MachineConfig
+from repro.workloads import benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {"gzip": benchmark_trace("gzip", 1500),
+            "mcf": benchmark_trace("mcf", 1500)}
+
+
+class TestSweep:
+    def test_shape(self, traces):
+        result = sweep(traces, "rob_entries", [16, 24, 32])
+        assert result.values == (16, 24, 32)
+        assert set(result.cycles) == set(traces)
+        assert all(len(v) == 3 for v in result.cycles.values())
+
+    def test_monotone_resource(self, traces):
+        result = sweep(
+            traces, "rob_entries", [8, 16, 32],
+            linked={8: {"lsq_entries": 8}},
+        )
+        totals = result.total_cycles()
+        assert totals[0] >= totals[-1]
+        assert result.best_value() == 32
+
+    def test_linked_overrides(self, traces):
+        result = sweep(
+            traces, "rob_entries", [4, 32],
+            linked={4: {"lsq_entries": 4}},
+        )
+        assert result.best_value() == 32
+
+    def test_empty_values(self, traces):
+        with pytest.raises(ValueError):
+            sweep(traces, "rob_entries", [])
+
+    def test_table_renders(self, traces):
+        text = sweep(traces, "l2_latency", [5, 20]).table()
+        assert "sweep of l2_latency" in text
+        assert "gzip" in text
+
+
+class TestIterativeRefinement:
+    def test_converges_to_generous_values(self, traces):
+        result = iterative_refinement(
+            traces,
+            {
+                "l2_latency": [20, 12, 5],
+                "int_alus": [1, 2, 4],
+            },
+            max_rounds=3,
+        )
+        chosen = result.chosen_values()
+        assert chosen["l2_latency"] == 5
+        assert chosen["int_alus"] in (2, 4)
+        assert result.final_config.l2_latency == 5
+        assert result.rounds <= 3
+
+    def test_records_every_step(self, traces):
+        result = iterative_refinement(
+            traces, {"l2_latency": [20, 5]}, max_rounds=2,
+        )
+        assert len(result.steps) >= 1
+        assert result.steps[0].sweep.field_name == "l2_latency"
+
+    def test_requires_parameters(self, traces):
+        with pytest.raises(ValueError):
+            iterative_refinement(traces, {})

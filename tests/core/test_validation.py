@@ -1,0 +1,39 @@
+"""Tests for the one-call replication pipeline (repro.core.validation)."""
+
+import pytest
+
+from repro.core import replicate
+from repro.workloads import benchmark_suite
+
+
+@pytest.mark.slow
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        # A fast replication: 4 benchmarks, short traces.
+        traces = benchmark_suite(
+            length=2000, names=["gzip", "mcf", "twolf", "bzip2"]
+        )
+        return replicate(traces)
+
+    def test_headline_checks_mostly_pass(self, outcome):
+        checks = outcome.headline_checks()
+        # The hard physical conclusions must hold even at tiny scale.
+        assert checks["rob_in_top3"] or checks["l2_latency_in_top3"]
+        assert checks["precomputation_speeds_up_every_benchmark"]
+        assert checks["int_alus_relieved_by_precomputation"]
+
+    def test_comparisons_positive(self, outcome):
+        assert outcome.table9_vs_paper.overall_spearman > 0.0
+        assert outcome.table9_vs_paper.top10_overlap >= 3
+
+    def test_report_renders(self, outcome):
+        report = outcome.report()
+        assert "# Replication report" in report
+        assert "PASS" in report
+        assert "| Parameter |" in report
+
+    def test_artifacts_consistent(self, outcome):
+        assert outcome.table9.benchmarks == outcome.table12.benchmarks
+        assert outcome.enhancement.before is outcome.table9
+        assert outcome.enhancement.after is outcome.table12

@@ -1,0 +1,107 @@
+"""Tests for the functional-unit pool (repro.cpu.funits)."""
+
+import pytest
+
+from repro.cpu import MachineConfig, OpClass
+from repro.cpu.funits import FunctionalUnitPool, UnitClass
+
+
+class TestUnitClass:
+    def test_single_unit_occupancy(self):
+        unit = UnitClass("test", 1)
+        assert unit.can_issue(0)
+        unit.issue(0, interval=3)
+        assert not unit.can_issue(1)
+        assert not unit.can_issue(2)
+        assert unit.can_issue(3)
+
+    def test_multiple_units(self):
+        unit = UnitClass("test", 2)
+        unit.issue(0, 5)
+        assert unit.can_issue(0)
+        unit.issue(0, 5)
+        assert not unit.can_issue(0)
+
+    def test_issue_without_free_unit_raises(self):
+        unit = UnitClass("test", 1)
+        unit.issue(0, 10)
+        with pytest.raises(RuntimeError):
+            unit.issue(1, 10)
+
+    def test_counts(self):
+        unit = UnitClass("test", 4)
+        for i in range(3):
+            unit.issue(i, 1)
+        assert unit.issued == 3
+
+    def test_needs_positive_count(self):
+        with pytest.raises(ValueError):
+            UnitClass("bad", 0)
+
+
+class TestPoolDispatch:
+    def test_latencies_from_config(self):
+        cfg = MachineConfig(
+            int_alu_latency=2, fp_div_latency=35, int_mult_latency=15
+        )
+        pool = FunctionalUnitPool(cfg)
+        assert pool.issue(int(OpClass.IALU), 0) == 2
+        assert pool.issue(int(OpClass.FDIV), 0) == 35
+        assert pool.issue(int(OpClass.IMULT), 0) == 15
+
+    def test_pipelined_alu_throughput(self):
+        """Int ALU interval 1: back-to-back issue every cycle."""
+        cfg = MachineConfig(int_alus=1, int_alu_latency=2)
+        pool = FunctionalUnitPool(cfg)
+        pool.issue(int(OpClass.IALU), 0)
+        assert pool.can_issue(int(OpClass.IALU), 1)
+
+    def test_unpipelined_divider(self):
+        """Table 7: divide throughput equals divide latency."""
+        cfg = MachineConfig(int_mult_div_units=1, int_div_latency=20)
+        pool = FunctionalUnitPool(cfg)
+        pool.issue(int(OpClass.IDIV), 0)
+        assert not pool.can_issue(int(OpClass.IDIV), 10)
+        assert pool.can_issue(int(OpClass.IDIV), 20)
+
+    def test_mult_and_div_share_units(self):
+        cfg = MachineConfig(int_mult_div_units=1, int_div_latency=20)
+        pool = FunctionalUnitPool(cfg)
+        pool.issue(int(OpClass.IDIV), 0)
+        assert not pool.can_issue(int(OpClass.IMULT), 5)
+
+    def test_branches_use_int_alu(self):
+        cfg = MachineConfig(int_alus=1, int_alu_interval=1,
+                            int_alu_latency=1)
+        pool = FunctionalUnitPool(cfg)
+        unit, _, _ = pool.requirements(int(OpClass.BRANCH))
+        assert unit is pool.int_alu
+
+    def test_memory_ports_limit_loads(self):
+        cfg = MachineConfig(memory_ports=1)
+        pool = FunctionalUnitPool(cfg)
+        pool.issue(int(OpClass.LOAD), 0)
+        assert not pool.can_issue(int(OpClass.STORE), 0)
+        assert pool.can_issue(int(OpClass.STORE), 1)
+
+    def test_fp_units_independent_of_int(self):
+        cfg = MachineConfig(int_alus=1, fp_alus=1)
+        pool = FunctionalUnitPool(cfg)
+        pool.issue(int(OpClass.IALU), 0)
+        assert pool.can_issue(int(OpClass.FALU), 0)
+
+    def test_utilization_report(self):
+        pool = FunctionalUnitPool(MachineConfig())
+        pool.issue(int(OpClass.IALU), 0)
+        pool.issue(int(OpClass.LOAD), 0)
+        util = pool.utilization()
+        assert util["IntALU"] == 1
+        assert util["MemPort"] == 1
+        assert util["FPMultDiv"] == 0
+
+    def test_fp_sqrt_unpipelined(self):
+        cfg = MachineConfig(fp_mult_div_units=1, fp_sqrt_latency=35)
+        pool = FunctionalUnitPool(cfg)
+        pool.issue(int(OpClass.FSQRT), 0)
+        assert not pool.can_issue(int(OpClass.FMULT), 30)
+        assert pool.can_issue(int(OpClass.FMULT), 35)

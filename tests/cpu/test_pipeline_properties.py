@@ -1,0 +1,107 @@
+"""Property-based pipeline invariants over random generated traces."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import MachineConfig, simulate
+from repro.workloads import WorkloadProfile, generate_trace
+
+#: Machine corners sampled by the properties: default, all tight, all
+#: generous, and a couple of lopsided machines.
+CONFIGS = [
+    MachineConfig(),
+    MachineConfig(rob_entries=8, lsq_entries=2, int_alus=1,
+                  memory_ports=1, ifq_entries=4),
+    MachineConfig(rob_entries=64, lsq_entries=64, int_alus=4,
+                  fp_alus=4, memory_ports=4, ifq_entries=32,
+                  branch_predictor="perfect"),
+    MachineConfig(branch_predictor="taken", mispredict_penalty=10),
+    MachineConfig(l1d_size=4096, l1d_assoc=1, l1d_block=16,
+                  l2_size=262144, l2_assoc=1),
+]
+
+
+def random_trace(seed, length):
+    profile = WorkloadProfile(
+        name=f"prop{seed}", seed=seed, n_blocks=24, n_functions=3,
+        pointer_fraction=0.1, streaming_fraction=0.1,
+    )
+    return generate_trace(profile, length)
+
+
+@given(st.integers(1, 10_000), st.integers(50, 1200),
+       st.integers(0, len(CONFIGS) - 1))
+@settings(max_examples=30, deadline=None)
+def test_completion_and_throughput_bounds(seed, length, config_index):
+    """Every instruction commits; IPC never exceeds the width; the
+    cycle count is at least the width-limited lower bound."""
+    config = CONFIGS[config_index]
+    trace = random_trace(seed, length)
+    stats = simulate(config, trace, warmup=True)
+    assert stats.instructions == length
+    assert stats.cycles * config.width >= length
+    assert stats.ipc <= config.width + 1e-9
+    assert stats.mispredictions <= stats.branches
+    assert stats.branches == trace.branch_count()
+
+
+@given(st.integers(1, 10_000), st.integers(50, 800))
+@settings(max_examples=15, deadline=None)
+def test_determinism_property(seed, length):
+    """Identical (config, trace) always gives identical statistics."""
+    trace = random_trace(seed, length)
+    a = simulate(MachineConfig(), trace, warmup=True)
+    b = simulate(MachineConfig(), trace, warmup=True)
+    assert (a.cycles, a.l1d.misses, a.mispredictions) == \
+        (b.cycles, b.l1d.misses, b.mispredictions)
+
+
+@given(st.integers(1, 10_000), st.integers(100, 800))
+@settings(max_examples=15, deadline=None)
+def test_rob_monotonicity_property(seed, length):
+    """A larger window (effectively) never slows a trace down.
+
+    Strict monotonicity does not hold: window size perturbs the
+    *timing* of branch-predictor training, which can add a couple of
+    mispredictions — real machines behave the same way.  The property
+    allows that second-order jitter but catches any first-order
+    regression.
+    """
+    trace = random_trace(seed, length)
+    small = simulate(MachineConfig(rob_entries=8, lsq_entries=8),
+                     trace, warmup=True)
+    large = simulate(MachineConfig(rob_entries=64, lsq_entries=64),
+                     trace, warmup=True)
+    assert large.cycles <= small.cycles * 1.03 + 20
+
+
+@given(st.integers(1, 10_000), st.integers(100, 800))
+@settings(max_examples=15, deadline=None)
+def test_perfect_prediction_dominates(seed, length):
+    """The perfect predictor is never slower than the real one."""
+    trace = random_trace(seed, length)
+    real = simulate(MachineConfig(branch_predictor="2level"),
+                    trace, warmup=True)
+    perfect = simulate(MachineConfig(branch_predictor="perfect"),
+                       trace, warmup=True)
+    assert perfect.cycles <= real.cycles
+    assert perfect.mispredictions == 0
+
+
+@given(st.integers(1, 10_000))
+@settings(max_examples=10, deadline=None)
+def test_precomputation_never_slows(seed):
+    """Precomputation (effectively) never increases cycles.
+
+    Removing work perturbs issue timing and therefore predictor
+    training, so a handful of extra mispredictions can appear — the
+    tolerance absorbs that second-order jitter only.
+    """
+    from repro.cpu import build_precompute_table
+
+    trace = random_trace(seed, 800)
+    table = build_precompute_table(trace, 128)
+    base = simulate(MachineConfig(), trace, warmup=True)
+    enhanced = simulate(MachineConfig(), trace, warmup=True,
+                        precompute_table=table)
+    assert enhanced.cycles <= base.cycles * 1.03 + 20

@@ -1,0 +1,111 @@
+"""Tests for the energy proxy (repro.cpu.power)."""
+
+import pytest
+
+from repro.cpu import (
+    DEFAULT_ENERGY_MODEL,
+    EnergyModel,
+    MachineConfig,
+    energy_delay_response,
+    energy_response,
+    estimate_energy,
+    simulate,
+)
+from repro.workloads import benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def run():
+    cfg = MachineConfig()
+    trace = benchmark_trace("gzip", 3000)
+    return simulate(cfg, trace, warmup=True), cfg, trace
+
+
+class TestEnergyModel:
+    def test_cache_energy_grows_with_size(self):
+        m = DEFAULT_ENERGY_MODEL
+        assert m.cache_access_energy(128 * 1024, 4) > \
+            m.cache_access_energy(4 * 1024, 4)
+
+    def test_cache_energy_grows_with_assoc(self):
+        m = DEFAULT_ENERGY_MODEL
+        assert m.cache_access_energy(16 * 1024, 8) > \
+            m.cache_access_energy(16 * 1024, 1)
+
+    def test_fully_associative_expensive(self):
+        m = DEFAULT_ENERGY_MODEL
+        assert m.cache_access_energy(16 * 1024, 0) > \
+            m.cache_access_energy(16 * 1024, 2)
+
+
+class TestEstimate:
+    def test_components_present(self, run):
+        stats, cfg, _ = run
+        breakdown = estimate_energy(stats, cfg)
+        assert set(breakdown.components) == {
+            "core", "caches", "tlbs", "dram", "recovery", "static",
+        }
+        assert breakdown.total > 0
+
+    def test_all_components_nonnegative(self, run):
+        stats, cfg, _ = run
+        for value in estimate_energy(stats, cfg).components.values():
+            assert value >= 0.0
+
+    def test_bigger_l2_costs_static_energy(self, run):
+        stats, cfg, trace = run
+        big = MachineConfig(l2_size=8 * 1024 * 1024)
+        big_stats = simulate(big, trace, warmup=True)
+        assert energy_response(big_stats, big) > \
+            energy_response(stats, cfg)
+
+    def test_perfect_bpred_saves_recovery_energy(self, run):
+        stats, cfg, trace = run
+        perfect = MachineConfig(branch_predictor="perfect")
+        perfect_stats = simulate(perfect, trace, warmup=True)
+        base = estimate_energy(stats, cfg).components["recovery"]
+        saved = estimate_energy(perfect_stats,
+                                perfect).components["recovery"]
+        assert saved == 0.0 < base
+
+    def test_custom_model(self, run):
+        stats, cfg, _ = run
+        hot = EnergyModel(dram_access=1e6)
+        cold = EnergyModel(dram_access=0.0)
+        assert estimate_energy(stats, cfg, hot).total >= \
+            estimate_energy(stats, cfg, cold).total
+
+    def test_summary_and_dominant(self, run):
+        stats, cfg, _ = run
+        breakdown = estimate_energy(stats, cfg)
+        assert breakdown.dominant() in breakdown.components
+        assert "total energy" in breakdown.summary()
+
+    def test_energy_delay(self, run):
+        stats, cfg, _ = run
+        assert energy_delay_response(stats, cfg) == pytest.approx(
+            energy_response(stats, cfg) * stats.cycles
+        )
+
+
+class TestEnergyScreen:
+    def test_pb_experiment_on_energy(self):
+        """The same PB machinery screens on energy: capacity-heavy
+        parameters (L2 size) matter for energy even where they were
+        performance-neutral."""
+        from repro.core import PBExperiment, rank_parameters_from_result
+
+        factors = ["Reorder Buffer Entries", "L2 Cache Size",
+                   "L2 Cache Latency", "Int ALUs", "BPred Type",
+                   "I-TLB Size", "L1 D-Cache Size"]
+        traces = {"gzip": benchmark_trace("gzip", 1500)}
+        cycles = PBExperiment(traces, parameter_names=factors).run()
+        energy = PBExperiment(traces, parameter_names=factors,
+                              response=energy_response).run()
+        rank_c = rank_parameters_from_result(cycles)
+        rank_e = rank_parameters_from_result(energy)
+        # gzip fits even the small L2, so L2 size is performance-noise
+        # but an energy headliner.
+        assert rank_e.rank_of("L2 Cache Size", "gzip") <= 2
+        assert rank_c.rank_of("L2 Cache Size", "gzip") > \
+            rank_e.rank_of("L2 Cache Size", "gzip")

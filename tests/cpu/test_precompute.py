@@ -1,0 +1,107 @@
+"""Tests for instruction precomputation (repro.cpu.precompute)."""
+
+import pytest
+
+from repro.cpu import (
+    Instruction,
+    MachineConfig,
+    OpClass,
+    PAPER_TABLE_ENTRIES,
+    build_precompute_table,
+    coverage,
+    simulate,
+)
+from repro.workloads.trace import Trace
+
+
+def redundant_trace(n=600, n_keys=8, redundant_every=2):
+    """IALUs where every ``redundant_every``-th op repeats one of
+    ``n_keys`` computations; the rest are unique (key = NO_VALUE)."""
+    instrs = []
+    for i in range(n):
+        key = (i % n_keys) if i % redundant_every == 0 else -1
+        instrs.append(Instruction(
+            pc=0x400000 + 4 * (i % 16), op=OpClass.IALU,
+            dst=1 + (i % 8), redundancy_key=key,
+        ))
+    return Trace.from_instructions(instrs, name="redundant")
+
+
+class TestTableConstruction:
+    def test_top_keys_by_frequency(self):
+        tr = redundant_trace(n=600, n_keys=8)
+        table = build_precompute_table(tr, table_entries=4)
+        assert len(table) == 4
+        counts = tr.redundancy_counts()
+        chosen_counts = sorted((counts[k] for k in table), reverse=True)
+        all_counts = sorted(counts.values(), reverse=True)
+        assert chosen_counts == all_counts[:4]
+
+    def test_paper_table_size(self):
+        assert PAPER_TABLE_ENTRIES == 128
+
+    def test_single_execution_keys_excluded(self):
+        instrs = [Instruction(pc=4 * i, op=OpClass.IALU, dst=1,
+                              redundancy_key=i) for i in range(20)]
+        tr = Trace.from_instructions(instrs)
+        assert build_precompute_table(tr) == frozenset()
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            build_precompute_table(redundant_trace(), table_entries=0)
+
+    def test_deterministic(self):
+        tr = redundant_trace()
+        assert build_precompute_table(tr) == build_precompute_table(tr)
+
+
+class TestCoverage:
+    def test_full_table_covers_all_redundant(self):
+        tr = redundant_trace(n=400, n_keys=4, redundant_every=2)
+        table = build_precompute_table(tr, table_entries=64)
+        assert coverage(tr, table) == pytest.approx(0.5)
+
+    def test_empty_table_zero(self):
+        tr = redundant_trace()
+        assert coverage(tr, frozenset()) == 0.0
+
+
+class TestPipelineIntegration:
+    def test_precomputed_ops_bypass_alus(self):
+        """With one slow ALU, precomputation recovers throughput —
+        the mechanism behind the paper's Table 12 Int-ALU shift."""
+        tr = redundant_trace(n=800, redundant_every=2)
+        table = build_precompute_table(tr, 128)
+        cfg = MachineConfig(int_alus=1, int_alu_latency=2)
+        base = simulate(cfg, tr, warmup=True)
+        enhanced = simulate(cfg, tr, precompute_table=table, warmup=True)
+        assert enhanced.precompute_hits == 400
+        assert enhanced.cycles < base.cycles
+
+    def test_hits_counted_only_for_table_keys(self):
+        tr = redundant_trace(n=100, n_keys=4, redundant_every=2)
+        one_key = frozenset([0])
+        stats = simulate(MachineConfig(), tr, precompute_table=one_key,
+                         warmup=True)
+        expected = sum(1 for i in range(100)
+                       if i % 2 == 0 and (i % 4) == 0)
+        assert stats.precompute_hits == expected
+
+    def test_enhancement_reduces_alu_sensitivity(self):
+        """The Int-ALU count matters less with precomputation on."""
+        tr = redundant_trace(n=1000, redundant_every=2)
+        table = build_precompute_table(tr, 128)
+
+        def contrast(precompute):
+            slow = simulate(MachineConfig(int_alus=1), tr,
+                            precompute_table=precompute, warmup=True)
+            fast = simulate(MachineConfig(int_alus=4), tr,
+                            precompute_table=precompute, warmup=True)
+            return slow.cycles - fast.cycles
+
+        assert contrast(table) < contrast(None)
+
+    def test_disabled_table_no_hits(self):
+        tr = redundant_trace(n=100)
+        stats = simulate(MachineConfig(), tr, warmup=True)
+        assert stats.precompute_hits == 0

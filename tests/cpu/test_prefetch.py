@@ -1,0 +1,113 @@
+"""Tests for the next-N-line prefetcher and tournament predictor."""
+
+import pytest
+
+from repro.cpu import Instruction, MachineConfig, OpClass, simulate
+from repro.cpu.branch import TournamentPredictor
+from repro.cpu.cache import MemoryHierarchy
+from repro.workloads import benchmark_trace
+from repro.workloads.trace import Trace
+
+
+def streaming_trace(n=400):
+    """Sequential loads marching through memory (prefetch heaven)."""
+    instrs = []
+    for i in range(n):
+        pc = 0x400000 + 4 * (i % 8)
+        instrs.append(Instruction(
+            pc=pc, op=OpClass.LOAD, dst=1 + (i % 8),
+            mem_addr=0x10000000 + 8 * i,
+        ))
+    return Trace.from_instructions(instrs, name="stream")
+
+
+class TestPrefetcher:
+    def test_hides_streaming_misses(self):
+        tr = streaming_trace()
+        base = simulate(MachineConfig(), tr)
+        pf = simulate(MachineConfig(), tr, prefetch_lines=2)
+        assert pf.l1d.misses < base.l1d.misses
+        assert pf.cycles < base.cycles
+
+    def test_prefetch_counter(self):
+        hierarchy = MemoryHierarchy(MachineConfig(), prefetch_lines=2)
+        hierarchy.data_access(0x1000, write=False)   # miss -> 2 prefetches
+        assert hierarchy.prefetches == 2
+        hierarchy.data_access(0x1000, write=False)   # hit -> none
+        assert hierarchy.prefetches == 2
+
+    def test_demand_counters_unpolluted(self):
+        hierarchy = MemoryHierarchy(MachineConfig(), prefetch_lines=4)
+        hierarchy.data_access(0x1000, write=False)
+        assert hierarchy.l1d.stats.accesses == 1
+        assert hierarchy.l1d.stats.misses == 1
+
+    def test_prefetched_block_hits(self):
+        cfg = MachineConfig()
+        hierarchy = MemoryHierarchy(cfg, prefetch_lines=1)
+        hierarchy.data_access(0x1000, write=False)
+        # The next block was prefetched: a demand access hits.
+        latency = hierarchy.data_access(0x1000 + cfg.l1d_block,
+                                        write=False)
+        assert latency == cfg.l1d_latency
+
+    def test_zero_lines_is_off(self):
+        hierarchy = MemoryHierarchy(MachineConfig(), prefetch_lines=0)
+        hierarchy.data_access(0x1000, write=False)
+        assert hierarchy.prefetches == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(MachineConfig(), prefetch_lines=-1)
+
+    def test_random_access_gains_little(self):
+        """Prefetching helps streams far more than pointer chases."""
+        stream = streaming_trace()
+        import numpy as np
+        rng = np.random.default_rng(0)
+        scattered = Trace.from_instructions([
+            Instruction(pc=0x400000 + 4 * (i % 8), op=OpClass.LOAD,
+                        dst=1 + (i % 8),
+                        mem_addr=0x10000000
+                        + int(rng.integers(0, 1 << 20)) * 64)
+            for i in range(400)
+        ])
+
+        def gain(tr):
+            base = simulate(MachineConfig(), tr).cycles
+            pf = simulate(MachineConfig(), tr, prefetch_lines=2).cycles
+            return base / pf
+
+        assert gain(stream) > gain(scattered)
+
+
+class TestTournamentPredictor:
+    def test_beats_worst_component_on_mixed_branches(self):
+        """Two branches: one biased (bimodal's home turf), one
+        alternating (history's home turf) — the tournament tracks the
+        better component for each."""
+        tournament = TournamentPredictor(speculative_update="commit")
+        correct = 0
+        total = 0
+        for i in range(600):
+            for pc, taken in ((0x1000, True), (0x2000, bool(i % 2))):
+                hist = tournament.history
+                if tournament.predict(pc) == taken:
+                    correct += 1
+                total += 1
+                tournament.update(pc, taken, hist)
+        assert correct / total > 0.8
+
+    def test_usable_in_config(self):
+        tr = benchmark_trace("gzip", 2000)
+        stats = simulate(
+            MachineConfig(branch_predictor="tournament"), tr, warmup=True
+        )
+        assert stats.instructions == 2000
+
+    def test_repair_passthrough(self):
+        t = TournamentPredictor(speculative_update="decode")
+        snapshot = t.history
+        t.predict(0x100)
+        t.repair(snapshot, taken=True)
+        assert t.history == ((snapshot << 1) | 1) & 0xF

@@ -1,0 +1,43 @@
+"""Tests for CoreStats (repro.cpu.stats)."""
+
+import pytest
+
+from repro.cpu import CacheSnapshot, CoreStats
+
+
+class TestCacheSnapshot:
+    def test_derived_quantities(self):
+        snap = CacheSnapshot(accesses=100, misses=25)
+        assert snap.hits == 75
+        assert snap.miss_rate == pytest.approx(0.25)
+
+    def test_empty(self):
+        snap = CacheSnapshot()
+        assert snap.miss_rate == 0.0
+        assert snap.hits == 0
+
+
+class TestCoreStats:
+    def test_ipc(self):
+        stats = CoreStats(cycles=200, instructions=100)
+        assert stats.ipc == pytest.approx(0.5)
+
+    def test_ipc_zero_cycles(self):
+        assert CoreStats().ipc == 0.0
+
+    def test_misprediction_rate(self):
+        stats = CoreStats(branches=50, mispredictions=5)
+        assert stats.misprediction_rate == pytest.approx(0.1)
+        assert CoreStats().misprediction_rate == 0.0
+
+    def test_rob_occupancy(self):
+        stats = CoreStats(cycles=10, rob_occupancy_sum=55)
+        assert stats.average_rob_occupancy == pytest.approx(5.5)
+
+    def test_summary_mentions_key_metrics(self):
+        stats = CoreStats(cycles=100, instructions=150, branches=10,
+                          mispredictions=1)
+        text = stats.summary()
+        assert "IPC=1.500" in text
+        assert "cycles=100" in text
+        assert "mispredict_rate" in text

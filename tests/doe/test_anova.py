@@ -1,0 +1,164 @@
+"""Tests for the replicated 2^k ANOVA (repro.doe.anova)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import anova, full_factorial_design
+
+
+@pytest.fixture
+def design2():
+    return full_factorial_design(2, factor_names=["a", "b"])
+
+
+def synthetic_responses(design, coef, noise_sd=0.0, reps=1, seed=0):
+    """y = sum(coef[subset] * contrast) + noise, per replication."""
+    from repro.doe import contrast_column
+
+    rng = np.random.default_rng(seed)
+    y = np.zeros((design.n_runs, reps))
+    for subset, c in coef.items():
+        col = contrast_column(design, list(subset)).astype(float)
+        y += c * col[:, None]
+    y += rng.normal(0.0, noise_sd, size=y.shape)
+    return y
+
+
+class TestEffectsRecovered:
+    def test_main_effect_value(self, design2):
+        # y = 3*a: classical effect (high mean - low mean) = 6.
+        y = synthetic_responses(design2, {("a",): 3.0})
+        result = anova(design2, y)
+        assert result.row("a").effect == pytest.approx(6.0)
+        assert result.row("b").effect == pytest.approx(0.0)
+
+    def test_interaction_effect_value(self, design2):
+        y = synthetic_responses(design2, {("a", "b"): 2.0})
+        result = anova(design2, y)
+        assert result.row("a", "b").effect == pytest.approx(4.0)
+        assert result.row("a").effect == pytest.approx(0.0)
+
+    def test_row_lookup_order_insensitive(self, design2):
+        y = synthetic_responses(design2, {("a", "b"): 1.0})
+        result = anova(design2, y)
+        assert result.row("b", "a") == result.row("a", "b")
+
+    def test_unknown_subset(self, design2):
+        result = anova(design2, synthetic_responses(design2, {}))
+        with pytest.raises(KeyError):
+            result.row("zzz")
+
+
+class TestVariationAllocation:
+    def test_fractions_sum_to_one_without_noise(self):
+        design = full_factorial_design(3, factor_names=["a", "b", "c"])
+        y = synthetic_responses(
+            design, {("a",): 2.0, ("b", "c"): 1.0}
+        )
+        result = anova(design, y)
+        total = sum(r.variation_fraction for r in result.rows)
+        assert total == pytest.approx(1.0)
+
+    def test_dominant_effect_dominates(self, design2):
+        y = synthetic_responses(design2, {("a",): 10.0, ("b",): 1.0})
+        result = anova(design2, y)
+        assert result.sorted_by_variation()[0].label == "a"
+        assert result.row("a").variation_fraction > 0.9
+
+    def test_max_order_limits_rows(self):
+        design = full_factorial_design(4)
+        y = synthetic_responses(design, {})
+        result = anova(design, y, max_order=1)
+        assert len(result.rows) == 4
+
+    def test_sst_identity_with_replication(self, design2):
+        y = synthetic_responses(
+            design2, {("a",): 3.0}, noise_sd=0.5, reps=4, seed=7
+        )
+        result = anova(design2, y)
+        reconstructed = (
+            sum(r.sum_of_squares for r in result.rows)
+            + result.error_sum_of_squares
+        )
+        assert reconstructed == pytest.approx(
+            result.total_sum_of_squares, rel=1e-9
+        )
+
+
+class TestFTests:
+    def test_no_replication_no_f(self, design2):
+        y = synthetic_responses(design2, {("a",): 1.0})
+        result = anova(design2, y)
+        assert result.row("a").f_statistic is None
+        assert result.row("a").p_value is None
+        assert result.significant() == []
+
+    def test_real_effect_significant(self, design2):
+        y = synthetic_responses(
+            design2, {("a",): 5.0}, noise_sd=0.3, reps=5, seed=1
+        )
+        result = anova(design2, y)
+        significant = {r.label for r in result.significant(0.01)}
+        assert "a" in significant
+
+    def test_null_effect_rarely_significant(self, design2):
+        y = synthetic_responses(
+            design2, {}, noise_sd=1.0, reps=5, seed=2
+        )
+        result = anova(design2, y)
+        # With pure noise, p-values should not all be tiny.
+        assert all(
+            r.p_value is None or r.p_value > 1e-6 for r in result.rows
+        )
+
+    def test_f_statistic_positive(self, design2):
+        y = synthetic_responses(
+            design2, {("a",): 2.0}, noise_sd=0.5, reps=3, seed=3
+        )
+        result = anova(design2, y)
+        for row in result.rows:
+            assert row.f_statistic >= 0.0
+            assert 0.0 <= row.p_value <= 1.0
+
+
+class TestValidation:
+    def test_requires_power_of_two_runs(self):
+        from repro.doe import DesignMatrix
+
+        d = DesignMatrix([[1], [-1], [1]])
+        with pytest.raises(ValueError):
+            anova(d, [1.0, 2.0, 3.0])
+
+    def test_wrong_row_count(self, design2):
+        with pytest.raises(ValueError):
+            anova(design2, [1.0, 2.0])
+
+    def test_one_dimensional_input_accepted(self, design2):
+        result = anova(design2, [1.0, 2.0, 3.0, 4.0])
+        assert result.error_degrees_of_freedom == 0
+
+
+class TestVariationExplainedMap:
+    def test_keys_are_labels(self, design2):
+        y = synthetic_responses(design2, {("a",): 1.0})
+        result = anova(design2, y)
+        assert set(result.variation_explained()) == {"a", "b", "a:b"}
+
+
+@given(
+    st.lists(st.floats(-100, 100), min_size=8, max_size=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_anova_sst_decomposition_property(y):
+    """SST = sum of effect SS (+SSE) holds for any response vector."""
+    design = full_factorial_design(3)
+    result = anova(design, y)
+    reconstructed = (
+        sum(r.sum_of_squares for r in result.rows)
+        + result.error_sum_of_squares
+    )
+    assert reconstructed == pytest.approx(
+        result.total_sum_of_squares, rel=1e-6, abs=1e-6
+    )

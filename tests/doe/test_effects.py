@@ -1,0 +1,213 @@
+"""Tests for effect computation and ranking (repro.doe.effects).
+
+Table 4 of the paper is reproduced exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import (
+    compute_effects,
+    interaction_effect,
+    pb_design,
+    rank_matrix,
+    significance_gap,
+    sum_of_ranks,
+)
+
+#: The worked example of the paper's Table 4.
+TABLE4_RESPONSES = [1, 9, 74, 28, 3, 6, 112, 84]
+TABLE4_EFFECTS = [-23, -67, -137, 129, -105, -225, 73]
+
+
+@pytest.fixture
+def design8():
+    return pb_design(7, factor_names=list("ABCDEFG"))
+
+
+class TestPaperTable4:
+    def test_exact_effects(self, design8):
+        table = compute_effects(design8, TABLE4_RESPONSES)
+        assert [round(table.effect(f)) for f in "ABCDEFG"] == TABLE4_EFFECTS
+
+    def test_most_important_order(self, design8):
+        """Paper: 'the parameters with the most effect are F, C, and D'."""
+        table = compute_effects(design8, TABLE4_RESPONSES)
+        assert table.top(3) == ["F", "C", "D"]
+
+    def test_only_magnitude_matters_for_rank(self, design8):
+        table = compute_effects(design8, TABLE4_RESPONSES)
+        ranks = table.ranks()
+        assert ranks["F"] == 1   # |−225|
+        assert ranks["C"] == 2   # |−137|
+        assert ranks["D"] == 3   # |129|
+        assert ranks["A"] == 7   # |−23| smallest
+
+
+class TestComputeEffects:
+    def test_wrong_response_count(self, design8):
+        with pytest.raises(ValueError):
+            compute_effects(design8, [1, 2, 3])
+
+    def test_normalized_effects_scale(self, design8):
+        raw = compute_effects(design8, TABLE4_RESPONSES)
+        norm = compute_effects(design8, TABLE4_RESPONSES, normalize=True)
+        for f in "ABCDEFG":
+            assert norm.effect(f) == pytest.approx(raw.effect(f) / 4.0)
+
+    def test_constant_response_zero_effects(self, design8):
+        table = compute_effects(design8, [5.0] * 8)
+        assert all(e == 0 for e in table.effects)
+
+    def test_single_factor_response(self, design8):
+        """Response = column A exactly -> A's effect is N, others 0."""
+        y = design8.column("A").astype(float)
+        table = compute_effects(design8, y)
+        assert table.effect("A") == pytest.approx(8.0)
+        for f in "BCDEFG":
+            assert table.effect(f) == pytest.approx(0.0)
+
+    def test_magnitude_accessor(self, design8):
+        table = compute_effects(design8, TABLE4_RESPONSES)
+        assert table.magnitude("F") == 225
+
+    def test_sorted_by_magnitude_descending(self, design8):
+        table = compute_effects(design8, TABLE4_RESPONSES)
+        mags = [abs(e) for _, e in table.sorted_by_magnitude()]
+        assert mags == sorted(mags, reverse=True)
+
+
+class TestRelativeMagnitude:
+    def test_paper_section41_overshadowing(self, design8):
+        """A factor can hold a good rank while being overshadowed —
+        the paper's art/FP-sqrt example, synthesized."""
+        # Responses dominated by two huge effects; everything else is
+        # within rounding noise of zero.
+        y = (1000.0 * design8.column("A")
+             + 800.0 * design8.column("B")
+             + 1.0 * design8.column("C")
+             + 0.5 * design8.column("D")).astype(float)
+        table = compute_effects(design8, y)
+        ranks = table.ranks()
+        assert ranks["C"] == 3             # a flattering rank ...
+        assert table.relative_magnitude("C") < 0.01   # ... yet noise
+
+    def test_dominant_factor_is_one(self, design8):
+        table = compute_effects(design8, TABLE4_RESPONSES)
+        assert table.relative_magnitude("F") == pytest.approx(1.0)
+
+    def test_zero_effects(self, design8):
+        table = compute_effects(design8, [7.0] * 8)
+        assert table.relative_magnitude("A") == 0.0
+
+
+class TestRanks:
+    def test_ranks_are_permutation(self, design8):
+        ranks = compute_effects(design8, TABLE4_RESPONSES).ranks()
+        assert sorted(ranks.values()) == list(range(1, 8))
+
+    def test_tie_broken_by_column_order(self, design8):
+        y = np.zeros(8)
+        ranks = compute_effects(design8, y).ranks()
+        # All effects zero: ranks assigned in column order.
+        assert ranks == {f: i + 1 for i, f in enumerate("ABCDEFG")}
+
+
+class TestInteractionEffect:
+    def test_pure_interaction_response(self):
+        design = pb_design(7, factor_names=list("ABCDEFG"), foldover=True)
+        y = (design.column("A") * design.column("B")).astype(float)
+        # In the foldover design the AB product column is orthogonal to
+        # every main-effect column, so mains stay 0.
+        mains = compute_effects(design, y)
+        for f in "ABCDEFG":
+            assert mains.effect(f) == pytest.approx(0.0)
+        assert interaction_effect(design, y, "A", "B") == pytest.approx(16.0)
+
+    def test_normalized(self):
+        design = pb_design(3, factor_names=list("ABC"))
+        y = (design.column("A") * design.column("B")).astype(float)
+        raw = interaction_effect(design, y, "A", "B")
+        norm = interaction_effect(design, y, "A", "B", normalize=True)
+        assert norm == pytest.approx(raw / (design.n_runs / 2))
+
+    def test_wrong_length(self):
+        design = pb_design(3)
+        with pytest.raises(ValueError):
+            interaction_effect(design, [1.0], "F1", "F2")
+
+
+class TestSumOfRanks:
+    def test_paper_mechanics(self, design8):
+        tables = {
+            "bench1": compute_effects(design8, TABLE4_RESPONSES),
+            "bench2": compute_effects(design8, TABLE4_RESPONSES),
+        }
+        sums = sum_of_ranks(tables)
+        # Identical benchmarks: every sum is twice the single rank.
+        single = tables["bench1"].ranks()
+        assert sums == {f: 2 * r for f, r in single.items()}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sum_of_ranks({})
+
+    def test_mismatched_factors_rejected(self, design8):
+        other = pb_design(3, factor_names=list("XYZ"))
+        tables = {
+            "a": compute_effects(design8, TABLE4_RESPONSES),
+            "b": compute_effects(other, [1, 2, 3, 4]),
+        }
+        with pytest.raises(ValueError):
+            sum_of_ranks(tables)
+
+    def test_rank_matrix_sorted_by_sum(self, design8):
+        rng = np.random.default_rng(3)
+        tables = {
+            f"b{i}": compute_effects(design8, rng.normal(size=8))
+            for i in range(4)
+        }
+        factors, benchmarks, grid = rank_matrix(tables)
+        sums = grid.sum(axis=1)
+        assert (np.diff(sums) >= 0).all()
+        assert set(benchmarks) == set(tables)
+
+
+class TestSignificanceGap:
+    def test_obvious_gap(self):
+        totals = {"a": 10, "b": 12, "c": 90, "d": 95, "e": 99, "f": 101}
+        significant, cut = significance_gap(totals)
+        assert significant == ["a", "b"]
+        assert cut == 2
+
+    def test_single_factor(self):
+        assert significance_gap({"only": 3}) == (["only"], 1)
+
+    def test_gap_not_searched_in_tail(self):
+        # Huge gap deep in the tail must not move the cut there.
+        totals = {"a": 1, "b": 50, "c": 52, "d": 54, "e": 55, "f": 300}
+        significant, _ = significance_gap(totals)
+        assert significant == ["a"]
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=8, max_size=8))
+@settings(max_examples=60, deadline=None)
+def test_effects_equal_matrix_transpose_times_y(y):
+    """effect vector == M^T y for any response vector (hypothesis)."""
+    design = pb_design(7)
+    table = compute_effects(design, y)
+    expected = design.matrix.astype(float).T @ np.asarray(y)
+    assert np.allclose(table.effects, expected)
+
+
+@given(st.lists(st.floats(-1e6, 1e6), min_size=16, max_size=16))
+@settings(max_examples=40, deadline=None)
+def test_foldover_effects_invariant_to_mean_shift(y):
+    """Adding a constant to all responses never changes an effect
+    (columns are balanced), for the foldover design too."""
+    design = pb_design(7, foldover=True)
+    base = compute_effects(design, y)
+    shifted = compute_effects(design, [v + 1000.0 for v in y])
+    assert np.allclose(base.effects, shifted.effects, atol=1e-6)

@@ -1,0 +1,119 @@
+"""Tests for 2^(k-p) fractional factorials (repro.doe.fractional)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import (
+    FractionalFactorial,
+    compute_effects,
+    fractional_factorial,
+    half_fraction,
+)
+
+
+class TestConstruction:
+    def test_half_fraction_run_count(self):
+        frac = fractional_factorial(5, ["E=ABCD"])
+        assert frac.design.n_runs == 16
+        assert frac.design.n_factors == 5
+
+    def test_quarter_fraction(self):
+        frac = fractional_factorial(6, ["E=ABC", "F=BCD"])
+        assert frac.design.n_runs == 16
+        assert len(frac.defining_relation) == 3
+
+    def test_generated_column_is_product(self):
+        frac = fractional_factorial(4, ["D=ABC"])
+        d = frac.design
+        product = d.column("A") * d.column("B") * d.column("C")
+        assert np.array_equal(d.column("D"), product)
+
+    def test_orthogonal_and_balanced(self):
+        frac = fractional_factorial(6, ["E=ABC", "F=BCD"])
+        assert frac.design.is_balanced()
+        assert frac.design.is_orthogonal()
+
+    def test_bad_generator_syntax(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(4, ["D:ABC"])
+        with pytest.raises(ValueError):
+            fractional_factorial(4, ["DE=AB"])
+
+    def test_generator_must_use_base_factors(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(5, ["D=AE", "E=AB"])
+
+    def test_duplicate_target(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(5, ["E=AB", "E=CD"])
+
+    def test_factor_count_bounds(self):
+        with pytest.raises(ValueError):
+            fractional_factorial(1, [])
+        with pytest.raises(ValueError):
+            fractional_factorial(30, [])
+
+
+class TestResolutionAndAliases:
+    def test_resolution_v(self):
+        assert fractional_factorial(5, ["E=ABCD"]).resolution == 5
+
+    def test_resolution_iii(self):
+        frac = fractional_factorial(3, ["C=AB"])
+        assert frac.resolution == 3
+        assert not frac.mains_clear_of_two_factor_interactions()
+
+    def test_resolution_iv(self):
+        frac = fractional_factorial(4, ["D=ABC"])
+        assert frac.resolution == 4
+        assert frac.mains_clear_of_two_factor_interactions()
+
+    def test_alias_of_main_in_res3(self):
+        frac = fractional_factorial(3, ["C=AB"])
+        assert frozenset("AB") in frac.aliases_of("C")
+
+    def test_alias_of_interaction(self):
+        frac = fractional_factorial(4, ["D=ABC"])
+        # I = ABCD, so AB is aliased with CD.
+        assert frozenset("CD") in frac.aliases_of("A", "B")
+
+    def test_unknown_factor(self):
+        with pytest.raises(KeyError):
+            fractional_factorial(3, ["C=AB"]).aliases_of("Z")
+
+    def test_half_fraction_resolution_equals_k(self):
+        for k in range(3, 8):
+            assert half_fraction(k).resolution == k
+
+
+class TestAliasedEffectsAreReal:
+    def test_aliased_pair_indistinguishable(self):
+        """A response driven purely by the CD interaction shows up as
+        the AB effect in a design where AB is aliased with CD."""
+        frac = fractional_factorial(4, ["D=ABC"])
+        d = frac.design
+        y = (d.column("C") * d.column("D")).astype(float)
+        ab = float((d.column("A") * d.column("B")).astype(float) @ y)
+        # The AB product column carries the full CD signal.
+        assert abs(ab) == d.n_runs
+
+    def test_res5_mains_clean(self):
+        """In a resolution-V fraction, a pure two-factor interaction
+        leaves every main effect untouched."""
+        frac = fractional_factorial(5, ["E=ABCD"])
+        d = frac.design
+        y = (d.column("A") * d.column("B")).astype(float)
+        table = compute_effects(d, y)
+        for f in "ABCDE":
+            assert table.effect(f) == pytest.approx(0.0)
+
+
+@given(st.integers(3, 9))
+@settings(max_examples=10, deadline=None)
+def test_half_fraction_properties(k):
+    frac = half_fraction(k)
+    assert frac.design.n_runs == 2 ** (k - 1)
+    assert frac.design.is_orthogonal()
+    assert len(frac.defining_relation) == 1

@@ -1,0 +1,144 @@
+"""Tests for finite-field arithmetic (repro.doe.galois)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe.galois import (
+    GaloisField,
+    is_prime,
+    prime_power_decomposition,
+)
+
+SMALL_FIELDS = [2, 3, 4, 5, 7, 8, 9, 11, 13, 16, 25, 27, 43]
+
+
+class TestPrimes:
+    def test_small_primes(self):
+        primes = [n for n in range(2, 60) if is_prime(n)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37,
+                          41, 43, 47, 53, 59]
+
+    def test_non_primes(self):
+        for n in (-5, 0, 1, 4, 9, 21, 25, 27, 49, 91):
+            assert not is_prime(n)
+
+    def test_prime_power_decomposition(self):
+        assert prime_power_decomposition(27) == (3, 3)
+        assert prime_power_decomposition(8) == (2, 3)
+        assert prime_power_decomposition(43) == (43, 1)
+        assert prime_power_decomposition(49) == (7, 2)
+
+    def test_non_prime_powers(self):
+        for n in (1, 6, 12, 36, 100):
+            assert prime_power_decomposition(n) is None
+
+
+class TestFieldConstruction:
+    def test_rejects_non_prime_power(self):
+        with pytest.raises(ValueError):
+            GaloisField(12)
+
+    @pytest.mark.parametrize("q", SMALL_FIELDS)
+    def test_field_sizes(self, q):
+        field = GaloisField(q)
+        assert field.q == q
+        assert len(list(field.elements())) == q
+
+
+class TestFieldAxioms:
+    """Exhaustive axiom checks on small fields (including GF(27))."""
+
+    @pytest.mark.parametrize("q", [7, 8, 9, 27])
+    def test_additive_group(self, q):
+        f = GaloisField(q)
+        for a in f.elements():
+            assert f.add(a, 0) == a
+            assert f.add(a, f.neg(a)) == 0
+            for b in f.elements():
+                assert f.add(a, b) == f.add(b, a)
+
+    @pytest.mark.parametrize("q", [7, 8, 9, 27])
+    def test_multiplicative_group(self, q):
+        f = GaloisField(q)
+        for a in f.elements():
+            assert f.mul(a, 1) == a
+            assert f.mul(a, 0) == 0
+            if a != 0:
+                assert f.mul(a, f.inverse(a)) == 1
+
+    @pytest.mark.parametrize("q", [7, 9, 27])
+    def test_distributivity(self, q):
+        f = GaloisField(q)
+        for a in range(0, q, max(1, q // 7)):
+            for b in f.elements():
+                for c in range(0, q, max(1, q // 5)):
+                    left = f.mul(a, f.add(b, c))
+                    right = f.add(f.mul(a, b), f.mul(a, c))
+                    assert left == right
+
+    @pytest.mark.parametrize("q", [7, 8, 9, 27, 43])
+    def test_associativity_sampled(self, q):
+        f = GaloisField(q)
+        step = max(1, q // 6)
+        for a in range(0, q, step):
+            for b in range(0, q, step):
+                for c in range(0, q, step):
+                    assert f.mul(f.mul(a, b), c) == f.mul(a, f.mul(b, c))
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GaloisField(7).inverse(0)
+
+
+class TestQuadraticCharacter:
+    def test_legendre_gf7(self):
+        f = GaloisField(7)
+        # Squares mod 7: 1, 4, 2.
+        assert [f.quadratic_character(a) for a in range(7)] == \
+            [0, 1, 1, -1, 1, -1, -1]
+
+    @pytest.mark.parametrize("q", [7, 11, 19, 23, 27, 43])
+    def test_character_is_multiplicative(self, q):
+        f = GaloisField(q)
+        step = max(1, q // 8)
+        for a in range(1, q, step):
+            for b in range(1, q, step):
+                chi_ab = f.quadratic_character(f.mul(a, b))
+                assert chi_ab == \
+                    f.quadratic_character(a) * f.quadratic_character(b)
+
+    @pytest.mark.parametrize("q", [7, 11, 19, 23, 27, 43, 47])
+    def test_character_balance(self, q):
+        """Exactly (q-1)/2 squares and (q-1)/2 nonsquares."""
+        f = GaloisField(q)
+        values = [f.quadratic_character(a) for a in range(1, q)]
+        assert values.count(1) == (q - 1) // 2
+        assert values.count(-1) == (q - 1) // 2
+
+    @pytest.mark.parametrize("q", [7, 11, 23, 27, 43])
+    def test_minus_one_is_nonsquare_when_q_3_mod_4(self, q):
+        """For q = 3 (mod 4), -1 is a nonsquare (Paley's requirement)."""
+        f = GaloisField(q)
+        assert f.quadratic_character(f.neg(1)) == -1
+
+
+@given(st.sampled_from([7, 8, 9, 27, 43]),
+       st.integers(0, 200), st.integers(0, 200))
+@settings(max_examples=60, deadline=None)
+def test_add_mul_closed_property(q, x, y):
+    """Addition and multiplication stay inside the field (hypothesis)."""
+    f = GaloisField(q)
+    a, b = x % q, y % q
+    assert 0 <= f.add(a, b) < q
+    assert 0 <= f.mul(a, b) < q
+    assert f.sub(f.add(a, b), b) == a
+
+
+@given(st.sampled_from([7, 9, 27, 43]), st.integers(1, 1000))
+@settings(max_examples=60, deadline=None)
+def test_fermat_property(q, x):
+    """a^(q-1) = 1 for every nonzero element (hypothesis)."""
+    f = GaloisField(q)
+    a = 1 + (x % (q - 1))
+    assert f.pow(a, q - 1) == 1

@@ -1,0 +1,127 @@
+"""Tests for Lenth's method (repro.doe.lenth)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import (
+    compute_effects,
+    lenth_test,
+    pb_design,
+    pseudo_standard_error,
+    significant_by_lenth,
+)
+
+
+def effects_with_signal(active: dict, noise_sd=1.0, seed=0):
+    """Foldover PB responses: signal on named factors + noise."""
+    design = pb_design(11, factor_names=[f"f{i}" for i in range(11)],
+                       foldover=True)
+    rng = np.random.default_rng(seed)
+    y = rng.normal(0.0, noise_sd, size=design.n_runs)
+    for factor, coef in active.items():
+        y = y + coef * design.column(factor)
+    return compute_effects(design, y)
+
+
+class TestPSE:
+    def test_pure_noise_scale(self):
+        rng = np.random.default_rng(1)
+        effects = rng.normal(0.0, 10.0, size=40)
+        pse = pseudo_standard_error(effects)
+        # PSE estimates ~1.5 * median|N(0, 10)| ~ 10; allow slack.
+        assert 5.0 < pse < 20.0
+
+    def test_outliers_trimmed(self):
+        effects = [1.0, -1.2, 0.8, -0.9, 1.1, 500.0]
+        with_outlier = pseudo_standard_error(effects)
+        without = pseudo_standard_error(effects[:-1])
+        assert with_outlier < 3 * without
+
+    def test_zero_effects(self):
+        assert pseudo_standard_error([0.0, 0.0, 0.0, 0.0]) == 0.0
+
+    def test_too_few(self):
+        with pytest.raises(ValueError):
+            pseudo_standard_error([1.0, 2.0])
+
+
+class TestLenthTest:
+    def test_detects_strong_signal(self):
+        table = effects_with_signal({"f2": 8.0, "f7": -6.0})
+        result = lenth_test(table)
+        significant = result.significant_factors()
+        assert "f2" in significant
+        assert "f7" in significant
+
+    def test_null_factors_not_flagged(self):
+        table = effects_with_signal({"f2": 8.0})
+        significant = lenth_test(table).significant_factors()
+        # At most an occasional false positive besides f2.
+        assert "f2" in significant
+        assert len(significant) <= 3
+
+    def test_pure_noise_mostly_clean(self):
+        table = effects_with_signal({}, noise_sd=2.0, seed=3)
+        assert len(lenth_test(table).significant_factors()) <= 2
+
+    def test_all_zero_effects(self):
+        design = pb_design(7)
+        table = compute_effects(design, [3.0] * 8)
+        result = lenth_test(table)
+        assert result.significant_factors() == []
+
+    def test_t_ratio_lookup(self):
+        table = effects_with_signal({"f0": 5.0})
+        result = lenth_test(table)
+        assert abs(result.t_ratio("f0")) > abs(result.t_ratio("f5"))
+
+    def test_margin_grows_with_confidence(self):
+        table = effects_with_signal({"f1": 4.0})
+        loose = lenth_test(table, alpha=0.10)
+        tight = lenth_test(table, alpha=0.01)
+        assert tight.margin_of_error > loose.margin_of_error
+
+
+class TestCrossBenchmark:
+    def test_min_benchmarks_filter(self):
+        tables = {
+            "a": effects_with_signal({"f3": 9.0}, seed=10),
+            "b": effects_with_signal({"f3": 9.0, "f8": 9.0}, seed=11),
+        }
+        everywhere = significant_by_lenth(tables, min_benchmarks=2)
+        anywhere = significant_by_lenth(tables, min_benchmarks=1)
+        assert "f3" in everywhere
+        assert "f8" in anywhere
+        assert "f8" not in everywhere
+
+    def test_on_simulator_experiment(self):
+        """On a real screen, the dummy factor never beats Lenth's bar
+        while the reorder buffer always does."""
+        from repro.core import PBExperiment
+        from repro.workloads import benchmark_trace
+
+        factors = ["Reorder Buffer Entries", "L2 Cache Latency",
+                   "BPred Type", "Int ALUs", "Memory Latency First",
+                   "L1 D-Cache Size", "LSQ Entries", "Memory Ports",
+                   "BTB Entries", "Return Address Stack Entries",
+                   "I-TLB Size"]
+        result = PBExperiment(
+            {"gzip": benchmark_trace("gzip", 2500)},
+            parameter_names=factors,
+        ).run()
+        lenth = lenth_test(result.effects["gzip"])
+        significant = lenth.significant_factors()
+        assert "Reorder Buffer Entries" in significant
+        assert "I-TLB Size" not in significant
+
+
+@given(st.lists(st.floats(-1e3, 1e3), min_size=3, max_size=60))
+@settings(max_examples=40, deadline=None)
+def test_pse_nonnegative_and_scale_equivariant(effects):
+    """PSE >= 0 and doubles when the effects double (hypothesis)."""
+    pse = pseudo_standard_error(effects)
+    assert pse >= 0.0
+    doubled = pseudo_standard_error([2 * e for e in effects])
+    assert doubled == pytest.approx(2 * pse, rel=1e-9, abs=1e-12)

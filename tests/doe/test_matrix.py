@@ -1,0 +1,140 @@
+"""Tests for DesignMatrix (repro.doe.matrix)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import DesignMatrix, pb_design
+
+
+class TestConstruction:
+    def test_basic(self):
+        d = DesignMatrix([[1, -1], [-1, 1]])
+        assert d.n_runs == 2
+        assert d.n_factors == 2
+        assert d.factor_names == ["F1", "F2"]
+
+    def test_custom_names(self):
+        d = DesignMatrix([[1, -1]], ["a", "b"])
+        assert d.factor_names == ["a", "b"]
+
+    def test_rejects_non_pm1(self):
+        with pytest.raises(ValueError):
+            DesignMatrix([[1, 0], [-1, 1]])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            DesignMatrix([1, -1])
+
+    def test_rejects_wrong_name_count(self):
+        with pytest.raises(ValueError):
+            DesignMatrix([[1, -1]], ["only-one"])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            DesignMatrix([[1, -1]], ["x", "x"])
+
+
+class TestAccessors:
+    def test_column(self):
+        d = DesignMatrix([[1, -1], [-1, 1], [1, 1], [-1, -1]], ["a", "b"])
+        assert d.column("a").tolist() == [1, -1, 1, -1]
+        with pytest.raises(KeyError):
+            d.column("nope")
+
+    def test_run_mapping(self):
+        d = DesignMatrix([[1, -1]], ["a", "b"])
+        assert d.run(0) == {"a": 1, "b": -1}
+
+    def test_runs_iterates_all(self):
+        d = pb_design(7)
+        runs = list(d.runs())
+        assert len(runs) == 8
+        assert all(set(r.values()) <= {1, -1} for r in runs)
+
+    def test_interaction_column(self):
+        d = DesignMatrix([[1, -1], [-1, -1]], ["a", "b"])
+        assert d.interaction_column("a", "b").tolist() == [-1, 1]
+
+
+class TestProperties:
+    def test_pb_design_is_balanced_and_orthogonal(self):
+        d = pb_design(7)
+        assert d.is_balanced()
+        assert d.is_orthogonal()
+
+    def test_unbalanced_detected(self):
+        d = DesignMatrix([[1, 1], [1, -1]])
+        assert not d.is_balanced()
+
+    def test_non_orthogonal_detected(self):
+        d = DesignMatrix([[1, 1], [1, 1], [-1, -1], [-1, -1]])
+        assert d.is_balanced()
+        assert not d.is_orthogonal()
+
+
+class TestFoldover:
+    def test_doubles_runs(self):
+        d = pb_design(7)
+        f = d.foldover()
+        assert f.n_runs == 16
+        assert f.n_factors == 7
+
+    def test_mirror_signs(self):
+        d = pb_design(7)
+        f = d.foldover()
+        assert np.array_equal(f.matrix[8:], -f.matrix[:8])
+
+    def test_foldover_preserves_orthogonality(self):
+        f = pb_design(11).foldover()
+        assert f.is_balanced()
+        assert f.is_orthogonal()
+
+    def test_matches_design_foldover_flag(self):
+        assert pb_design(7).foldover() == pb_design(7, foldover=True)
+
+
+class TestDummyNames:
+    def test_with_fewer_names_adds_dummies(self):
+        d = pb_design(11).with_factor_names(["a", "b", "c"])
+        assert d.factor_names[:3] == ["a", "b", "c"]
+        assert d.factor_names[3] == "Dummy Factor #1"
+        assert d.factor_names[-1] == "Dummy Factor #8"
+
+    def test_too_many_names_rejected(self):
+        with pytest.raises(ValueError):
+            pb_design(7).with_factor_names([f"f{i}" for i in range(9)])
+
+    def test_paper_design_has_two_dummies(self):
+        from repro.doe import dummy_factor_names
+        d = pb_design(43).with_factor_names([f"p{i}" for i in range(41)])
+        assert dummy_factor_names(d) == ["Dummy Factor #1", "Dummy Factor #2"]
+
+
+class TestEquality:
+    def test_equal(self):
+        assert pb_design(7) == pb_design(7)
+
+    def test_differs_by_names(self):
+        assert pb_design(7) != pb_design(7).with_factor_names(["x"])
+
+    def test_not_a_design(self):
+        assert pb_design(7) != "something"
+
+
+@given(st.integers(2, 30))
+@settings(max_examples=25, deadline=None)
+def test_any_pb_design_balanced_orthogonal(n_factors):
+    """Every constructible PB design satisfies the invariants.
+
+    The matrix always carries the full X - 1 columns; surplus columns
+    beyond the requested factors are available as dummy factors.
+    """
+    d = pb_design(n_factors)
+    assert d.is_balanced()
+    assert d.is_orthogonal()
+    assert d.n_factors >= n_factors
+    assert d.n_runs % 4 == 0
+    assert d.n_runs == d.n_factors + 1
+    assert d.n_runs > n_factors

@@ -1,0 +1,176 @@
+"""Tests for one-at-a-time and full-factorial designs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import (
+    contrast_column,
+    design_cost,
+    effect_subsets,
+    full_factorial_design,
+    oat_design,
+    oat_effects,
+    pb_design_size,
+    subset_label,
+)
+
+
+class TestOatDesign:
+    def test_run_count_is_n_plus_1(self):
+        # Table 1: "One Parameter at-a-time ... N+1 simulations".
+        for n in (1, 3, 7, 40):
+            assert oat_design(n).n_runs == n + 1
+
+    def test_baseline_row(self):
+        d = oat_design(3)
+        assert d.matrix[0].tolist() == [-1, -1, -1]
+
+    def test_each_run_flips_one_factor(self):
+        d = oat_design(4)
+        for i in range(1, 5):
+            flipped = (d.matrix[i] != d.matrix[0]).sum()
+            assert flipped == 1
+
+    def test_high_baseline(self):
+        d = oat_design(2, baseline=1)
+        assert d.matrix[0].tolist() == [1, 1]
+        assert d.matrix[1].tolist() == [-1, 1]
+
+    def test_bad_baseline(self):
+        with pytest.raises(ValueError):
+            oat_design(2, baseline=0)
+
+    def test_named(self):
+        d = oat_design(factor_names=["x", "y"])
+        assert d.factor_names == ["x", "y"]
+
+    def test_not_balanced(self):
+        """The paper's point: this design cannot be orthogonal."""
+        assert not oat_design(5).is_balanced()
+
+
+class TestOatEffects:
+    def test_single_difference(self):
+        d = oat_design(2)
+        effects = oat_effects(d, [10.0, 14.0, 9.0])
+        assert effects == {"F1": 4.0, "F2": -1.0}
+
+    def test_wrong_count(self):
+        with pytest.raises(ValueError):
+            oat_effects(oat_design(2), [1.0, 2.0])
+
+    def test_blind_to_interactions(self):
+        """The paper's criticism, demonstrated: a pure interaction
+        produces zero estimated effect for every factor."""
+        d = oat_design(2)
+        # y = product of levels (pure AB interaction, no main effects)
+        y = [float(r["F1"] * r["F2"]) for r in d.runs()]
+        effects = oat_effects(d, y)
+        # Flipping one factor flips the product: appears as a "main"
+        # effect on both, indistinguishable from real main effects —
+        # and with the interaction-free responses below, identical
+        # estimates arise from genuinely different models.
+        y_mains = [float(r["F1"] + r["F2"]) for r in d.runs()]
+        effects_mains = oat_effects(d, y_mains)
+        assert set(effects) == set(effects_mains)
+
+
+class TestDesignCost:
+    def test_table1_row_values(self):
+        # Table 1 with N = 40: N+1, ~2N, 2^N.
+        assert design_cost("one-at-a-time", 40) == 41
+        assert design_cost("plackett-burman", 40) == 44
+        assert design_cost("plackett-burman-foldover", 40) == 88
+        assert design_cost("full-factorial", 40) == 2 ** 40
+
+    def test_trillion_simulations_claim(self):
+        """Section 2.1: 2^40 is 'more than 1 trillion simulations'."""
+        assert design_cost("full-factorial", 40) > 10 ** 12
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            design_cost("latin-hypercube", 4)
+
+    def test_nonpositive_factors(self):
+        with pytest.raises(ValueError):
+            design_cost("one-at-a-time", 0)
+
+    def test_pb_cost_consistent_with_design_size(self):
+        for n in range(1, 50):
+            assert design_cost("plackett-burman", n) == pb_design_size(n)
+
+
+class TestFullFactorial:
+    def test_shape(self):
+        d = full_factorial_design(3)
+        assert d.n_runs == 8
+        assert d.n_factors == 3
+
+    def test_yates_order(self):
+        d = full_factorial_design(2)
+        assert d.matrix.tolist() == [[-1, -1], [1, -1], [-1, 1], [1, 1]]
+
+    def test_all_combinations_distinct(self):
+        d = full_factorial_design(4)
+        rows = {tuple(r) for r in d.matrix.tolist()}
+        assert len(rows) == 16
+
+    def test_orthogonal(self):
+        d = full_factorial_design(5)
+        assert d.is_balanced()
+        assert d.is_orthogonal()
+
+    def test_refuses_cost_explosion(self):
+        with pytest.raises(ValueError):
+            full_factorial_design(21)
+
+    def test_named(self):
+        d = full_factorial_design(factor_names=["p", "q"])
+        assert d.factor_names == ["p", "q"]
+
+
+class TestEffectSubsets:
+    def test_counts(self):
+        subsets = list(effect_subsets(["a", "b", "c"]))
+        assert len(subsets) == 7  # 2^3 - 1
+
+    def test_max_order(self):
+        subsets = list(effect_subsets(["a", "b", "c"], max_order=2))
+        assert len(subsets) == 6
+        assert all(len(s) <= 2 for s in subsets)
+
+    def test_labels(self):
+        assert subset_label(("a",)) == "a"
+        assert subset_label(("a", "b")) == "a:b"
+
+
+class TestContrastColumn:
+    def test_main_effect_column(self):
+        d = full_factorial_design(2, factor_names=["a", "b"])
+        assert np.array_equal(contrast_column(d, ["a"]), d.column("a"))
+
+    def test_interaction_column_orthogonal_to_mains(self):
+        d = full_factorial_design(3, factor_names=["a", "b", "c"])
+        ab = contrast_column(d, ["a", "b"])
+        for f in ("a", "b", "c"):
+            assert int(ab @ d.column(f)) == 0
+
+    def test_empty_subset(self):
+        d = full_factorial_design(2)
+        with pytest.raises(ValueError):
+            contrast_column(d, [])
+
+
+@given(st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_factorial_contrasts_mutually_orthogonal(k):
+    """All 2^k - 1 contrast columns are pairwise orthogonal."""
+    d = full_factorial_design(k)
+    columns = [
+        contrast_column(d, s) for s in effect_subsets(d.factor_names)
+    ]
+    m = np.stack(columns).astype(np.int64)
+    gram = m @ m.T
+    assert (gram - np.diag(np.diag(gram)) == 0).all()

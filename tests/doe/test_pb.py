@@ -1,0 +1,172 @@
+"""Tests for Plackett-Burman construction (repro.doe.pb).
+
+The X = 8 design and its foldover are checked cell-for-cell against the
+paper's Tables 2 and 3.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.doe import (
+    next_multiple_of_four,
+    pb_design,
+    pb_design_size,
+    pb_matrix,
+    quadratic_residue_row,
+)
+
+#: Table 2 of the paper, verbatim.
+PAPER_TABLE2 = [
+    [+1, +1, +1, -1, +1, -1, -1],
+    [-1, +1, +1, +1, -1, +1, -1],
+    [-1, -1, +1, +1, +1, -1, +1],
+    [+1, -1, -1, +1, +1, +1, -1],
+    [-1, +1, -1, -1, +1, +1, +1],
+    [+1, -1, +1, -1, -1, +1, +1],
+    [+1, +1, -1, +1, -1, -1, +1],
+    [-1, -1, -1, -1, -1, -1, -1],
+]
+
+
+class TestSizes:
+    def test_next_multiple_of_four(self):
+        assert next_multiple_of_four(7) == 8
+        assert next_multiple_of_four(8) == 12
+        assert next_multiple_of_four(43) == 44
+        assert next_multiple_of_four(1) == 4
+
+    def test_design_size_for_paper(self):
+        # 41 parameters + need for dummies -> X = 44 (Section 4.1).
+        assert pb_design_size(41) == 44
+
+    def test_design_size_rejects_zero(self):
+        with pytest.raises(ValueError):
+            pb_design_size(0)
+
+    def test_non_multiple_of_four_rejected(self):
+        with pytest.raises(ValueError):
+            pb_matrix(10)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            pb_matrix(0)
+
+
+class TestPaperTable2:
+    def test_exact_reproduction(self):
+        """Our X = 8 matrix equals the paper's Table 2 cell-for-cell."""
+        assert pb_matrix(8).tolist() == PAPER_TABLE2
+
+    def test_first_row_is_published_generator(self):
+        row = quadratic_residue_row(8)
+        assert row.tolist() == [1, 1, 1, -1, 1, -1, -1]
+
+    def test_rows_are_circular_right_shifts(self):
+        m = pb_matrix(8)
+        for i in range(1, 7):
+            assert np.array_equal(m[i], np.roll(m[i - 1], 1))
+
+    def test_last_row_all_minus(self):
+        assert (pb_matrix(8)[-1] == -1).all()
+
+
+class TestPaperTable3:
+    def test_foldover_is_sign_reversed_original(self):
+        base = pb_design(7)
+        folded = base.foldover()
+        assert np.array_equal(folded.matrix[:8], base.matrix)
+        assert np.array_equal(folded.matrix[8:], -base.matrix)
+
+    def test_foldover_run_count(self):
+        # "a foldover PB design requires 2X simulations" (Section 2.1)
+        assert pb_design(7, foldover=True).n_runs == 16
+        assert pb_design(41, foldover=True).n_runs == 88
+
+
+class TestQuadraticResidueRows:
+    def test_x12_matches_published_row(self):
+        # Published Plackett-Burman generator for N = 12.
+        assert quadratic_residue_row(12).tolist() == \
+            [1, 1, -1, 1, 1, 1, -1, -1, -1, 1, -1]
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            quadratic_residue_row(16)  # 15 is not prime
+        with pytest.raises(ValueError):
+            quadratic_residue_row(6)   # 5 = 1 mod 4
+
+    def test_row_balance(self):
+        # (q+1)/2 entries at +1 (including position 0), (q-1)/2 ... the
+        # full design balances after the all-minus row is appended.
+        for x in (8, 12, 20, 24, 44):
+            row = quadratic_residue_row(x)
+            assert row.sum() == 1  # +1 more high than low in the row
+
+
+class TestAllConstructions:
+    @pytest.mark.parametrize("x", [4, 8, 12, 16, 20, 24, 28, 32, 36, 40,
+                                   44, 48, 64, 72, 80])
+    def test_structural_invariants(self, x):
+        m = pb_matrix(x)
+        assert m.shape == (x, x - 1)
+        assert (m.sum(axis=0) == 0).all()
+        gram = m.astype(np.int64).T @ m.astype(np.int64)
+        assert (gram - np.diag(np.diag(gram)) == 0).all()
+
+    def test_x28_uses_gf27(self):
+        """X = 28 has no prime q; GF(27) Paley construction covers it."""
+        m = pb_matrix(28)
+        assert m.shape == (28, 27)
+
+    def test_unconstructible_size_raises(self):
+        # 92: q = 91 = 7*13 is not a prime power; 46 is not X%4==0;
+        # 92/2 = 46 not constructible either.
+        with pytest.raises(ValueError):
+            pb_matrix(92)
+
+
+class TestPbDesignApi:
+    def test_by_n_factors(self):
+        d = pb_design(7)
+        assert (d.n_runs, d.n_factors) == (8, 7)
+
+    def test_by_names(self):
+        d = pb_design(factor_names=["a", "b", "c"])
+        assert d.n_runs == 4
+        assert d.factor_names[:3] == ["a", "b", "c"]
+
+    def test_by_runs(self):
+        d = pb_design(runs=12)
+        assert d.n_runs == 12
+        assert d.n_factors == 11
+
+    def test_explicit_runs_too_small(self):
+        with pytest.raises(ValueError):
+            pb_design(9, runs=8)
+
+    def test_conflicting_names_count(self):
+        with pytest.raises(ValueError):
+            pb_design(3, factor_names=["a", "b"])
+
+    def test_no_arguments(self):
+        with pytest.raises(ValueError):
+            pb_design()
+
+    def test_paper_experiment_design(self):
+        """41 named parameters -> X = 44 foldover with 2 dummies."""
+        names = [f"param {i}" for i in range(41)]
+        d = pb_design(factor_names=names, foldover=True)
+        assert d.n_runs == 88
+        assert d.n_factors == 43
+        assert d.factor_names[-2:] == ["Dummy Factor #1", "Dummy Factor #2"]
+
+
+@given(st.integers(1, 60))
+@settings(max_examples=40, deadline=None)
+def test_design_size_property(n):
+    x = pb_design_size(n)
+    assert x % 4 == 0
+    assert x - 1 >= n          # room for every factor
+    assert x - n <= 4          # no more than one size step of slack

@@ -1,0 +1,55 @@
+"""Tests for the half-normal plot renderer."""
+
+import numpy as np
+import pytest
+
+from repro.doe import compute_effects, pb_design
+from repro.reporting import half_normal_points, render_half_normal
+
+
+def table_with_signal(active, noise_sd=1.0, seed=0):
+    design = pb_design(11, factor_names=[f"f{i}" for i in range(11)],
+                       foldover=True)
+    rng = np.random.default_rng(seed)
+    y = rng.normal(0, noise_sd, size=design.n_runs)
+    for factor, coef in active.items():
+        y = y + coef * design.column(factor)
+    return compute_effects(design, y)
+
+
+class TestPoints:
+    def test_sorted_ascending(self):
+        points = half_normal_points(table_with_signal({"f3": 5.0}))
+        quantiles = [q for q, _, _ in points]
+        magnitudes = [m for _, m, _ in points]
+        assert quantiles == sorted(quantiles)
+        assert magnitudes == sorted(magnitudes)
+
+    def test_one_point_per_factor(self):
+        points = half_normal_points(table_with_signal({}))
+        assert len(points) == 11
+
+
+class TestRender:
+    def test_significant_factor_labelled(self):
+        out = render_half_normal(table_with_signal({"f4": 8.0}))
+        assert "* f4" in out
+        assert "half-normal quantile" in out
+
+    def test_pure_noise_reports_none_or_few(self):
+        out = render_half_normal(table_with_signal({}, seed=5))
+        # At most a rare false positive gets a star.
+        assert out.count("* f") <= 1
+
+    def test_dimensions(self):
+        out = render_half_normal(table_with_signal({"f1": 4.0}),
+                                 width=30, height=8)
+        plot_rows = [l for l in out.splitlines() if l.startswith("  |")]
+        assert len(plot_rows) == 8
+        assert all(len(l) <= 3 + 30 for l in plot_rows)
+
+    def test_empty_rejected(self):
+        from repro.doe.effects import EffectTable
+
+        with pytest.raises(ValueError):
+            render_half_normal(EffectTable((), ()))

@@ -1,0 +1,66 @@
+"""Tests for the markdown renderers (repro.reporting.markdown)."""
+
+import pytest
+
+from repro.core import EnhancementAnalysis, PAPER_SIMILARITY_THRESHOLD
+from repro.core.paper_data import paper_table9_ranking, paper_table12_ranking
+from repro.reporting import (
+    distance_markdown,
+    enhancement_markdown,
+    groups_markdown,
+    markdown_table,
+    parameters_markdown,
+    ranking_markdown,
+)
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        out = markdown_table(("a", "b"), [(1, 2), (3, 4)])
+        lines = out.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| :-- | --: |"
+        assert lines[2] == "| 1 | 2 |"
+        assert len(lines) == 4
+
+    def test_pipes_escaped(self):
+        out = markdown_table(("x",), [("a|b",)])
+        assert "a\\|b" in out
+
+    def test_all_right_aligned(self):
+        out = markdown_table(("a", "b"), [(1, 2)],
+                             align_first_left=False)
+        assert out.splitlines()[1] == "| --: | --: |"
+
+
+class TestRenderers:
+    def test_ranking_rows(self):
+        out = ranking_markdown(paper_table9_ranking())
+        assert out.count("\n") == 44  # header + separator + 43 rows
+        assert "| Reorder Buffer Entries |" in out
+        assert "| 36 |" in out
+
+    def test_ranking_truncated(self):
+        out = ranking_markdown(paper_table9_ranking(), top=5)
+        assert out.count("\n") == 6
+
+    def test_distance_contains_worked_example(self):
+        out = distance_markdown(paper_table9_ranking())
+        assert "89.8" in out
+
+    def test_groups(self):
+        out = groups_markdown(paper_table9_ranking(),
+                              PAPER_SIMILARITY_THRESHOLD)
+        assert "gzip, mesa" in out
+
+    def test_enhancement(self):
+        analysis = EnhancementAnalysis(
+            paper_table9_ranking(), paper_table12_ranking()
+        )
+        out = enhancement_markdown(analysis, top=3)
+        assert "| Int ALUs | 118 | 137 | +19 |" in out
+
+    def test_parameters(self):
+        out = parameters_markdown()
+        assert "| Reorder Buffer Entries | 8 | 64 |" in out
+        assert out.count("\n") == 42  # header + separator + 41 rows

@@ -1,0 +1,83 @@
+"""Tests for the table renderers (repro.reporting.tables)."""
+
+import pytest
+
+from repro.core.paper_data import paper_table9_ranking, paper_table12_ranking
+from repro.core import EnhancementAnalysis, PAPER_SIMILARITY_THRESHOLD
+from repro.doe import compute_effects, pb_design
+from repro.reporting import (
+    format_table,
+    render_design_cost_table,
+    render_design_matrix,
+    render_distance_matrix,
+    render_effects,
+    render_enhancement,
+    render_groups,
+    render_parameter_values,
+    render_ranking,
+)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(("a", "bb"), [(1, 22), (333, 4)])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines if line.strip("-")}
+        assert len(widths) <= 2   # header/rows aligned
+
+    def test_title(self):
+        out = format_table(("x",), [(1,)], title="Title here")
+        assert out.startswith("Title here")
+
+
+class TestRenderers:
+    def test_design_cost_table_contents(self):
+        out = render_design_cost_table(40)
+        assert "Plackett and Burman" in out
+        assert "88" in out
+        assert str(2 ** 40) in out
+
+    def test_design_matrix_table2(self):
+        out = render_design_matrix(pb_design(7), title="Table 2")
+        assert out.splitlines()[1] == "+1 +1 +1 -1 +1 -1 -1"
+        assert out.splitlines()[-1] == "-1 -1 -1 -1 -1 -1 -1"
+
+    def test_effects_table4(self):
+        design = pb_design(7, factor_names=list("ABCDEFG"))
+        table = compute_effects(design, [1, 9, 74, 28, 3, 6, 112, 84])
+        out = render_effects(table)
+        assert "-225" in out
+        assert "+129" in out or "129" in out
+
+    def test_parameter_values_table(self):
+        out = render_parameter_values()
+        assert "Reorder Buffer Entries" in out
+        assert "perfect" in out
+        assert out.count("\n") >= 41
+
+    def test_ranking_table9(self):
+        out = render_ranking(paper_table9_ranking(), title="Table 9")
+        lines = out.splitlines()
+        assert lines[0] == "Table 9"
+        assert "Reorder Buffer Entries" in lines[3]
+        assert lines[3].rstrip().endswith("36")   # the Sum column
+
+    def test_distance_matrix_table10(self):
+        out = render_distance_matrix(paper_table9_ranking())
+        assert "89.8" in out
+        assert "35.2" in out
+
+    def test_groups_table11(self):
+        out = render_groups(paper_table9_ranking(),
+                            PAPER_SIMILARITY_THRESHOLD)
+        assert "gzip, mesa" in out
+        assert "vpr-Route, parser, bzip2" in out
+
+    def test_enhancement_table(self):
+        analysis = EnhancementAnalysis(
+            paper_table9_ranking(), paper_table12_ranking()
+        )
+        out = render_enhancement(analysis, top=5)
+        assert "Int ALUs" in out
+        assert "118" in out and "137" in out

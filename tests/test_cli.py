@@ -1,0 +1,124 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_screen_defaults(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.benchmarks == "gzip,mcf"
+        assert args.length == 4000
+        assert not args.lenth
+
+    def test_simulate_overrides(self):
+        args = build_parser().parse_args(
+            ["simulate", "gzip", "--set", "rob_entries=64"]
+        )
+        assert args.set == ["rob_entries=64"]
+
+
+class TestTablesCommand:
+    def test_table2_exact(self, capsys):
+        assert main(["tables", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "+1 +1 +1 -1 +1 -1 -1" in out
+
+    def test_table4_exact(self, capsys):
+        assert main(["tables", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "-225" in out
+
+    def test_table11_from_paper(self, capsys):
+        assert main(["tables", "11"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip, mesa" in out
+        assert "vpr-Route, parser, bzip2" in out
+
+    def test_all_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table 2", "Table 4", "Table 10", "Table 11",
+                       "Plackett and Burman"):
+            assert marker in out
+
+
+class TestSimulateCommand:
+    def test_runs_and_prints_stats(self, capsys):
+        assert main(["simulate", "gzip", "-n", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC=" in out
+        assert "instructions=1000" in out
+
+    def test_config_override(self, capsys):
+        assert main(["simulate", "gzip", "-n", "1000",
+                     "--set", "branch_predictor=perfect"]) == 0
+        out = capsys.readouterr().out
+        assert "mispredict_rate=0.000%" in out
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "povray"])
+
+    def test_bad_override_field(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gzip", "--set", "warp_factor=9"])
+
+    def test_bad_override_syntax(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "gzip", "--set", "justakey"])
+
+    def test_cold_flag(self, capsys):
+        assert main(["simulate", "gzip", "-n", "1000", "--cold"]) == 0
+
+
+class TestCharacterizeCommand:
+    def test_report(self, capsys):
+        assert main(["characterize", "-b", "gzip", "-n", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "gzip: 1500 instructions" in out
+        assert "miss-rate curve" in out
+
+    def test_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["characterize", "-b", "quake3"])
+
+
+class TestClassifyCommand:
+    def test_paper_mode(self, capsys):
+        assert main(["classify", "--paper"]) == 0
+        out = capsys.readouterr().out
+        assert "89.8" in out
+        assert "gzip, mesa" in out
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["classify", "-b", "doom"])
+
+
+@pytest.mark.slow
+class TestExperimentCommands:
+    def test_screen_small(self, capsys):
+        assert main(["screen", "-b", "gzip", "-n", "800",
+                     "--lenth", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Parameter ranks" in out
+        assert "significant" in out
+        assert "Lenth-significant on gzip" in out
+        assert "Half-normal plot: gzip" in out
+
+    def test_enhance_precompute_small(self, capsys):
+        assert main(["enhance", "-b", "gzip", "-n", "800"]) == 0
+        out = capsys.readouterr().out
+        assert "Sum-of-ranks shifts under precompute" in out
+
+    def test_enhance_prefetch_small(self, capsys):
+        assert main(["enhance", "-b", "equake", "-n", "800",
+                     "--kind", "prefetch"]) == 0
+        out = capsys.readouterr().out
+        assert "Sum-of-ranks shifts under prefetch" in out

@@ -1,0 +1,32 @@
+"""Run the doctests embedded in module docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.cpu.params
+import repro.doe.effects
+import repro.doe.factorial
+import repro.doe.galois
+import repro.doe.oat
+import repro.doe.pb
+
+MODULES = [
+    repro.doe.galois,
+    repro.doe.pb,
+    repro.doe.effects,
+    repro.doe.factorial,
+    repro.doe.oat,
+    repro.cpu.params,
+]
+
+
+@pytest.mark.parametrize(
+    "module", MODULES, ids=[m.__name__ for m in MODULES]
+)
+def test_doctests(module):
+    failures, tests = doctest.testmod(module).failed, \
+        doctest.testmod(module).attempted
+    assert failures == 0
+    # Modules listed here are expected to actually carry examples.
+    assert tests > 0 or module in (repro.cpu.params,)

@@ -1,0 +1,41 @@
+"""Golden regression tests.
+
+These pin exact values of the deterministic pipeline so that any
+unintended behavioural change — in the workload generator, the
+simulator, or the design construction — trips a test instead of
+silently shifting every experiment.  If a change is *intentional*,
+update the constants here and note it in CHANGELOG.md (all published
+EXPERIMENTS.md numbers must then be re-measured).
+"""
+
+import hashlib
+
+import pytest
+
+from repro.cpu import MachineConfig, simulate
+from repro.doe import pb_matrix
+from repro.workloads import benchmark_trace
+
+#: (cycles, L1D misses, mispredictions) of the default machine on
+#: 2000-instruction canonical traces, with warmup.
+GOLDEN_RUNS = {
+    "gzip": (1199, 15, 32),
+    "mcf": (1867, 77, 71),
+    "mesa": (1727, 9, 98),
+}
+
+#: SHA-256 prefix of the X = 44 design matrix bytes.
+GOLDEN_PB44_SHA = "29a15c3a130bd1c9"
+
+
+@pytest.mark.parametrize("bench", sorted(GOLDEN_RUNS))
+def test_golden_simulation(bench):
+    trace = benchmark_trace(bench, 2000)
+    stats = simulate(MachineConfig(), trace, warmup=True)
+    assert (stats.cycles, stats.l1d.misses, stats.mispredictions) \
+        == GOLDEN_RUNS[bench]
+
+
+def test_golden_design_matrix():
+    digest = hashlib.sha256(pb_matrix(44).tobytes()).hexdigest()
+    assert digest.startswith(GOLDEN_PB44_SHA)

@@ -1,0 +1,54 @@
+"""Public API surface checks for the whole package."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+SUBPACKAGES = ["core", "cpu", "doe", "reporting", "workloads"]
+
+
+class TestSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackages_importable(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert module is not None
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_exports_resolve(self, name):
+        """Every name in __all__ actually exists."""
+        module = importlib.import_module(f"repro.{name}")
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"repro.{name}.{symbol}"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_sorted_unique(self, name):
+        module = importlib.import_module(f"repro.{name}")
+        assert len(set(module.__all__)) == len(module.__all__)
+
+    def test_docstrings_everywhere(self):
+        """Every public module and public callable carries a docstring."""
+        import inspect
+
+        for name in SUBPACKAGES:
+            module = importlib.import_module(f"repro.{name}")
+            assert module.__doc__, f"repro.{name} missing docstring"
+            for symbol in module.__all__:
+                obj = getattr(module, symbol)
+                if inspect.isfunction(obj) or inspect.isclass(obj):
+                    assert obj.__doc__, f"repro.{name}.{symbol}"
+
+    def test_quickstart_snippet_from_docstring(self):
+        """The package docstring's quick start actually runs."""
+        from repro.core import PBExperiment, rank_parameters_from_result
+        from repro.workloads import benchmark_suite
+
+        traces = benchmark_suite(length=600, names=["gzip"])
+        result = PBExperiment(traces).run()
+        ranking = rank_parameters_from_result(result)
+        assert len(ranking.significant_factors()) >= 1

@@ -1,0 +1,100 @@
+"""Tests for workload characterization (repro.workloads.characterize)."""
+
+import pytest
+
+from repro.cpu import BranchKind, Instruction, OpClass
+from repro.workloads import (
+    benchmark_trace,
+    branch_profile,
+    characterization_report,
+    characterize,
+    footprint_profile,
+    miss_rate_curve,
+)
+from repro.workloads.trace import Trace
+
+
+def tiny_trace():
+    return Trace.from_instructions([
+        Instruction(pc=0x1000, op=OpClass.IALU, dst=1),
+        Instruction(pc=0x1004, op=OpClass.LOAD, dst=2, mem_addr=0x8000),
+        Instruction(pc=0x1008, op=OpClass.STORE, src1=2,
+                    mem_addr=0x9000),
+        Instruction(pc=0x100C, op=OpClass.BRANCH,
+                    branch_kind=BranchKind.CALL, taken=True,
+                    target=0x2000),
+        Instruction(pc=0x2000, op=OpClass.BRANCH,
+                    branch_kind=BranchKind.RETURN, taken=True,
+                    target=0x1010),
+        Instruction(pc=0x1010, op=OpClass.BRANCH,
+                    branch_kind=BranchKind.CONDITIONAL, taken=False),
+    ], name="tiny")
+
+
+class TestBranchProfile:
+    def test_counts(self):
+        b = branch_profile(tiny_trace())
+        assert b.branches == 3
+        assert b.taken_fraction == pytest.approx(2 / 3)
+        assert b.conditional_fraction == pytest.approx(1 / 3)
+        assert b.call_fraction == pytest.approx(1 / 3)
+        assert b.return_fraction == pytest.approx(1 / 3)
+        assert b.unique_sites == 3
+
+    def test_no_branches(self):
+        tr = Trace.from_instructions(
+            [Instruction(pc=0, op=OpClass.IALU)]
+        )
+        b = branch_profile(tr)
+        assert b.branches == 0
+        assert b.dynamic_per_static == 0.0
+
+
+class TestFootprint:
+    def test_counts(self):
+        f = footprint_profile(tiny_trace())
+        assert f.memory_references == 2
+        assert f.data_pages == 2       # 0x8000 and 0x9000
+        assert f.data_bytes == 64      # two 32-byte blocks
+        assert f.code_bytes >= 64      # two code regions
+
+    def test_reflects_real_benchmark_contrast(self):
+        big_code = footprint_profile(benchmark_trace("mesa", 5000))
+        small_code = footprint_profile(benchmark_trace("mcf", 5000))
+        assert big_code.code_bytes > 3 * small_code.code_bytes
+
+
+class TestMissRateCurve:
+    def test_monotone_non_increasing(self):
+        """Bigger caches never miss more (same assoc scaling)."""
+        curve = miss_rate_curve(benchmark_trace("gzip", 5000))
+        rates = [rate for _, rate in curve]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_code_stream(self):
+        curve = miss_rate_curve(benchmark_trace("twolf", 5000),
+                                stream="code")
+        assert curve[0][1] > curve[-1][1]   # 4 KB worse than 128 KB
+
+    def test_unknown_stream(self):
+        with pytest.raises(ValueError):
+            miss_rate_curve(tiny_trace(), stream="rumors")
+
+    def test_mcf_flatter_than_gzip(self):
+        """The memory-bound benchmark keeps missing at 128 KB."""
+        gzip_curve = dict(miss_rate_curve(benchmark_trace("gzip", 6000)))
+        mcf_curve = dict(miss_rate_curve(benchmark_trace("mcf", 6000)))
+        assert mcf_curve[131072] > gzip_curve[131072]
+
+
+class TestBundle:
+    def test_characterize_keys(self):
+        c = characterize(tiny_trace())
+        assert set(c) == {"name", "instructions", "mix", "branches",
+                          "footprint", "l1d_curve", "l1i_curve"}
+
+    def test_report_renders(self):
+        text = characterization_report(benchmark_trace("gzip", 3000))
+        assert "gzip" in text
+        assert "L1D miss-rate curve" in text
+        assert "footprint" in text

@@ -1,0 +1,83 @@
+"""Tests for trace serialization (repro.workloads.io)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import MachineConfig, simulate
+from repro.workloads import benchmark_trace, load_trace, save_trace
+from repro.workloads.io import FORMAT_VERSION, _FIELDS
+
+
+@pytest.fixture
+def trace():
+    return benchmark_trace("gzip", 1500)
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, trace, tmp_path):
+        path = tmp_path / "gzip.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        for field in _FIELDS:
+            assert np.array_equal(getattr(loaded, field),
+                                  getattr(trace, field)), field
+        assert loaded.name == trace.name
+
+    def test_simulation_equivalent(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = simulate(MachineConfig(), trace, warmup=True)
+        b = simulate(MachineConfig(), loaded, warmup=True)
+        assert a.cycles == b.cycles
+
+    def test_compressed_smaller_than_raw(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        raw = sum(getattr(trace, f).nbytes for f in _FIELDS)
+        assert path.stat().st_size < raw
+
+
+class TestValidation:
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, something=np.arange(3))
+        with pytest.raises(ValueError, match="not a repro trace"):
+            load_trace(path)
+
+    def test_version_mismatch(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        data["__version__"] = np.int64(FORMAT_VERSION + 1)
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="format"):
+            load_trace(path)
+
+    def test_missing_field(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        del data["mem_addr"]
+        np.savez(path, **data)
+        with pytest.raises(ValueError, match="missing array"):
+            load_trace(path)
+
+    def test_corrupt_content_detected(self, trace, tmp_path):
+        """A structurally invalid trace fails validation at load."""
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        mem = data["mem_addr"].copy()
+        op = data["op"]
+        from repro.cpu import OpClass
+
+        loads = np.where(op == int(OpClass.LOAD))[0]
+        mem[loads[0]] = -1
+        data["mem_addr"] = mem
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_trace(path)

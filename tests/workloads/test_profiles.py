@@ -1,0 +1,130 @@
+"""Tests for the thirteen SPEC-like benchmark profiles."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import MachineConfig, OpClass, simulate
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    PAPER_INSTRUCTION_COUNTS_M,
+    PROFILES,
+    benchmark_suite,
+    benchmark_trace,
+    default_length,
+    profile,
+)
+
+
+class TestSuiteDefinition:
+    def test_thirteen_benchmarks(self):
+        """Table 5 lists exactly these thirteen benchmarks."""
+        assert BENCHMARK_NAMES == [
+            "gzip", "vpr-Place", "vpr-Route", "gcc", "mesa", "art",
+            "mcf", "equake", "ammp", "parser", "vortex", "bzip2",
+            "twolf",
+        ]
+
+    def test_profiles_cover_all(self):
+        assert set(PROFILES) == set(BENCHMARK_NAMES)
+
+    def test_paper_instruction_counts(self):
+        assert PAPER_INSTRUCTION_COUNTS_M["gcc"] == pytest.approx(4040.7)
+        assert PAPER_INSTRUCTION_COUNTS_M["mcf"] == pytest.approx(601.2)
+
+    def test_unique_seeds(self):
+        seeds = [p.seed for p in PROFILES.values()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_lookup(self):
+        assert profile("gzip").name == "gzip"
+        with pytest.raises(KeyError):
+            profile("povray")
+
+    def test_default_length_proportional(self):
+        """Trace lengths track Table 5's relative dynamic counts."""
+        assert default_length("gcc") > default_length("mcf")
+        ratio = default_length("gcc") / default_length("gzip")
+        paper_ratio = (PAPER_INSTRUCTION_COUNTS_M["gcc"]
+                       / PAPER_INSTRUCTION_COUNTS_M["gzip"])
+        assert ratio == pytest.approx(paper_ratio, rel=0.05)
+
+
+class TestCaching:
+    def test_same_object_returned(self):
+        a = benchmark_trace("gzip", 2000)
+        b = benchmark_trace("gzip", 2000)
+        assert a is b
+
+    def test_suite_contains_all(self):
+        suite = benchmark_suite(length=1000)
+        assert set(suite) == set(BENCHMARK_NAMES)
+        assert all(len(t) == 1000 for t in suite.values())
+
+    def test_subset(self):
+        suite = benchmark_suite(length=1000, names=["art", "mcf"])
+        assert set(suite) == {"art", "mcf"}
+
+
+class TestFingerprints:
+    """Coarse behavioural distinctions the paper's Table 9 relies on."""
+
+    def test_fp_benchmarks_contain_fp(self):
+        for name in ("mesa", "art", "equake", "ammp"):
+            mix = benchmark_trace(name, 4000).instruction_mix()
+            fp = sum(mix.get(k, 0) for k in ("FALU", "FMULT", "FDIV",
+                                             "FSQRT"))
+            assert fp > 0.10, name
+
+    def test_integer_benchmarks_nearly_fp_free(self):
+        for name in ("gzip", "mcf", "bzip2", "parser"):
+            mix = benchmark_trace(name, 4000).instruction_mix()
+            fp = sum(mix.get(k, 0) for k in ("FALU", "FMULT", "FDIV",
+                                             "FSQRT"))
+            assert fp < 0.05, name
+
+    def test_icache_stressors_have_big_code(self):
+        """vpr-Place/mesa/twolf touch far more code than gzip/mcf."""
+        def touched_code(name):
+            tr = benchmark_trace(name, 8000)
+            return len(np.unique(tr.pc // 64)) * 64
+
+        small = max(touched_code(n) for n in ("gzip", "mcf", "art"))
+        for name in ("vpr-Place", "mesa", "twolf"):
+            assert touched_code(name) > 2 * small, name
+
+    def test_memory_bound_benchmarks_touch_more_data(self):
+        def touched_pages(name):
+            tr = benchmark_trace(name, 8000)
+            addrs = tr.mem_addr[tr.mem_addr >= 0]
+            return len(np.unique(addrs // 4096))
+
+        assert touched_pages("mcf") > 2 * touched_pages("gzip")
+        assert touched_pages("art") > 2 * touched_pages("gzip")
+
+    def test_mcf_pointer_heavy(self):
+        from repro.workloads.synthetic import _POINTER_REG
+
+        tr = benchmark_trace("mcf", 6000)
+        loads = tr.op == int(OpClass.LOAD)
+        pointer = (tr.src1 == _POINTER_REG) & loads
+        fraction = pointer.sum() / max(1, loads.sum())
+        assert fraction > 0.2
+
+    def test_predictable_vs_branchy(self):
+        """art/ammp mispredict far less than parser/twolf."""
+        def mpred(name):
+            tr = benchmark_trace(name, 8000)
+            return simulate(MachineConfig(), tr,
+                            warmup=True).misprediction_rate
+
+        assert mpred("art") < 0.05
+        assert mpred("ammp") < 0.05
+        assert mpred("parser") > 0.10
+        assert mpred("twolf") > 0.10
+
+    def test_all_benchmarks_simulate_with_sane_ipc(self):
+        for name in BENCHMARK_NAMES:
+            stats = simulate(MachineConfig(),
+                             benchmark_trace(name, 5000), warmup=True)
+            assert 0.2 < stats.ipc < 4.0, name
+            assert stats.instructions == 5000

@@ -1,0 +1,198 @@
+"""Tests for the statistical workload generator (repro.workloads.synthetic)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import BranchKind, OpClass
+from repro.workloads import SyntheticProgram, WorkloadProfile, generate_trace
+
+
+def small_profile(**kw):
+    defaults = dict(name="unit", seed=42, n_blocks=32, n_functions=4)
+    defaults.update(kw)
+    return WorkloadProfile(**defaults)
+
+
+class TestProfileValidation:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            small_profile(loop_fraction=1.5)
+        with pytest.raises(ValueError):
+            small_profile(stack_fraction=-0.1)
+
+    def test_stack_plus_hot_bounded(self):
+        with pytest.raises(ValueError):
+            small_profile(stack_fraction=0.7, hot_fraction=0.5)
+
+    def test_block_length_minimum(self):
+        with pytest.raises(ValueError):
+            small_profile(block_len_mean=1.0)
+
+    def test_negative_weight(self):
+        with pytest.raises(ValueError):
+            small_profile(ialu_weight=-0.5)
+
+    def test_lookback_bounds(self):
+        with pytest.raises(ValueError):
+            small_profile(dep_lookback_p=0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        p = small_profile()
+        a = generate_trace(p, 2000)
+        b = generate_trace(p, 2000)
+        assert np.array_equal(a.pc, b.pc)
+        assert np.array_equal(a.mem_addr, b.mem_addr)
+        assert np.array_equal(a.taken, b.taken)
+
+    def test_different_seed_differs(self):
+        a = generate_trace(small_profile(seed=1), 2000)
+        b = generate_trace(small_profile(seed=2), 2000)
+        assert not np.array_equal(a.pc, b.pc)
+
+    def test_seed_override(self):
+        p = small_profile()
+        a = generate_trace(p, 1000, seed=99)
+        b = generate_trace(p, 1000, seed=99)
+        c = generate_trace(p, 1000, seed=100)
+        assert np.array_equal(a.mem_addr, b.mem_addr)
+        assert not np.array_equal(a.mem_addr, c.mem_addr)
+
+
+class TestTraceStructure:
+    def test_exact_length(self):
+        for n in (1, 17, 1000):
+            assert len(generate_trace(small_profile(), n)) == n
+
+    def test_trace_validates(self):
+        generate_trace(small_profile(), 3000).validate()
+
+    def test_mix_tracks_profile(self):
+        p = small_profile(
+            ialu_weight=0.2, falu_weight=0.4, load_weight=0.2,
+            store_weight=0.1, imult_weight=0, idiv_weight=0,
+        )
+        mix = generate_trace(p, 8000).instruction_mix()
+        assert mix["FALU"] > mix["IALU"]
+        assert mix.get("LOAD", 0) > mix.get("STORE", 0)
+
+    def test_branch_frequency_tracks_block_length(self):
+        short = generate_trace(small_profile(block_len_mean=4.0), 6000)
+        long = generate_trace(small_profile(block_len_mean=12.0), 6000)
+        assert short.branch_count() > long.branch_count()
+
+    def test_memory_ops_have_addresses(self):
+        tr = generate_trace(small_profile(), 4000)
+        mem = np.isin(tr.op, (int(OpClass.LOAD), int(OpClass.STORE)))
+        assert (tr.mem_addr[mem] >= 0).all()
+
+    def test_calls_and_returns_nest(self):
+        """Returns always target the instruction after their call."""
+        p = small_profile(call_fraction=0.2, n_functions=6,
+                          max_call_depth=4)
+        tr = generate_trace(p, 8000)
+        stack = []
+        ok = True
+        for i in range(len(tr)):
+            kind = int(tr.branch_kind[i])
+            if kind == int(BranchKind.CALL) and tr.taken[i]:
+                stack.append(int(tr.pc[i]) + 4)
+            elif kind == int(BranchKind.RETURN) and stack:
+                ok &= int(tr.target[i]) == stack.pop()
+        assert ok
+
+    def test_call_depth_bounded(self):
+        p = small_profile(call_fraction=0.3, nested_call_fraction=0.5,
+                          max_call_depth=3)
+        tr = generate_trace(p, 8000)
+        depth = max_depth = 0
+        for i in range(len(tr)):
+            kind = int(tr.branch_kind[i])
+            if kind == int(BranchKind.CALL) and tr.taken[i]:
+                depth += 1
+                max_depth = max(max_depth, depth)
+            elif kind == int(BranchKind.RETURN) and depth:
+                depth -= 1
+        assert max_depth <= 3
+
+
+class TestDataModel:
+    def test_footprint_respected(self):
+        p = small_profile(data_footprint=1 << 16)
+        tr = generate_trace(p, 8000)
+        from repro.workloads.synthetic import _DATA_BASE
+
+        cold = tr.mem_addr[(tr.mem_addr >= _DATA_BASE)
+                           & (tr.mem_addr < _DATA_BASE + (1 << 28))]
+        if len(cold):
+            assert (cold < _DATA_BASE + (1 << 16)).all()
+
+    def test_stack_region_small(self):
+        from repro.workloads.synthetic import _STACK_BASE
+
+        p = small_profile(stack_fraction=0.9, hot_fraction=0.0,
+                          stack_bytes=2048)
+        tr = generate_trace(p, 6000)
+        stack = tr.mem_addr[tr.mem_addr >= _STACK_BASE]
+        assert len(stack) > 0
+        assert (stack < _STACK_BASE + 2048).all()
+
+    def test_larger_footprint_touches_more_pages(self):
+        small = generate_trace(
+            small_profile(data_footprint=1 << 18, n_arenas=8,
+                          stack_fraction=0.2, hot_fraction=0.1,
+                          reuse_exponent=1.0), 20000)
+        large = generate_trace(
+            small_profile(data_footprint=1 << 24, n_arenas=8,
+                          stack_fraction=0.2, hot_fraction=0.1,
+                          reuse_exponent=1.0), 20000)
+
+        def pages(tr):
+            addrs = tr.mem_addr[tr.mem_addr >= 0]
+            return len(np.unique(addrs // 4096))
+
+        assert pages(large) > pages(small)
+
+    def test_pointer_loads_self_dependent(self):
+        from repro.workloads.synthetic import _POINTER_REG
+
+        p = small_profile(pointer_fraction=0.5, streaming_fraction=0.0)
+        tr = generate_trace(p, 6000)
+        loads = tr.op == int(OpClass.LOAD)
+        pointer_loads = loads & (tr.src1 == _POINTER_REG)
+        assert pointer_loads.sum() > 0
+        assert (tr.dst[pointer_loads] == _POINTER_REG).all()
+
+
+class TestStaticStructure:
+    def test_program_reusable_for_multiple_lengths(self):
+        program = SyntheticProgram(small_profile())
+        a = program.emit(1000)
+        b = program.emit(2000)
+        assert len(a) == 1000 and len(b) == 2000
+
+    def test_code_footprint_scales_with_blocks(self):
+        small = SyntheticProgram(small_profile(n_blocks=16))
+        large = SyntheticProgram(small_profile(n_blocks=256))
+        assert large.code_bytes > small.code_bytes
+
+    def test_redundancy_keys_bounded(self):
+        p = small_profile(redundancy_fraction=0.5, n_redundant_keys=100)
+        tr = generate_trace(p, 5000)
+        keys = tr.redundancy_key[tr.redundancy_key >= 0]
+        assert len(keys) > 0
+        assert (keys < 100).all()
+
+
+@given(st.integers(1, 3000), st.integers(0, 2 ** 16))
+@settings(max_examples=15, deadline=None)
+def test_generator_always_produces_valid_traces(length, seed):
+    """Any (length, seed) yields a structurally valid trace."""
+    p = WorkloadProfile(name="prop", seed=seed or 1, n_blocks=24,
+                        n_functions=3)
+    tr = generate_trace(p, length)
+    assert len(tr) == length
+    tr.validate()

@@ -1,0 +1,87 @@
+"""Tests for the packed trace representation (repro.workloads.trace)."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import BranchKind, Instruction, OpClass
+from repro.workloads import Trace
+
+
+def sample_instructions():
+    return [
+        Instruction(pc=0x1000, op=OpClass.IALU, src1=1, src2=2, dst=3,
+                    redundancy_key=7),
+        Instruction(pc=0x1004, op=OpClass.LOAD, src1=3, dst=4,
+                    mem_addr=0x8000),
+        Instruction(pc=0x1008, op=OpClass.STORE, src1=4, src2=3,
+                    mem_addr=0x8008),
+        Instruction(pc=0x100C, op=OpClass.BRANCH,
+                    branch_kind=BranchKind.CONDITIONAL, taken=True,
+                    target=0x1000),
+    ]
+
+
+class TestRoundTrip:
+    def test_pack_unpack(self):
+        instrs = sample_instructions()
+        tr = Trace.from_instructions(instrs)
+        assert len(tr) == 4
+        for i, original in enumerate(instrs):
+            assert tr.instruction(i) == original
+
+    def test_iteration(self):
+        instrs = sample_instructions()
+        assert list(Trace.from_instructions(instrs)) == instrs
+
+    def test_name(self):
+        tr = Trace.from_instructions(sample_instructions(), name="x")
+        assert tr.name == "x"
+
+
+class TestValidation:
+    def test_valid_trace_passes(self):
+        Trace.from_instructions(sample_instructions()).validate()
+
+    def test_length_mismatch_rejected(self):
+        base = Trace.from_instructions(sample_instructions())
+        with pytest.raises(ValueError):
+            Trace(base.pc[:2], base.op, base.src1, base.src2, base.dst,
+                  base.mem_addr, base.branch_kind, base.taken,
+                  base.target, base.redundancy_key)
+
+    def test_corrupt_memory_op_detected(self):
+        tr = Trace.from_instructions(sample_instructions())
+        tr.mem_addr[1] = -1
+        with pytest.raises(ValueError):
+            tr.validate()
+
+    def test_branch_without_kind_detected(self):
+        tr = Trace.from_instructions(sample_instructions())
+        tr.branch_kind[3] = 0
+        with pytest.raises(ValueError):
+            tr.validate()
+
+    def test_taken_branch_without_target_detected(self):
+        tr = Trace.from_instructions(sample_instructions())
+        tr.target[3] = -1
+        with pytest.raises(ValueError):
+            tr.validate()
+
+
+class TestSummaries:
+    def test_instruction_mix(self):
+        tr = Trace.from_instructions(sample_instructions())
+        mix = tr.instruction_mix()
+        assert mix["IALU"] == pytest.approx(0.25)
+        assert mix["LOAD"] == pytest.approx(0.25)
+        assert mix["BRANCH"] == pytest.approx(0.25)
+
+    def test_counts(self):
+        tr = Trace.from_instructions(sample_instructions())
+        assert tr.branch_count() == 1
+        assert tr.memory_count() == 2
+
+    def test_redundancy_counts(self):
+        instrs = sample_instructions() * 3
+        tr = Trace.from_instructions(instrs)
+        assert tr.redundancy_counts() == {7: 3}
