@@ -9,6 +9,14 @@ Scale is controlled by ``REPRO_BENCH_SCALE`` (simulated instructions
 per million of the paper's Table 5 dynamic counts; default 5.0, i.e.
 gcc ~= 20k instructions).  Larger scales sharpen the rankings at the
 cost of runtime.
+
+The experiments run through :mod:`repro.exec`:
+
+* ``--jobs N`` (or ``REPRO_BENCH_JOBS``) fans the simulation grid
+  over N worker processes — results are identical at any value;
+* ``--cache-dir DIR`` (or ``REPRO_BENCH_CACHE``) keeps an on-disk
+  result cache, so repeated benchmark sessions at the same scale skip
+  the simulations entirely and time only the analysis under study.
 """
 
 import os
@@ -17,9 +25,35 @@ import pytest
 
 from repro.core import PBExperiment, rank_parameters_from_result
 from repro.cpu import build_precompute_table
+from repro.exec import ResultCache
 from repro.workloads import BENCHMARK_NAMES, benchmark_trace, default_length
 
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "5.0"))
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro", "repro execution engine")
+    group.addoption(
+        "--jobs", type=int,
+        default=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+        help="worker processes for the simulation grids (default 1)",
+    )
+    group.addoption(
+        "--cache-dir",
+        default=os.environ.get("REPRO_BENCH_CACHE"),
+        help="on-disk simulation result cache directory",
+    )
+
+
+@pytest.fixture(scope="session")
+def exec_jobs(request):
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session")
+def exec_cache(request):
+    cache_dir = request.config.getoption("--cache-dir")
+    return ResultCache(cache_dir) if cache_dir else None
 
 
 @pytest.fixture(scope="session")
@@ -32,9 +66,9 @@ def suite_traces():
 
 
 @pytest.fixture(scope="session")
-def table9_experiment(suite_traces):
+def table9_experiment(suite_traces, exec_jobs, exec_cache):
     """The 88-configuration base-machine experiment (paper Table 9)."""
-    return PBExperiment(suite_traces).run()
+    return PBExperiment(suite_traces).run(jobs=exec_jobs, cache=exec_cache)
 
 
 @pytest.fixture(scope="session")
@@ -52,11 +86,12 @@ def precompute_tables(suite_traces):
 
 
 @pytest.fixture(scope="session")
-def table12_experiment(suite_traces, precompute_tables):
+def table12_experiment(suite_traces, precompute_tables, exec_jobs,
+                       exec_cache):
     """The enhanced-machine experiment (paper Table 12)."""
     return PBExperiment(
         suite_traces, precompute_tables=precompute_tables
-    ).run()
+    ).run(jobs=exec_jobs, cache=exec_cache)
 
 
 @pytest.fixture(scope="session")

@@ -13,7 +13,9 @@ The library has five layers, importable as subpackages:
   selection (Section 4.1, Table 9), benchmark classification (Section
   4.2, Tables 10-11), and enhancement analysis (Section 4.3, Table 12),
   plus the paper's own published data for exact validation;
-* :mod:`repro.reporting` — text renderings of every paper table.
+* :mod:`repro.reporting` — text renderings of every paper table;
+* :mod:`repro.exec` — the parallel, cached execution engine every
+  experiment and sweep runs its simulation grid through.
 
 Quick start::
 
@@ -28,6 +30,8 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import core, cpu, doe, reporting, workloads
+from . import core, cpu, doe, exec, reporting, workloads
 
-__all__ = ["core", "cpu", "doe", "reporting", "workloads", "__version__"]
+__all__ = [
+    "core", "cpu", "doe", "exec", "reporting", "workloads", "__version__",
+]

@@ -48,15 +48,42 @@ def _traces(args):
     return benchmark_suite(length=args.length, names=names)
 
 
+def _add_exec_args(parser):
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=1,
+        help="worker processes for the simulation grid "
+             "(default %(default)s; results are identical at any value)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="on-disk simulation result cache; reruns and related "
+             "analyses reuse measurements instead of re-simulating",
+    )
+
+
+def _exec_options(args):
+    """(jobs, cache) for run()/run_grid() from parsed CLI args."""
+    from repro.exec import ResultCache
+
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    try:
+        cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    except OSError as exc:
+        raise SystemExit(f"bad --cache-dir {args.cache_dir!r}: {exc}")
+    return args.jobs, cache
+
+
 def cmd_screen(args) -> int:
     from repro.core import PBExperiment, rank_parameters_from_result
     from repro.doe import lenth_test
     from repro.reporting import render_ranking
 
     traces = _traces(args)
+    jobs, cache = _exec_options(args)
     print(f"running 88 configurations x {len(traces)} benchmarks ...",
           file=sys.stderr)
-    result = PBExperiment(traces).run()
+    result = PBExperiment(traces).run(jobs=jobs, cache=cache)
     ranking = rank_parameters_from_result(result)
     print(render_ranking(ranking, title="Parameter ranks"))
     print()
@@ -94,10 +121,11 @@ def cmd_classify(args) -> int:
         ranking = paper_table9_ranking()
     else:
         traces = _traces(args)
+        jobs, cache = _exec_options(args)
         print(f"running 88 configurations x {len(traces)} benchmarks ...",
               file=sys.stderr)
         ranking = rank_parameters_from_result(
-            PBExperiment(traces).run()
+            PBExperiment(traces).run(jobs=jobs, cache=cache)
         )
     threshold = args.threshold or PAPER_SIMILARITY_THRESHOLD
     print(render_distance_matrix(ranking, title="Distance matrix"))
@@ -116,17 +144,22 @@ def cmd_enhance(args) -> int:
     from repro.reporting import render_enhancement
 
     traces = _traces(args)
+    jobs, cache = _exec_options(args)
     print(f"running 2 x 88 configurations x {len(traces)} benchmarks ...",
           file=sys.stderr)
-    before = PBExperiment(traces).run()
+    before = PBExperiment(traces).run(jobs=jobs, cache=cache)
     if args.kind == "precompute":
         tables = {
             name: build_precompute_table(trace, args.table_entries)
             for name, trace in traces.items()
         }
-        after = PBExperiment(traces, precompute_tables=tables).run()
+        after = PBExperiment(traces, precompute_tables=tables).run(
+            jobs=jobs, cache=cache
+        )
     else:
-        after = PBExperiment(traces, prefetch_lines=args.lines).run()
+        after = PBExperiment(traces, prefetch_lines=args.lines).run(
+            jobs=jobs, cache=cache
+        )
     analysis = EnhancementAnalysis(
         rank_parameters_from_result(before),
         rank_parameters_from_result(after),
@@ -240,6 +273,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("screen", help="PB parameter screen (§4.1)")
     _add_workload_args(p)
+    _add_exec_args(p)
     p.add_argument("--lenth", action="store_true",
                    help="also report Lenth-significant factors")
     p.add_argument("--alpha", type=float, default=0.05,
@@ -250,6 +284,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("classify", help="benchmark classification (§4.2)")
     _add_workload_args(p)
+    _add_exec_args(p)
     p.add_argument("--paper", action="store_true",
                    help="use the paper's published Table 9 data")
     p.add_argument("--threshold", type=float, default=None,
@@ -258,6 +293,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("enhance", help="enhancement analysis (§4.3)")
     _add_workload_args(p)
+    _add_exec_args(p)
     p.add_argument("--kind", choices=["precompute", "prefetch"],
                    default="precompute")
     p.add_argument("--table-entries", type=int, default=128,

@@ -90,6 +90,8 @@ def analyze_enhancement(
     precompute_tables: Optional[Mapping[str, Set[int]]] = None,
     parameter_names=None,
     progress=None,
+    jobs: int = 1,
+    cache=None,
 ) -> Tuple[EnhancementAnalysis, PBExperimentResult, PBExperimentResult]:
     """Run the full §4.3 study: PB before and after precomputation.
 
@@ -97,6 +99,11 @@ def analyze_enhancement(
     other than instruction precomputation, any benchmark -> key-set
     mapping); by default the tables are built from each trace's
     redundancy profile with ``table_entries`` entries, as in the paper.
+
+    ``jobs``/``cache`` go to both underlying experiment runs via
+    :func:`repro.exec.run_grid`.  With a persistent cache, the "before"
+    half of the study shares keys with any previous base-machine screen
+    of the same traces and is not re-simulated.
 
     Returns the analysis plus both raw experiment results.
     """
@@ -110,14 +117,14 @@ def analyze_enhancement(
         kwargs["parameter_names"] = parameter_names
     before = PBExperiment(
         traces, base_config=base_config, progress=progress, **kwargs
-    ).run()
+    ).run(jobs=jobs, cache=cache)
     after = PBExperiment(
         traces,
         base_config=base_config,
         precompute_tables=precompute_tables,
         progress=progress,
         **kwargs,
-    ).run()
+    ).run(jobs=jobs, cache=cache)
     analysis = EnhancementAnalysis(
         rank_parameters_from_result(before),
         rank_parameters_from_result(after),

@@ -16,8 +16,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.cpu import MachineConfig, config_from_levels
 from repro.cpu.params import PARAMETER_NAMES
-from repro.cpu.pipeline import simulate
 from repro.doe import DesignMatrix, EffectTable, compute_effects, pb_design
+from repro.exec import ResultCache, grid_tasks, run_grid
 from repro.workloads import Trace
 
 
@@ -129,25 +129,40 @@ class PBExperiment:
             for levels in self.design.runs()
         ]
 
-    def run(self) -> PBExperimentResult:
-        """Simulate every (row, benchmark) pair; return all results."""
+    def run(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+    ) -> PBExperimentResult:
+        """Simulate every (row, benchmark) pair; return all results.
+
+        The grid goes through :func:`repro.exec.run_grid`: ``jobs >= 2``
+        fans the simulations out over a worker pool and ``cache``
+        reuses previously measured configurations.  Results are ordered
+        by design row regardless of completion order, so responses,
+        effects and ranks are identical to a serial run.  The response
+        function is applied in the calling process, so it may be any
+        callable (closures included).
+        """
         configs = self.configs()
-        total = len(configs) * len(self.traces)
-        done = 0
+        tasks = grid_tasks(
+            configs, self.traces,
+            precompute_tables=self.precompute_tables,
+            prefetch_lines=self.prefetch_lines,
+        )
+        all_stats = run_grid(
+            tasks, jobs=jobs, cache=cache, progress=self.progress,
+        )
         responses: Dict[str, List[float]] = {b: [] for b in self.traces}
+        index = 0
         for config in configs:
-            for bench, trace in self.traces.items():
-                table = self.precompute_tables.get(bench)
-                stats = simulate(
-                    config, trace, precompute_table=table, warmup=True,
-                    prefetch_lines=self.prefetch_lines,
-                )
+            for bench in self.traces:
+                stats = all_stats[index]
+                index += 1
                 if self.response is None:
                     value = float(stats.cycles)
                 else:
                     value = float(self.response(stats, config))
                 responses[bench].append(value)
-                done += 1
-                if self.progress is not None:
-                    self.progress(done, total)
         return PBExperimentResult(self.design, responses)

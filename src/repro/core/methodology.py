@@ -21,8 +21,8 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cpu import MachineConfig, config_from_levels
 from repro.cpu.params import parameter_spec
-from repro.cpu.pipeline import simulate
 from repro.doe import AnovaResult, anova, full_factorial_design
+from repro.exec import grid_tasks, run_grid
 from repro.workloads import Trace
 
 from .experiment import PBExperiment
@@ -62,12 +62,17 @@ def sensitivity_analysis(
     traces: Mapping[str, Trace],
     factors: Sequence[str],
     base_config: MachineConfig = MachineConfig(),
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> SensitivityStudy:
     """Full-factorial ANOVA (step 3) over a small set of factors.
 
     Each factor's low/high values are its Plackett-Burman values; the
     2^k design quantifies all their interactions (which the PB screen
-    could not), per Table 1's "Full Multifactorial" row.
+    could not), per Table 1's "Full Multifactorial" row.  The 2^k x
+    benchmarks grid runs through :func:`repro.exec.run_grid`
+    (``jobs``/``cache`` as everywhere else).
     """
     factors = list(factors)
     if len(factors) > 6:
@@ -76,14 +81,20 @@ def sensitivity_analysis(
             "explosion Table 1 warns about; screen with PB first"
         )
     design = full_factorial_design(factor_names=factors)
+    configs = [
+        config_from_levels(levels, base_config)
+        for levels in design.runs()
+    ]
+    all_stats = run_grid(
+        grid_tasks(configs, traces), jobs=jobs, cache=cache,
+    )
+    benchmarks = list(traces)
     anovas: Dict[str, AnovaResult] = {}
-    for bench, trace in traces.items():
-        responses = []
-        for levels in design.runs():
-            config = config_from_levels(levels, base_config)
-            responses.append(
-                [float(simulate(config, trace, warmup=True).cycles)]
-            )
+    for j, bench in enumerate(benchmarks):
+        responses = [
+            [float(all_stats[i * len(benchmarks) + j].cycles)]
+            for i in range(len(configs))
+        ]
         anovas[bench] = anova(design, responses)
     return SensitivityStudy(tuple(factors), anovas)
 
@@ -116,6 +127,8 @@ def recommended_workflow(
     base_config: MachineConfig = MachineConfig(),
     max_critical: int = 4,
     progress=None,
+    jobs: int = 1,
+    cache=None,
 ) -> WorkflowResult:
     """Run the paper's full four-step parameter-selection workflow.
 
@@ -126,12 +139,16 @@ def recommended_workflow(
     experiment = PBExperiment(
         traces, base_config=base_config, progress=progress
     )
-    ranking = rank_parameters_from_result(experiment.run())
+    ranking = rank_parameters_from_result(
+        experiment.run(jobs=jobs, cache=cache)
+    )
     critical = ranking.significant_factors()[:max_critical]
     # Only real machine parameters can enter the factorial (a dummy
     # factor in the critical set would indicate a broken experiment).
     critical = [f for f in critical if _is_real_parameter(f)]
-    sensitivity = sensitivity_analysis(traces, critical, base_config)
+    sensitivity = sensitivity_analysis(
+        traces, critical, base_config, jobs=jobs, cache=cache,
+    )
     final_config = choose_final_values(ranking, sensitivity, base_config)
     return WorkflowResult(
         ranking, tuple(critical), sensitivity, final_config

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cpu import MachineConfig
-from repro.cpu.pipeline import simulate
+from repro.exec import ResultCache, grid_tasks, run_grid
 from repro.workloads import Trace
 
 
@@ -46,13 +46,16 @@ class SweepResult:
         return self.values[totals.index(min(totals))]
 
     def table(self) -> str:
+        width = max(
+            [len("value")] + [len(str(v)) for v in self.values]
+        )
         lines = [f"sweep of {self.field_name}"]
-        header = "  value      " + "  ".join(
+        header = f"  {'value':<{width}s}  " + "  ".join(
             f"{b:>10s}" for b in self.cycles
         )
         lines.append(header)
         for i, value in enumerate(self.values):
-            row = f"  {str(value):9s}  " + "  ".join(
+            row = f"  {str(value):<{width}s}  " + "  ".join(
                 f"{self.cycles[b][i]:10d}" for b in self.cycles
             )
             lines.append(row)
@@ -66,24 +69,35 @@ def sweep(
     base_config: MachineConfig = MachineConfig(),
     *,
     linked: Optional[Mapping[object, Mapping[str, object]]] = None,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> SweepResult:
     """Measure cycles across values of one ``MachineConfig`` field.
 
     ``linked`` optionally maps a swept value to extra field overrides
     applied together with it (e.g. shrinking the LSQ along with the
-    ROB to keep configurations legal).
+    ROB to keep configurations legal).  ``jobs``/``cache`` go to
+    :func:`repro.exec.run_grid`: the grid of (value, benchmark) cells
+    runs on a worker pool and previously measured configurations are
+    reused from the cache.
     """
     if not values:
         raise ValueError("need at least one value to sweep")
-    cycles: Dict[str, List[int]] = {b: [] for b in traces}
+    configs = []
     for value in values:
         changes = {field_name: value}
         if linked and value in linked:
             changes.update(linked[value])
-        config = base_config.evolve(**changes)
-        for bench, trace in traces.items():
-            stats = simulate(config, trace, warmup=True)
-            cycles[bench].append(stats.cycles)
+        configs.append(base_config.evolve(**changes))
+    all_stats = run_grid(
+        grid_tasks(configs, traces), jobs=jobs, cache=cache,
+    )
+    cycles: Dict[str, List[int]] = {b: [] for b in traces}
+    index = 0
+    for _ in configs:
+        for bench in traces:
+            cycles[bench].append(all_stats[index].cycles)
+            index += 1
     return SweepResult(
         field_name=field_name,
         values=tuple(values),
@@ -121,6 +135,8 @@ def iterative_refinement(
     base_config: MachineConfig = MachineConfig(),
     *,
     max_rounds: int = 4,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> RefinementResult:
     """Fix each parameter at its best value, iterating to a fixed point.
 
@@ -129,9 +145,16 @@ def iterative_refinement(
     interactions between the chosen values are honoured, per the
     paper's step 3) and pins it at its best value; rounds repeat until
     no choice changes or ``max_rounds`` is hit.
+
+    Coordinate descent revisits configurations constantly (every round
+    re-measures the incumbent value of every parameter), so the loop
+    always runs against a result cache: the supplied ``cache``, or a
+    process-local in-memory one when ``None``.
     """
     if not sweeps:
         raise ValueError("need at least one parameter to refine")
+    if cache is None:
+        cache = ResultCache()
     config = base_config
     result = RefinementResult(final_config=config)
     previous: Dict[str, object] = {}
@@ -139,7 +162,10 @@ def iterative_refinement(
         result.rounds = round_index + 1
         changed = False
         for field_name, values in sweeps.items():
-            outcome = sweep(traces, field_name, values, config)
+            outcome = sweep(
+                traces, field_name, values, config,
+                jobs=jobs, cache=cache,
+            )
             chosen = outcome.best_value()
             result.steps.append(
                 RefinementStep(field_name, outcome, chosen)

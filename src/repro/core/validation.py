@@ -114,6 +114,8 @@ def replicate(
     scale: float = 5.0,
     table_entries: int = 128,
     progress=None,
+    jobs: int = 1,
+    cache=None,
 ) -> ReplicationOutcome:
     """Run the full replication pipeline.
 
@@ -131,14 +133,16 @@ def replicate(
             name: benchmark_trace(name, default_length(name, scale))
             for name in BENCHMARK_NAMES
         }
-    base = PBExperiment(traces, progress=progress).run()
+    base = PBExperiment(traces, progress=progress).run(
+        jobs=jobs, cache=cache
+    )
     tables = {
         name: build_precompute_table(trace, table_entries)
         for name, trace in traces.items()
     }
     enhanced = PBExperiment(
         traces, precompute_tables=tables, progress=progress
-    ).run()
+    ).run(jobs=jobs, cache=cache)
     table9 = rank_parameters_from_result(base)
     table12 = rank_parameters_from_result(enhanced)
     return ReplicationOutcome(

@@ -35,7 +35,7 @@ from .params import (
     config_from_levels,
     parameter_spec,
 )
-from .pipeline import Pipeline, SimulationError, simulate
+from .pipeline import SIMULATOR_VERSION, Pipeline, SimulationError, simulate
 from .power import (
     DEFAULT_ENERGY_MODEL,
     EnergyBreakdown,
@@ -76,6 +76,7 @@ __all__ = [
     "PARAMETER_SPACE",
     "ParameterSpec",
     "Pipeline",
+    "SIMULATOR_VERSION",
     "SimulationError",
     "build_precompute_table",
     "config_from_levels",

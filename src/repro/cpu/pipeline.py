@@ -43,6 +43,12 @@ from .isa import COMPUTE_CLASSES, NO_VALUE, BranchKind, OpClass
 from .params import MachineConfig
 from .stats import CacheSnapshot, CoreStats
 
+#: Version tag for the timing model.  Bump whenever a change alters the
+#: cycle counts produced for an identical (config, trace) pair — the
+#: execution engine's result cache keys on it, so stale measurements
+#: from an older model are never reused.
+SIMULATOR_VERSION = "1"
+
 _WAITING = 0
 _ISSUED = 1
 _DONE = 2

@@ -40,6 +40,17 @@ class EffectTable:
     _by_name: Dict[str, float] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self):
+        if not self.factor_names:
+            raise ValueError(
+                "an EffectTable needs at least one factor: every query "
+                "(ranks, relative magnitudes) is meaningless on an "
+                "empty table"
+            )
+        if len(self.factor_names) != len(self.effects):
+            raise ValueError(
+                f"{len(self.factor_names)} factor names but "
+                f"{len(self.effects)} effects"
+            )
         object.__setattr__(
             self, "_by_name", dict(zip(self.factor_names, self.effects))
         )

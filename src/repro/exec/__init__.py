@@ -1,0 +1,21 @@
+"""The shared simulation execution engine.
+
+Everything that measures a grid of (configuration, trace) pairs —
+Plackett-Burman experiments, replicated designs, parameter sweeps,
+iterative refinement, enhancement analyses — runs through
+:func:`run_grid`, which adds worker-pool parallelism and
+content-addressed result caching while guaranteeing results identical
+to the serial path.  See :mod:`repro.exec.engine` for the execution
+model and :mod:`repro.exec.cache` for the cache design.
+"""
+
+from .cache import ResultCache, task_key
+from .engine import SimTask, grid_tasks, run_grid
+
+__all__ = [
+    "ResultCache",
+    "SimTask",
+    "grid_tasks",
+    "run_grid",
+    "task_key",
+]

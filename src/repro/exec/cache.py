@@ -1,0 +1,140 @@
+"""Content-addressed result cache for simulation runs.
+
+A simulation is a pure function of (machine configuration, trace,
+enhancement settings, simulator version): the same inputs always
+produce the same :class:`~repro.cpu.stats.CoreStats`.  That makes
+results safe to memoise by a content hash of the inputs —
+:func:`task_key` computes it, :class:`ResultCache` stores the stats.
+
+The cache has two layers: an in-memory dict (always on) and an
+optional on-disk directory of pickled stats, one file per key, written
+atomically so concurrent runs sharing a cache directory never read a
+torn entry.  Enhancement analyses, iterative refinement and repeated
+benchmark sessions all hit the same keys, so the second time a
+configuration is measured it costs a dictionary lookup or one small
+file read instead of a full pipeline simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.cpu import SIMULATOR_VERSION
+from repro.cpu.stats import CoreStats
+
+
+def task_key(task, *, version: str = SIMULATOR_VERSION) -> str:
+    """Content hash of one :class:`~repro.exec.engine.SimTask`.
+
+    The key covers every input the simulator's output depends on: all
+    :class:`~repro.cpu.MachineConfig` field values, the trace's content
+    fingerprint (arrays + name), the enhancement settings (precompute
+    table contents, prefetch lines), the warmup discipline, and the
+    simulator ``version`` tag.  Changing any of them — including
+    bumping :data:`~repro.cpu.SIMULATOR_VERSION` after a timing-model
+    change — yields a different key, so stale entries are simply never
+    found rather than needing explicit invalidation.
+
+    Results are stored as full :class:`CoreStats`, so the response
+    function an experiment applies (cycles, energy, ...) does not enter
+    the key: one cached measurement serves every response definition.
+    """
+    payload = {
+        "version": str(version),
+        "config": dataclasses.asdict(task.config),
+        "trace": task.trace.fingerprint(),
+        "precompute_table": (
+            sorted(task.precompute_table)
+            if task.precompute_table is not None else None
+        ),
+        "prefetch_lines": task.prefetch_lines,
+        "warmup": task.warmup,
+    }
+    blob = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Memoised simulation results, optionally persisted to disk.
+
+    Parameters
+    ----------
+    path:
+        Directory for the on-disk layer (created if missing).  ``None``
+        keeps the cache purely in-memory — still useful within one
+        process (e.g. iterative refinement revisiting configurations).
+
+    Attributes
+    ----------
+    hits / misses:
+        Lookup counters, for instrumentation and tests.
+    """
+
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.mkdir(parents=True, exist_ok=True)
+        self._memory: dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _file(self, key: str) -> Path:
+        return self.path / f"{key}.pkl"
+
+    def get(self, key: str) -> Optional[CoreStats]:
+        """The cached stats for ``key``, or ``None`` on a miss."""
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        if self.path is not None:
+            file = self._file(key)
+            try:
+                stats = pickle.loads(file.read_bytes())
+            except FileNotFoundError:
+                pass
+            except Exception:
+                # A torn or incompatible entry is a miss, not an error.
+                file.unlink(missing_ok=True)
+            else:
+                self._memory[key] = stats
+                self.hits += 1
+                return stats
+        self.misses += 1
+        return None
+
+    def put(self, key: str, stats: CoreStats) -> None:
+        """Store ``stats`` under ``key`` in both layers."""
+        self._memory[key] = stats
+        if self.path is not None:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path, prefix=".tmp-", suffix=".pkl"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(stats, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._file(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._memory:
+            return True
+        return self.path is not None and self._file(key).exists()
+
+    def __len__(self) -> int:
+        """Number of distinct entries across both layers."""
+        keys = set(self._memory)
+        if self.path is not None:
+            keys.update(f.stem for f in self.path.glob("*.pkl"))
+        return len(keys)

@@ -1,0 +1,201 @@
+"""Parallel, cached execution of simulation grids.
+
+Every experiment in this repository — the 88-run Plackett-Burman
+screen, its foldover and replicated variants, parameter sweeps,
+iterative refinement, enhancement before/after studies — reduces to
+the same primitive: simulate a grid of independent (configuration,
+trace) pairs and collect one :class:`~repro.cpu.stats.CoreStats` per
+cell.  :func:`run_grid` is that primitive, shared by all of them.
+
+Guarantees:
+
+* **Determinism** — results are returned in task order, keyed by task
+  index rather than completion order, so downstream effects and ranks
+  are bit-identical whether the grid ran on 1 worker or 16.
+* **Parallelism** — with ``jobs >= 2`` the grid fans out across a
+  ``multiprocessing`` pool (fork start method; workers receive the
+  task list once, at pool start, and are handed chunked index ranges,
+  so per-task IPC is an integer out and a small stats object back).
+* **Caching** — with a :class:`~repro.exec.cache.ResultCache`, each
+  task is first looked up by its content hash (see
+  :func:`~repro.exec.cache.task_key`); only misses are simulated, and
+  fresh results are written back for the next run.
+* **Graceful fallback** — ``jobs=1``, a single pending task, or a
+  platform without ``fork`` (e.g. Windows) all take the plain
+  in-process path with identical results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import (
+    Callable, FrozenSet, Iterable, List, Optional, Sequence,
+)
+
+from repro.cpu import MachineConfig, SIMULATOR_VERSION
+from repro.cpu.pipeline import simulate
+from repro.cpu.stats import CoreStats
+from repro.workloads import Trace
+
+from .cache import ResultCache, task_key
+
+__all__ = ["SimTask", "run_grid", "grid_tasks"]
+
+
+@dataclass(frozen=True, eq=False)
+class SimTask:
+    """One independent cell of a simulation grid.
+
+    Fields mirror :func:`repro.cpu.simulate`'s inputs; the precompute
+    table is a ``frozenset`` so tasks stay hashable and immutable.
+    """
+
+    config: MachineConfig
+    trace: Trace
+    precompute_table: Optional[FrozenSet[int]] = None
+    prefetch_lines: int = 0
+    warmup: bool = True
+
+
+def grid_tasks(
+    configs: Sequence[MachineConfig],
+    traces,
+    *,
+    precompute_tables=None,
+    prefetch_lines: int = 0,
+    warmup: bool = True,
+) -> List[SimTask]:
+    """The row-major (config, benchmark) task list for a full grid.
+
+    Task ``i * len(traces) + j`` is configuration ``i`` on benchmark
+    ``j`` (in ``traces`` iteration order) — the same nesting the serial
+    loops always used, so positions map back trivially.
+    """
+    precompute_tables = precompute_tables or {}
+    tasks = []
+    for config in configs:
+        for bench, trace in traces.items():
+            table = precompute_tables.get(bench)
+            tasks.append(SimTask(
+                config=config,
+                trace=trace,
+                precompute_table=(
+                    frozenset(table) if table is not None else None
+                ),
+                prefetch_lines=prefetch_lines,
+                warmup=warmup,
+            ))
+    return tasks
+
+
+def _execute(task: SimTask) -> CoreStats:
+    table = (
+        set(task.precompute_table)
+        if task.precompute_table is not None else None
+    )
+    return simulate(
+        task.config, task.trace,
+        precompute_table=table,
+        warmup=task.warmup,
+        prefetch_lines=task.prefetch_lines,
+    )
+
+
+#: Task list seen by pool workers, installed once per worker at pool
+#: start so per-task messages carry only an index, never a trace.
+_WORKER_TASKS: Optional[List[SimTask]] = None
+
+
+def _init_worker(tasks: List[SimTask]) -> None:
+    global _WORKER_TASKS
+    _WORKER_TASKS = tasks
+
+
+def _run_at(index: int):
+    return index, _execute(_WORKER_TASKS[index])
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_grid(
+    tasks: Iterable[SimTask],
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
+    version: str = SIMULATOR_VERSION,
+    chunk_size: Optional[int] = None,
+) -> List[CoreStats]:
+    """Simulate every task; return stats in task order.
+
+    Parameters
+    ----------
+    tasks:
+        The grid cells to run (order defines result order).
+    jobs:
+        Worker processes.  ``1`` (the default) runs in-process; higher
+        values fan pending tasks out over a fork-based pool.  On
+        platforms without ``fork`` the engine silently falls back to
+        in-process execution rather than paying spawn's re-import and
+        task-pickling costs.
+    cache:
+        Optional :class:`ResultCache`; hits skip simulation entirely,
+        misses are computed and written back.
+    progress:
+        ``(done, total)`` callback, invoked once per finished task
+        (cache hits included) from the calling process.
+    version:
+        Simulator version tag mixed into cache keys; defaults to
+        :data:`~repro.cpu.SIMULATOR_VERSION`.
+    chunk_size:
+        Tasks handed to a worker per request; defaults to roughly a
+        quarter of an even share so stragglers rebalance.
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    results: List[Optional[CoreStats]] = [None] * total
+    done = 0
+
+    keys: List[Optional[str]] = [None] * total
+    pending: List[int] = []
+    for i, task in enumerate(tasks):
+        if cache is not None:
+            keys[i] = task_key(task, version=version)
+            hit = cache.get(keys[i])
+            if hit is not None:
+                results[i] = hit
+                done += 1
+                if progress is not None:
+                    progress(done, total)
+                continue
+        pending.append(i)
+
+    def _record(i: int, stats: CoreStats) -> int:
+        results[i] = stats
+        if cache is not None:
+            cache.put(keys[i], stats)
+        if progress is not None:
+            progress(done + 1, total)
+        return done + 1
+
+    if jobs > 1 and len(pending) > 1 and _fork_available():
+        workers = min(jobs, len(pending))
+        if chunk_size is None:
+            chunk_size = max(1, len(pending) // (workers * 4))
+        context = multiprocessing.get_context("fork")
+        with context.Pool(
+            workers, initializer=_init_worker, initargs=(tasks,)
+        ) as pool:
+            for i, stats in pool.imap_unordered(
+                _run_at, pending, chunksize=chunk_size
+            ):
+                done = _record(i, stats)
+    else:
+        for i in pending:
+            done = _record(i, _execute(tasks[i]))
+    return results

@@ -57,7 +57,16 @@ def load_trace(path: Union[str, os.PathLike]) -> Trace:
                 f"{path}: trace format v{version}, expected "
                 f"v{FORMAT_VERSION}"
             )
-        name = bytes(archive["__name__"]).decode("utf-8")
+        # The name travels as a 0-d NumPy scalar array.  Extract the
+        # scalar explicitly with .item(): coercing the array itself
+        # with bytes(...) reads the raw buffer, which is only correct
+        # for bytes dtypes (a unicode-dtype archive, e.g. one written
+        # by an external tool, would yield UTF-32 garbage).
+        raw_name = archive["__name__"].item()
+        if isinstance(raw_name, bytes):
+            name = raw_name.decode("utf-8")
+        else:
+            name = str(raw_name)
         arrays = {}
         for field in _FIELDS:
             if field not in archive:

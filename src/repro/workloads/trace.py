@@ -10,6 +10,7 @@ hand-built workloads.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Iterable, Iterator, List, Sequence
 
 import numpy as np
@@ -27,6 +28,7 @@ class Trace:
     __slots__ = (
         "pc", "op", "src1", "src2", "dst", "mem_addr",
         "branch_kind", "taken", "target", "redundancy_key", "name",
+        "_fingerprint",
     )
 
     def __init__(
@@ -65,9 +67,33 @@ class Trace:
             redundancy_key, dtype=np.int64
         )
         self.name = name
+        self._fingerprint = None
 
     def __len__(self) -> int:
         return len(self.pc)
+
+    def fingerprint(self) -> str:
+        """Content hash identifying this trace (arrays + name).
+
+        Two traces with equal arrays and name share a fingerprint
+        regardless of how they were built, which is what lets the
+        execution engine's result cache recognise previously simulated
+        workloads across processes and sessions.  Computed lazily and
+        memoised; instances are treated as immutable.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.name.encode("utf-8"))
+            for field in (
+                "pc", "op", "src1", "src2", "dst", "mem_addr",
+                "branch_kind", "taken", "target", "redundancy_key",
+            ):
+                array = getattr(self, field)
+                digest.update(field.encode("ascii"))
+                digest.update(str(array.dtype).encode("ascii"))
+                digest.update(array.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def instruction(self, i: int) -> Instruction:
         """Instruction ``i`` as a rich object."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import iterative_refinement, sweep
+from repro.core import SweepResult, iterative_refinement, sweep
 from repro.cpu import MachineConfig
 from repro.workloads import benchmark_trace
 
@@ -72,3 +72,30 @@ class TestIterativeRefinement:
     def test_requires_parameters(self, traces):
         with pytest.raises(ValueError):
             iterative_refinement(traces, {})
+
+
+class TestTableLayout:
+    def test_wide_values_stay_aligned(self, traces):
+        """Values longer than 9 characters must not shear the table:
+        the value column is sized to the widest entry."""
+        result = sweep(
+            traces, "l1d_size", [4096, 131072],
+            linked={131072: {"l1d_assoc": 8}},
+        )
+        wide = SweepResult(
+            field_name="cache_geometry",
+            values=("(131072, 8, 64)", "(4096, 1, 16)"),
+            cycles=result.cycles,
+        )
+        lines = wide.table().splitlines()
+        header, rows = lines[1], lines[2:]
+        assert all(len(row) == len(header) for row in rows)
+        width = max(len(str(v)) for v in wide.values)
+        for row, value in zip(rows, wide.values):
+            assert row.startswith(f"  {str(value):<{width}s}  ")
+
+    def test_narrow_values_stay_aligned(self, traces):
+        result = sweep(traces, "l2_latency", [5, 20])
+        lines = result.table().splitlines()
+        header, rows = lines[1], lines[2:]
+        assert all(len(row) == len(header) for row in rows)

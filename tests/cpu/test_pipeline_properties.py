@@ -91,17 +91,28 @@ def test_perfect_prediction_dominates(seed, length):
 @given(st.integers(1, 10_000))
 @settings(max_examples=10, deadline=None)
 def test_precomputation_never_slows(seed):
-    """Precomputation (effectively) never increases cycles.
+    """Precomputation only slows a run via perturbed speculation.
 
     Removing work perturbs issue timing and therefore predictor
-    training, so a handful of extra mispredictions can appear — the
-    tolerance absorbs that second-order jitter only.
+    training, so extra mispredictions and BTB misfetches can appear
+    downstream.  Any cycle increase must be attributable to those
+    extra pipeline flushes: each one costs the redirect penalty plus
+    a bounded refill of in-flight work.  A slowdown beyond that
+    allowance would mean the enhancement itself added latency, which
+    the model never does.
     """
     from repro.cpu import build_precompute_table
 
     trace = random_trace(seed, 800)
     table = build_precompute_table(trace, 128)
-    base = simulate(MachineConfig(), trace, warmup=True)
-    enhanced = simulate(MachineConfig(), trace, warmup=True,
+    config = MachineConfig()
+    base = simulate(config, trace, warmup=True)
+    enhanced = simulate(config, trace, warmup=True,
                         precompute_table=table)
-    assert enhanced.cycles <= base.cycles * 1.03 + 20
+    extra_flushes = (
+        max(0, enhanced.mispredictions - base.mispredictions)
+        + max(0, enhanced.btb_misfetches - base.btb_misfetches)
+    )
+    refill = config.rob_entries // config.width
+    allowance = extra_flushes * (config.mispredict_penalty + refill) + 20
+    assert enhanced.cycles <= base.cycles + allowance

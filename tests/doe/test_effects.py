@@ -211,3 +211,17 @@ def test_foldover_effects_invariant_to_mean_shift(y):
     base = compute_effects(design, y)
     shifted = compute_effects(design, [v + 1000.0 for v in y])
     assert np.allclose(base.effects, shifted.effects, atol=1e-6)
+
+
+class TestEmptyTable:
+    def test_construction_rejects_empty_factors(self):
+        from repro.doe.effects import EffectTable
+
+        with pytest.raises(ValueError, match="at least one factor"):
+            EffectTable(factor_names=(), effects=())
+
+    def test_construction_rejects_length_mismatch(self):
+        from repro.doe.effects import EffectTable
+
+        with pytest.raises(ValueError, match="factor names"):
+            EffectTable(factor_names=("A", "B"), effects=(1.0,))

@@ -7,7 +7,7 @@ import pytest
 import repro
 
 
-SUBPACKAGES = ["core", "cpu", "doe", "reporting", "workloads"]
+SUBPACKAGES = ["core", "cpu", "doe", "exec", "reporting", "workloads"]
 
 
 class TestSurface:

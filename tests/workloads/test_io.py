@@ -81,3 +81,36 @@ class TestValidation:
         np.savez(path, **data)
         with pytest.raises(ValueError):
             load_trace(path)
+
+
+class TestNameRoundTrip:
+    """The benchmark name must survive save/load byte-for-byte, for
+    any dtype NumPy chooses to store it with."""
+
+    @pytest.mark.parametrize("name", [
+        "gzip",
+        "vpr-Place",
+        "bench#r3",
+        "gzìp-φ2000",          # non-ASCII: accents, Greek
+        "トレース",              # non-ASCII: multi-byte CJK
+    ])
+    def test_name_round_trips(self, trace, tmp_path, name):
+        renamed = type(trace)(
+            trace.pc, trace.op, trace.src1, trace.src2, trace.dst,
+            trace.mem_addr, trace.branch_kind, trace.taken,
+            trace.target, trace.redundancy_key, name=name,
+        )
+        path = tmp_path / "t.npz"
+        save_trace(renamed, path)
+        assert load_trace(path).name == name
+
+    def test_unicode_dtype_archive_loads(self, trace, tmp_path):
+        """An archive whose name was stored as a unicode scalar (as an
+        external tool might write it) must load to the same string."""
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        with np.load(path) as archive:
+            data = dict(archive)
+        data["__name__"] = np.str_("gzìp-unicode")
+        np.savez(path, **data)
+        assert load_trace(path).name == "gzìp-unicode"
