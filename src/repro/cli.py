@@ -59,19 +59,128 @@ def _add_exec_args(parser):
         help="on-disk simulation result cache; reruns and related "
              "analyses reuse measurements instead of re-simulating",
     )
+    parser.add_argument(
+        "--retry", type=int, default=1, metavar="N",
+        help="attempts per simulation cell before it counts as failed "
+             "(default %(default)s = no retries)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-cell wall-clock budget; a cell over budget has its "
+             "worker killed and is retried (needs --jobs >= 2)",
+    )
+    parser.add_argument(
+        "--on-error", choices=["raise", "retry", "skip"],
+        default="raise",
+        help="what to do when a cell exhausts its attempts: fail the "
+             "run (raise/retry) or annotate the cell and continue "
+             "(skip) (default %(default)s)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="FILE",
+        help="append every completed cell to this checkpoint journal; "
+             "an interrupted run resumes from it with --resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="continue from an existing --journal file instead of "
+             "refusing to touch it",
+    )
+
+
+class _ExecOptions:
+    """The engine-facing keyword set parsed from CLI flags."""
+
+    def __init__(self, jobs, cache, retry, timeout, on_error, journal):
+        self.jobs = jobs
+        self.cache = cache
+        self.retry = retry
+        self.timeout = timeout
+        self.on_error = on_error
+        self.journal = journal
+
+    def run_kwargs(self):
+        return dict(
+            jobs=self.jobs, cache=self.cache, retry=self.retry,
+            timeout=self.timeout, on_error=self.on_error,
+            journal=self.journal,
+        )
 
 
 def _exec_options(args):
-    """(jobs, cache) for run()/run_grid() from parsed CLI args."""
-    from repro.exec import ResultCache
+    """Engine options for run()/run_grid() from parsed CLI args."""
+    import os
+
+    from repro.exec import Journal, ResultCache, RetryPolicy
 
     if args.jobs < 1:
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    if args.retry < 1:
+        raise SystemExit(f"--retry must be >= 1, got {args.retry}")
     try:
         cache = ResultCache(args.cache_dir) if args.cache_dir else None
     except OSError as exc:
         raise SystemExit(f"bad --cache-dir {args.cache_dir!r}: {exc}")
-    return args.jobs, cache
+    journal = None
+    if args.journal:
+        if os.path.exists(args.journal) and not args.resume:
+            raise SystemExit(
+                f"journal {args.journal!r} already exists; pass "
+                "--resume to continue from it or remove the file"
+            )
+        try:
+            journal = Journal(args.journal)
+        except OSError as exc:
+            raise SystemExit(f"bad --journal {args.journal!r}: {exc}")
+        if args.resume and len(journal):
+            print(f"resuming: {len(journal)} cells already in "
+                  f"{args.journal}", file=sys.stderr)
+    elif args.resume:
+        raise SystemExit("--resume needs --journal FILE")
+    retry = RetryPolicy(max_attempts=args.retry) if args.retry > 1 \
+        else None
+    return _ExecOptions(
+        args.jobs, cache, retry, args.task_timeout, args.on_error,
+        journal,
+    )
+
+
+class _CellProgress:
+    """Tracks grid progress so an interrupt can say where it stopped."""
+
+    def __init__(self):
+        self.done = 0
+        self.total = 0
+        self.finished_grids = 0
+
+    def __call__(self, done, total):
+        if done < self.done:        # a new grid of the same session
+            self.finished_grids += self.total
+        self.done, self.total = done, total
+
+    @property
+    def cells_done(self):
+        return self.finished_grids + self.done
+
+
+def _interrupt_summary(args, progress):
+    """One line telling the user what survived and how to resume."""
+    done = progress.cells_done
+    hint = ""
+    if getattr(args, "journal", None):
+        hint = (f"; resume with --journal {args.journal} --resume "
+                "(completed cells are checkpointed)")
+    elif getattr(args, "cache_dir", None):
+        hint = (f"; rerun with --cache-dir {args.cache_dir} to reuse "
+                "completed cells")
+    else:
+        hint = ("; rerun with --journal FILE to make runs resumable")
+    print(f"interrupted after {done} completed cells{hint}",
+          file=sys.stderr)
+
+
+#: Conventional exit status for death-by-SIGINT.
+EXIT_INTERRUPTED = 130
 
 
 def cmd_screen(args) -> int:
@@ -80,10 +189,18 @@ def cmd_screen(args) -> int:
     from repro.reporting import render_ranking
 
     traces = _traces(args)
-    jobs, cache = _exec_options(args)
+    options = _exec_options(args)
+    progress = _CellProgress()
     print(f"running 88 configurations x {len(traces)} benchmarks ...",
           file=sys.stderr)
-    result = PBExperiment(traces).run(jobs=jobs, cache=cache)
+    try:
+        result = PBExperiment(traces, progress=progress) \
+            .run(**options.run_kwargs())
+    except KeyboardInterrupt:
+        _interrupt_summary(args, progress)
+        return EXIT_INTERRUPTED
+    for failure in result.failures:
+        print(f"warning: {failure.describe()}", file=sys.stderr)
     ranking = rank_parameters_from_result(result)
     print(render_ranking(ranking, title="Parameter ranks"))
     print()
@@ -121,12 +238,19 @@ def cmd_classify(args) -> int:
         ranking = paper_table9_ranking()
     else:
         traces = _traces(args)
-        jobs, cache = _exec_options(args)
+        options = _exec_options(args)
+        progress = _CellProgress()
         print(f"running 88 configurations x {len(traces)} benchmarks ...",
               file=sys.stderr)
-        ranking = rank_parameters_from_result(
-            PBExperiment(traces).run(jobs=jobs, cache=cache)
-        )
+        try:
+            result = PBExperiment(traces, progress=progress) \
+                .run(**options.run_kwargs())
+        except KeyboardInterrupt:
+            _interrupt_summary(args, progress)
+            return EXIT_INTERRUPTED
+        for failure in result.failures:
+            print(f"warning: {failure.describe()}", file=sys.stderr)
+        ranking = rank_parameters_from_result(result)
     threshold = args.threshold or PAPER_SIMILARITY_THRESHOLD
     print(render_distance_matrix(ranking, title="Distance matrix"))
     print()
@@ -144,22 +268,30 @@ def cmd_enhance(args) -> int:
     from repro.reporting import render_enhancement
 
     traces = _traces(args)
-    jobs, cache = _exec_options(args)
+    options = _exec_options(args)
+    progress = _CellProgress()
     print(f"running 2 x 88 configurations x {len(traces)} benchmarks ...",
           file=sys.stderr)
-    before = PBExperiment(traces).run(jobs=jobs, cache=cache)
-    if args.kind == "precompute":
-        tables = {
-            name: build_precompute_table(trace, args.table_entries)
-            for name, trace in traces.items()
-        }
-        after = PBExperiment(traces, precompute_tables=tables).run(
-            jobs=jobs, cache=cache
-        )
-    else:
-        after = PBExperiment(traces, prefetch_lines=args.lines).run(
-            jobs=jobs, cache=cache
-        )
+    try:
+        before = PBExperiment(traces, progress=progress) \
+            .run(**options.run_kwargs())
+        if args.kind == "precompute":
+            tables = {
+                name: build_precompute_table(trace, args.table_entries)
+                for name, trace in traces.items()
+            }
+            after = PBExperiment(
+                traces, precompute_tables=tables, progress=progress,
+            ).run(**options.run_kwargs())
+        else:
+            after = PBExperiment(
+                traces, prefetch_lines=args.lines, progress=progress,
+            ).run(**options.run_kwargs())
+    except KeyboardInterrupt:
+        _interrupt_summary(args, progress)
+        return EXIT_INTERRUPTED
+    for failure in before.failures + after.failures:
+        print(f"warning: {failure.describe()}", file=sys.stderr)
     analysis = EnhancementAnalysis(
         rank_parameters_from_result(before),
         rank_parameters_from_result(after),

@@ -36,7 +36,12 @@ from .enhancement import (
     FactorShift,
     analyze_enhancement,
 )
-from .experiment import PBExperiment, PBExperimentResult, build_design
+from .experiment import (
+    CellFailure,
+    PBExperiment,
+    PBExperimentResult,
+    build_design,
+)
 from .methodology import (
     SensitivityStudy,
     WorkflowResult,
@@ -66,6 +71,7 @@ from .parameter_selection import (
 )
 
 __all__ = [
+    "CellFailure",
     "EnhancementAnalysis",
     "InteractionEstimate",
     "RankingComparison",

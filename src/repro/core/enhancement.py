@@ -92,6 +92,10 @@ def analyze_enhancement(
     progress=None,
     jobs: int = 1,
     cache=None,
+    retry=None,
+    timeout=None,
+    on_error: str = "raise",
+    journal=None,
 ) -> Tuple[EnhancementAnalysis, PBExperimentResult, PBExperimentResult]:
     """Run the full §4.3 study: PB before and after precomputation.
 
@@ -105,6 +109,13 @@ def analyze_enhancement(
     half of the study shares keys with any previous base-machine screen
     of the same traces and is not re-simulated.
 
+    ``retry``/``timeout``/``on_error``/``journal`` are forwarded to
+    both runs as well; a single journal file checkpoints the whole
+    2 x 88-run study, because entries are content-keyed (the "before"
+    and "after" grids never collide).  Note that rank comparison
+    requires complete effect tables, so a benchmark with skipped cells
+    drops out of both rankings.
+
     Returns the analysis plus both raw experiment results.
     """
     if precompute_tables is None:
@@ -115,16 +126,20 @@ def analyze_enhancement(
     kwargs = {}
     if parameter_names is not None:
         kwargs["parameter_names"] = parameter_names
+    exec_kwargs = dict(
+        jobs=jobs, cache=cache, retry=retry, timeout=timeout,
+        on_error=on_error, journal=journal,
+    )
     before = PBExperiment(
         traces, base_config=base_config, progress=progress, **kwargs
-    ).run(jobs=jobs, cache=cache)
+    ).run(**exec_kwargs)
     after = PBExperiment(
         traces,
         base_config=base_config,
         precompute_tables=precompute_tables,
         progress=progress,
         **kwargs,
-    ).run(jobs=jobs, cache=cache)
+    ).run(**exec_kwargs)
     analysis = EnhancementAnalysis(
         rank_parameters_from_result(before),
         rank_parameters_from_result(after),

@@ -17,7 +17,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.cpu import MachineConfig, config_from_levels
 from repro.cpu.params import PARAMETER_NAMES
 from repro.doe import DesignMatrix, EffectTable, compute_effects, pb_design
-from repro.exec import ResultCache, grid_tasks, run_grid
+from repro.exec import (
+    FailureRecord,
+    ResultCache,
+    RetryPolicy,
+    grid_tasks,
+    run_grid,
+)
 from repro.workloads import Trace
 
 
@@ -35,6 +41,26 @@ def build_design(
     return pb_design(factor_names=list(parameter_names), foldover=foldover)
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """One permanently failed (design row, benchmark) cell.
+
+    Names the cell in experiment terms — which configuration row of
+    the design, which benchmark — and carries the engine's structured
+    :class:`~repro.exec.FailureRecord` post-mortem.
+    """
+
+    row: int
+    benchmark: str
+    record: FailureRecord
+
+    def describe(self) -> str:
+        return (
+            f"design row {self.row} on {self.benchmark}: "
+            f"{self.record.describe()}"
+        )
+
+
 @dataclass
 class PBExperimentResult:
     """Everything one PB experiment produced.
@@ -44,26 +70,44 @@ class PBExperimentResult:
     design:
         The design that was run.
     responses:
-        benchmark -> list of cycle counts, one per design row.
+        benchmark -> list of cycle counts, one per design row.  Under
+        ``on_error="skip"`` a permanently failed cell is ``None``.
     effects:
         benchmark -> :class:`EffectTable` over all design columns
-        (including dummy factors).
+        (including dummy factors).  Only benchmarks with a complete
+        response column get a table: effects over a column with holes
+        would be silently wrong, so incomplete benchmarks are listed
+        in :attr:`failures` instead.
+    failures:
+        Permanently failed cells (empty unless the experiment ran
+        with ``on_error="skip"`` and a cell exhausted its retries).
     """
 
     design: DesignMatrix
-    responses: Dict[str, List[float]]
+    responses: Dict[str, List[Optional[float]]]
     effects: Dict[str, EffectTable] = field(default_factory=dict)
+    failures: List[CellFailure] = field(default_factory=list)
 
     def __post_init__(self):
         if not self.effects:
             self.effects = {
                 bench: compute_effects(self.design, rows)
                 for bench, rows in self.responses.items()
+                if all(value is not None for value in rows)
             }
 
     @property
     def benchmarks(self) -> List[str]:
         return list(self.responses.keys())
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell of the grid produced a response."""
+        return not self.failures
+
+    def failed_cells(self) -> List[Tuple[int, str]]:
+        """(design row, benchmark) of every permanently failed cell."""
+        return [(f.row, f.benchmark) for f in self.failures]
 
     def ranks(self) -> Dict[str, Dict[str, int]]:
         """benchmark -> {factor: rank} (1 = most significant)."""
@@ -134,16 +178,29 @@ class PBExperiment:
         *,
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        timeout: Optional[float] = None,
+        on_error: str = "raise",
+        journal=None,
     ) -> PBExperimentResult:
         """Simulate every (row, benchmark) pair; return all results.
 
         The grid goes through :func:`repro.exec.run_grid`: ``jobs >= 2``
-        fans the simulations out over a worker pool and ``cache``
-        reuses previously measured configurations.  Results are ordered
-        by design row regardless of completion order, so responses,
-        effects and ranks are identical to a serial run.  The response
-        function is applied in the calling process, so it may be any
-        callable (closures included).
+        fans the simulations out over a supervised worker pool and
+        ``cache`` reuses previously measured configurations.  Results
+        are ordered by design row regardless of completion order, so
+        responses, effects and ranks are identical to a serial run.
+        The response function is applied in the calling process, so it
+        may be any callable (closures included).
+
+        ``retry``/``timeout``/``on_error``/``journal`` are the
+        engine's fault-tolerance controls (see
+        :func:`repro.exec.run_grid`).  Under ``on_error="skip"`` a
+        permanently failed cell leaves ``None`` in its response column
+        and a :class:`CellFailure` in the result's ``failures``;
+        effects are computed only for benchmarks whose column is
+        complete.  With ``journal=`` an interrupted screen resumes
+        from its completed cells on the next run.
         """
         configs = self.configs()
         tasks = grid_tasks(
@@ -151,18 +208,35 @@ class PBExperiment:
             precompute_tables=self.precompute_tables,
             prefetch_lines=self.prefetch_lines,
         )
-        all_stats = run_grid(
+        grid = run_grid(
             tasks, jobs=jobs, cache=cache, progress=self.progress,
+            retry=retry, timeout=timeout, on_error=on_error,
+            journal=journal,
         )
-        responses: Dict[str, List[float]] = {b: [] for b in self.traces}
+        benches = list(self.traces)
+        responses: Dict[str, List[Optional[float]]] = \
+            {b: [] for b in benches}
         index = 0
         for config in configs:
-            for bench in self.traces:
-                stats = all_stats[index]
+            for bench in benches:
+                stats = grid[index]
                 index += 1
-                if self.response is None:
-                    value = float(stats.cycles)
+                if stats is None:
+                    responses[bench].append(None)
+                elif self.response is None:
+                    responses[bench].append(float(stats.cycles))
                 else:
-                    value = float(self.response(stats, config))
-                responses[bench].append(value)
-        return PBExperimentResult(self.design, responses)
+                    responses[bench].append(
+                        float(self.response(stats, config))
+                    )
+        failures = [
+            CellFailure(
+                row=record.index // len(benches),
+                benchmark=benches[record.index % len(benches)],
+                record=record,
+            )
+            for record in grid.failures
+        ]
+        return PBExperimentResult(
+            self.design, responses, failures=failures
+        )

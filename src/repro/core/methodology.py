@@ -65,6 +65,10 @@ def sensitivity_analysis(
     *,
     jobs: int = 1,
     cache=None,
+    retry=None,
+    timeout=None,
+    on_error: str = "raise",
+    journal=None,
 ) -> SensitivityStudy:
     """Full-factorial ANOVA (step 3) over a small set of factors.
 
@@ -72,7 +76,10 @@ def sensitivity_analysis(
     2^k design quantifies all their interactions (which the PB screen
     could not), per Table 1's "Full Multifactorial" row.  The 2^k x
     benchmarks grid runs through :func:`repro.exec.run_grid`
-    (``jobs``/``cache`` as everywhere else).
+    (``jobs``/``cache``/``retry``/``timeout``/``on_error``/``journal``
+    as everywhere else).  ANOVA needs the complete 2^k column, so
+    under ``on_error="skip"`` a benchmark with a permanently failed
+    cell is dropped from the study (all benchmarks failing raises).
     """
     factors = list(factors)
     if len(factors) > 6:
@@ -85,17 +92,26 @@ def sensitivity_analysis(
         config_from_levels(levels, base_config)
         for levels in design.runs()
     ]
-    all_stats = run_grid(
+    grid = run_grid(
         grid_tasks(configs, traces), jobs=jobs, cache=cache,
+        retry=retry, timeout=timeout, on_error=on_error,
+        journal=journal,
     )
     benchmarks = list(traces)
     anovas: Dict[str, AnovaResult] = {}
     for j, bench in enumerate(benchmarks):
-        responses = [
-            [float(all_stats[i * len(benchmarks) + j].cycles)]
-            for i in range(len(configs))
+        cells = [
+            grid[i * len(benchmarks) + j] for i in range(len(configs))
         ]
+        if any(stats is None for stats in cells):
+            continue
+        responses = [[float(stats.cycles)] for stats in cells]
         anovas[bench] = anova(design, responses)
+    if not anovas:
+        raise ValueError(
+            "every benchmark had a permanently failed cell; "
+            "no complete 2^k column to analyse"
+        )
     return SensitivityStudy(tuple(factors), anovas)
 
 
@@ -129,18 +145,29 @@ def recommended_workflow(
     progress=None,
     jobs: int = 1,
     cache=None,
+    retry=None,
+    timeout=None,
+    on_error: str = "raise",
+    journal=None,
 ) -> WorkflowResult:
     """Run the paper's full four-step parameter-selection workflow.
 
     ``max_critical`` caps how many of the PB-critical parameters enter
     the full-factorial step (2^k cost); the paper's own gap rule picks
-    the candidates, the cap keeps the factorial tractable.
+    the candidates, the cap keeps the factorial tractable.  The
+    fault-tolerance controls (``retry``/``timeout``/``on_error``/
+    ``journal``) apply to both the screen and the factorial; one
+    journal file checkpoints the whole workflow since entries are
+    content-keyed.
     """
     experiment = PBExperiment(
         traces, base_config=base_config, progress=progress
     )
     ranking = rank_parameters_from_result(
-        experiment.run(jobs=jobs, cache=cache)
+        experiment.run(
+            jobs=jobs, cache=cache, retry=retry, timeout=timeout,
+            on_error=on_error, journal=journal,
+        )
     )
     critical = ranking.significant_factors()[:max_critical]
     # Only real machine parameters can enter the factorial (a dummy
@@ -148,6 +175,8 @@ def recommended_workflow(
     critical = [f for f in critical if _is_real_parameter(f)]
     sensitivity = sensitivity_analysis(
         traces, critical, base_config, jobs=jobs, cache=cache,
+        retry=retry, timeout=timeout, on_error=on_error,
+        journal=journal,
     )
     final_config = choose_final_values(ranking, sensitivity, base_config)
     return WorkflowResult(

@@ -21,29 +21,59 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cpu import MachineConfig
-from repro.exec import ResultCache, grid_tasks, run_grid
+from repro.exec import (
+    FailureRecord,
+    ResultCache,
+    RetryPolicy,
+    grid_tasks,
+    run_grid,
+)
 from repro.workloads import Trace
 
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Cycles for each swept value, per benchmark."""
+    """Cycles for each swept value, per benchmark.
+
+    Under ``on_error="skip"`` a permanently failed cell holds ``None``
+    and is described in :attr:`failures`; aggregate methods then skip
+    the affected swept values rather than inventing numbers for them.
+    """
 
     field_name: str
     values: Tuple[object, ...]
-    cycles: Dict[str, Tuple[int, ...]]   # benchmark -> per-value cycles
+    cycles: Dict[str, Tuple[Optional[int], ...]]  # benchmark -> cycles
+    failures: Tuple[FailureRecord, ...] = ()
 
-    def total_cycles(self) -> List[int]:
-        """Suite-total cycles per swept value."""
-        return [
-            sum(rows[i] for rows in self.cycles.values())
-            for i in range(len(self.values))
-        ]
+    def total_cycles(self) -> List[Optional[int]]:
+        """Suite-total cycles per swept value.
+
+        A value with any failed cell totals to ``None`` — a partial
+        sum would make broken configurations look artificially cheap.
+        """
+        totals: List[Optional[int]] = []
+        for i in range(len(self.values)):
+            column = [rows[i] for rows in self.cycles.values()]
+            totals.append(
+                None if any(c is None for c in column) else sum(column)
+            )
+        return totals
 
     def best_value(self):
-        """The swept value with the lowest suite-total cycle count."""
+        """The swept value with the lowest suite-total cycle count.
+
+        Values with failed cells are out of the running; if *every*
+        value failed somewhere there is no defensible choice and this
+        raises ``ValueError``.
+        """
         totals = self.total_cycles()
-        return self.values[totals.index(min(totals))]
+        measured = [t for t in totals if t is not None]
+        if not measured:
+            raise ValueError(
+                f"every swept value of {self.field_name} has a failed "
+                "cell; nothing to choose from"
+            )
+        return self.values[totals.index(min(measured))]
 
     def table(self) -> str:
         width = max(
@@ -56,7 +86,9 @@ class SweepResult:
         lines.append(header)
         for i, value in enumerate(self.values):
             row = f"  {str(value):<{width}s}  " + "  ".join(
-                f"{self.cycles[b][i]:10d}" for b in self.cycles
+                f"{self.cycles[b][i]:10d}"
+                if self.cycles[b][i] is not None else f"{'failed':>10s}"
+                for b in self.cycles
             )
             lines.append(row)
         return "\n".join(lines)
@@ -71,6 +103,10 @@ def sweep(
     linked: Optional[Mapping[object, Mapping[str, object]]] = None,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    on_error: str = "raise",
+    journal=None,
 ) -> SweepResult:
     """Measure cycles across values of one ``MachineConfig`` field.
 
@@ -79,7 +115,10 @@ def sweep(
     ROB to keep configurations legal).  ``jobs``/``cache`` go to
     :func:`repro.exec.run_grid`: the grid of (value, benchmark) cells
     runs on a worker pool and previously measured configurations are
-    reused from the cache.
+    reused from the cache.  ``retry``/``timeout``/``on_error``/
+    ``journal`` are the engine's fault-tolerance controls; under
+    ``on_error="skip"`` a failed cell becomes ``None`` in the result
+    and the affected value drops out of ``best_value()``.
     """
     if not values:
         raise ValueError("need at least one value to sweep")
@@ -89,19 +128,25 @@ def sweep(
         if linked and value in linked:
             changes.update(linked[value])
         configs.append(base_config.evolve(**changes))
-    all_stats = run_grid(
+    grid = run_grid(
         grid_tasks(configs, traces), jobs=jobs, cache=cache,
+        retry=retry, timeout=timeout, on_error=on_error,
+        journal=journal,
     )
-    cycles: Dict[str, List[int]] = {b: [] for b in traces}
+    cycles: Dict[str, List[Optional[int]]] = {b: [] for b in traces}
     index = 0
     for _ in configs:
         for bench in traces:
-            cycles[bench].append(all_stats[index].cycles)
+            stats = grid[index]
+            cycles[bench].append(
+                stats.cycles if stats is not None else None
+            )
             index += 1
     return SweepResult(
         field_name=field_name,
         values=tuple(values),
         cycles={b: tuple(v) for b, v in cycles.items()},
+        failures=tuple(grid.failures),
     )
 
 
@@ -137,6 +182,10 @@ def iterative_refinement(
     max_rounds: int = 4,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    retry: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    on_error: str = "raise",
+    journal=None,
 ) -> RefinementResult:
     """Fix each parameter at its best value, iterating to a fixed point.
 
@@ -150,6 +199,12 @@ def iterative_refinement(
     re-measures the incumbent value of every parameter), so the loop
     always runs against a result cache: the supplied ``cache``, or a
     process-local in-memory one when ``None``.
+
+    ``retry``/``timeout``/``on_error``/``journal`` go to every
+    underlying sweep; with ``on_error="skip"`` a value whose cell
+    failed permanently simply cannot be chosen (see
+    :meth:`SweepResult.best_value`), so one broken configuration
+    cannot sink a whole refinement.
     """
     if not sweeps:
         raise ValueError("need at least one parameter to refine")
@@ -164,7 +219,8 @@ def iterative_refinement(
         for field_name, values in sweeps.items():
             outcome = sweep(
                 traces, field_name, values, config,
-                jobs=jobs, cache=cache,
+                jobs=jobs, cache=cache, retry=retry, timeout=timeout,
+                on_error=on_error, journal=journal,
             )
             chosen = outcome.best_value()
             result.steps.append(

@@ -3,17 +3,39 @@
 Everything that measures a grid of (configuration, trace) pairs —
 Plackett-Burman experiments, replicated designs, parameter sweeps,
 iterative refinement, enhancement analyses — runs through
-:func:`run_grid`, which adds worker-pool parallelism and
-content-addressed result caching while guaranteeing results identical
-to the serial path.  See :mod:`repro.exec.engine` for the execution
-model and :mod:`repro.exec.cache` for the cache design.
+:func:`run_grid`, which adds worker-pool parallelism,
+content-addressed result caching, and fault tolerance (supervised
+workers, bounded retries, checkpoint/resume journals) while
+guaranteeing results identical to the serial path.  See
+:mod:`repro.exec.engine` for the execution model,
+:mod:`repro.exec.cache` for the cache design,
+:mod:`repro.exec.fault` for failure semantics,
+:mod:`repro.exec.journal` for the resume journal, and
+:mod:`repro.exec.faultinject` for the deterministic fault-injection
+harness the fault paths are tested with.
 """
 
 from .cache import ResultCache, task_key
 from .engine import SimTask, grid_tasks, run_grid
+from .fault import (
+    FailureRecord,
+    GridError,
+    GridResult,
+    RetryPolicy,
+)
+from .faultinject import Fault, FaultInjector, InjectedFault
+from .journal import Journal
 
 __all__ = [
+    "FailureRecord",
+    "Fault",
+    "FaultInjector",
+    "GridError",
+    "GridResult",
+    "InjectedFault",
+    "Journal",
     "ResultCache",
+    "RetryPolicy",
     "SimTask",
     "grid_tasks",
     "run_grid",

@@ -75,6 +75,9 @@ class ResultCache:
     ----------
     hits / misses:
         Lookup counters, for instrumentation and tests.
+    corrupt:
+        Torn or unreadable on-disk entries encountered (each is
+        deleted and treated as a miss).
     """
 
     def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
@@ -84,28 +87,41 @@ class ResultCache:
         self._memory: dict = {}
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _file(self, key: str) -> Path:
         return self.path / f"{key}.pkl"
+
+    def _load_disk(self, key: str) -> Optional[CoreStats]:
+        """Validate and load one on-disk entry (shared by ``get`` and
+        ``__contains__`` so both agree on what counts as present).
+
+        A torn or incompatible entry is deleted, counted in
+        :attr:`corrupt`, and reported as absent.
+        """
+        if self.path is None:
+            return None
+        file = self._file(key)
+        try:
+            stats = pickle.loads(file.read_bytes())
+        except FileNotFoundError:
+            return None
+        except Exception:
+            self.corrupt += 1
+            file.unlink(missing_ok=True)
+            return None
+        self._memory[key] = stats
+        return stats
 
     def get(self, key: str) -> Optional[CoreStats]:
         """The cached stats for ``key``, or ``None`` on a miss."""
         if key in self._memory:
             self.hits += 1
             return self._memory[key]
-        if self.path is not None:
-            file = self._file(key)
-            try:
-                stats = pickle.loads(file.read_bytes())
-            except FileNotFoundError:
-                pass
-            except Exception:
-                # A torn or incompatible entry is a miss, not an error.
-                file.unlink(missing_ok=True)
-            else:
-                self._memory[key] = stats
-                self.hits += 1
-                return stats
+        stats = self._load_disk(key)
+        if stats is not None:
+            self.hits += 1
+            return stats
         self.misses += 1
         return None
 
@@ -128,9 +144,16 @@ class ResultCache:
                 raise
 
     def __contains__(self, key: str) -> bool:
+        """Membership that agrees with :meth:`get`.
+
+        An on-disk file only counts if it actually loads: a torn entry
+        (which ``get`` would delete and miss on) must not answer
+        ``True`` here, or callers would skip work they still need to
+        do.
+        """
         if key in self._memory:
             return True
-        return self.path is not None and self._file(key).exists()
+        return self._load_disk(key) is not None
 
     def __len__(self) -> int:
         """Number of distinct entries across both layers."""

@@ -1,4 +1,4 @@
-"""Parallel, cached execution of simulation grids.
+"""Parallel, cached, fault-tolerant execution of simulation grids.
 
 Every experiment in this repository — the 88-run Plackett-Burman
 screen, its foldover and replicated variants, parameter sweeps,
@@ -11,15 +11,33 @@ Guarantees:
 
 * **Determinism** — results are returned in task order, keyed by task
   index rather than completion order, so downstream effects and ranks
-  are bit-identical whether the grid ran on 1 worker or 16.
+  are bit-identical whether the grid ran on 1 worker or 16, and
+  whether or not any cell was retried, resubmitted after a worker
+  death, or restored from a journal.
 * **Parallelism** — with ``jobs >= 2`` the grid fans out across a
-  ``multiprocessing`` pool (fork start method; workers receive the
-  task list once, at pool start, and are handed chunked index ranges,
-  so per-task IPC is an integer out and a small stats object back).
+  supervised pool of fork workers.  Each worker holds one task at a
+  time; the supervisor tracks per-task deadlines, detects workers
+  that die or hang, resubmits their in-flight cells (bounded), and
+  falls back to in-process execution if the pool keeps losing
+  workers.
+* **Fault tolerance** — a :class:`~repro.exec.fault.RetryPolicy`
+  bounds re-attempts of failing cells; ``on_error`` chooses between
+  failing fast (``"raise"``), retrying then failing (``"retry"``),
+  and annotating the cell and carrying on (``"skip"``), in which case
+  the returned :class:`~repro.exec.fault.GridResult` holds ``None``
+  for the failed cells and a
+  :class:`~repro.exec.fault.FailureRecord` for each in
+  ``.failures``.
+* **Durability** — ``journal=`` appends every completed cell to an
+  append-only :class:`~repro.exec.journal.Journal`; an interrupted
+  grid resumes from its completed cells even with no result cache
+  configured.
 * **Caching** — with a :class:`~repro.exec.cache.ResultCache`, each
   task is first looked up by its content hash (see
   :func:`~repro.exec.cache.task_key`); only misses are simulated, and
-  fresh results are written back for the next run.
+  fresh results are written back for the next run.  A failing cache
+  write (disk full, read-only directory) is reported once and never
+  aborts the grid.
 * **Graceful fallback** — ``jobs=1``, a single pending task, or a
   platform without ``fork`` (e.g. Windows) all take the plain
   in-process path with identical results.
@@ -28,9 +46,15 @@ Guarantees:
 from __future__ import annotations
 
 import multiprocessing
+import os
+import queue as queue_module
+import time
+import warnings
+from collections import deque
 from dataclasses import dataclass
 from typing import (
-    Callable, FrozenSet, Iterable, List, Optional, Sequence,
+    Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence,
+    Set, Tuple, Union,
 )
 
 from repro.cpu import MachineConfig, SIMULATOR_VERSION
@@ -38,7 +62,18 @@ from repro.cpu.pipeline import simulate
 from repro.cpu.stats import CoreStats
 from repro.workloads import Trace
 
+from . import faultinject
 from .cache import ResultCache, task_key
+from .fault import (
+    DEFAULT_RETRY_POLICY,
+    NO_RETRY_POLICY,
+    ON_ERROR_MODES,
+    FailureRecord,
+    GridError,
+    GridResult,
+    RetryPolicy,
+)
+from .journal import Journal
 
 __all__ = ["SimTask", "run_grid", "grid_tasks"]
 
@@ -102,23 +137,107 @@ def _execute(task: SimTask) -> CoreStats:
     )
 
 
-#: Task list seen by pool workers, installed once per worker at pool
-#: start so per-task messages carry only an index, never a trace.
-_WORKER_TASKS: Optional[List[SimTask]] = None
+#: True in pool worker processes; lets kill-faults know whether there
+#: is a sacrificial process to exit.
+_IN_WORKER = False
 
 
-def _init_worker(tasks: List[SimTask]) -> None:
-    global _WORKER_TASKS
-    _WORKER_TASKS = tasks
-
-
-def _run_at(index: int):
-    return index, _execute(_WORKER_TASKS[index])
+def _execute_cell(task: SimTask, index: int, attempt: int) -> CoreStats:
+    """Execute one cell, giving the fault injector its shot first."""
+    injector = faultinject.active()
+    if injector is not None:
+        injector.fire(index, attempt, in_worker=_IN_WORKER)
+    return _execute(task)
 
 
 def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
+
+# ---------------------------------------------------------------------------
+# Supervised worker pool
+# ---------------------------------------------------------------------------
+
+#: Supervisor poll period: how often deadlines and worker liveness are
+#: checked while waiting for results.
+_POLL_SECONDS = 0.05
+
+#: Per-task resubmissions granted after a worker death, independent of
+#: the error retry policy (a dying worker is an infrastructure fault,
+#: not evidence against the task).
+_MAX_RESUBMITS = 2
+
+
+def _worker_main(tasks, inbox, results, worker_id) -> None:
+    """Pool worker loop: one task at a time, results keyed by index.
+
+    Any exception — including an injected one — is reported as a
+    structured error result rather than crashing the worker, so the
+    supervisor can apply the retry policy.  Only an actual process
+    death (kill fault, OOM, segfault) takes the worker down.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    while True:
+        message = inbox.get()
+        if message is None:
+            return
+        index, attempt = message
+        try:
+            stats = _execute_cell(tasks[index], index, attempt)
+            payload = (worker_id, index, True, stats)
+        except BaseException as exc:
+            payload = (worker_id, index, False,
+                       (type(exc).__name__, str(exc)))
+        try:
+            results.put(payload)
+        except Exception:  # pragma: no cover - broken result pipe
+            os._exit(1)
+
+
+class _Worker:
+    """One supervised worker process and its dispatch state."""
+
+    def __init__(self, context, tasks, results, worker_id: int):
+        self.inbox = context.SimpleQueue()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(tasks, self.inbox, results, worker_id),
+            daemon=True,
+        )
+        self.process.start()
+        #: (index, deadline) of the in-flight task, or None when idle.
+        self.current: Optional[Tuple[int, Optional[float]]] = None
+
+    def dispatch(self, index: int, attempt: int,
+                 timeout: Optional[float]) -> None:
+        deadline = (time.monotonic() + timeout) if timeout else None
+        self.current = (index, deadline)
+        self.inbox.put((index, attempt))
+
+    def stop(self) -> None:
+        """Best-effort shutdown: polite for idle, forceful for busy."""
+        if self.process.is_alive():
+            if self.current is None:
+                try:
+                    self.inbox.put(None)
+                except Exception:
+                    self.process.terminate()
+            else:
+                self.process.terminate()
+        self.process.join(timeout=1.0)
+        if self.process.is_alive():  # pragma: no cover - stubborn child
+            self.process.kill()
+            self.process.join(timeout=1.0)
+
+
+class _PoolUnhealthy(Exception):
+    """Internal: too many worker deaths; degrade to in-process."""
+
+
+# ---------------------------------------------------------------------------
+# run_grid
+# ---------------------------------------------------------------------------
 
 def run_grid(
     tasks: Iterable[SimTask],
@@ -128,7 +247,12 @@ def run_grid(
     progress: Optional[Callable[[int, int], None]] = None,
     version: str = SIMULATOR_VERSION,
     chunk_size: Optional[int] = None,
-) -> List[CoreStats]:
+    retry: Optional[RetryPolicy] = None,
+    timeout: Optional[float] = None,
+    on_error: str = "raise",
+    journal: Optional[Union[Journal, str, os.PathLike]] = None,
+    max_worker_deaths: Optional[int] = None,
+) -> GridResult:
     """Simulate every task; return stats in task order.
 
     Parameters
@@ -137,65 +261,325 @@ def run_grid(
         The grid cells to run (order defines result order).
     jobs:
         Worker processes.  ``1`` (the default) runs in-process; higher
-        values fan pending tasks out over a fork-based pool.  On
+        values fan pending tasks out over a supervised fork pool.  On
         platforms without ``fork`` the engine silently falls back to
         in-process execution rather than paying spawn's re-import and
         task-pickling costs.
     cache:
         Optional :class:`ResultCache`; hits skip simulation entirely,
-        misses are computed and written back.
+        misses are computed and written back.  Cache *write* failures
+        (disk full, read-only directory) are reported once as a
+        :class:`RuntimeWarning` and never abort the grid.
     progress:
         ``(done, total)`` callback, invoked once per finished task
-        (cache hits included) from the calling process.
+        (cache/journal hits and permanently skipped cells included)
+        from the calling process.
     version:
         Simulator version tag mixed into cache keys; defaults to
         :data:`~repro.cpu.SIMULATOR_VERSION`.
     chunk_size:
-        Tasks handed to a worker per request; defaults to roughly a
-        quarter of an even share so stragglers rebalance.
+        Accepted for backward compatibility and ignored: the
+        supervised pool dispatches tasks singly so that per-task
+        deadlines and dead-worker resubmission stay exact.
+    retry:
+        :class:`RetryPolicy` for failing cells.  ``None`` selects no
+        retries under ``on_error="raise"`` and the default policy (3
+        attempts, no backoff) under ``"retry"``/``"skip"``.
+    timeout:
+        Per-task wall-clock budget in seconds, enforced on the pool
+        path (an in-process task cannot be preempted): a task over
+        budget has its worker killed and counts as one failed attempt
+        of kind ``"timeout"``.
+    on_error:
+        ``"raise"`` (default) propagates a cell's failure immediately;
+        ``"retry"`` retries per policy and raises
+        :class:`~repro.exec.fault.GridError` on exhaustion; ``"skip"``
+        retries, then records a
+        :class:`~repro.exec.fault.FailureRecord` and carries on,
+        leaving ``None`` in that cell of the result.
+    journal:
+        A :class:`~repro.exec.journal.Journal` (or a path to one).
+        Completed cells present in the journal are restored without
+        simulation; every newly completed cell is appended, so an
+        interrupted run resumes where it stopped.
+    max_worker_deaths:
+        Unexpected worker deaths tolerated before the pool is declared
+        unhealthy and the remaining cells run in-process (default
+        ``2 * jobs + 2``).  Deliberate timeout kills do not count.
     """
     tasks = list(tasks)
     total = len(tasks)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    results: List[Optional[CoreStats]] = [None] * total
-    done = 0
+    if on_error not in ON_ERROR_MODES:
+        raise ValueError(
+            f"on_error must be one of {ON_ERROR_MODES}, got {on_error!r}"
+        )
+    if retry is not None:
+        policy = retry
+    elif on_error in ("retry", "skip"):
+        policy = DEFAULT_RETRY_POLICY
+    else:
+        policy = NO_RETRY_POLICY
+    fail_fast = on_error == "raise" and retry is None
+    if journal is not None and not isinstance(journal, Journal):
+        journal = Journal(journal)
+    if max_worker_deaths is None:
+        max_worker_deaths = 2 * jobs + 2
 
+    results: List[Optional[CoreStats]] = [None] * total
+    failures: List[FailureRecord] = []
     keys: List[Optional[str]] = [None] * total
+    state = {"done": 0, "cache_write_down": False}
+    error_counts: Dict[int, int] = {}
+    death_counts: Dict[int, int] = {}
+    resolved: Set[int] = set()
+
+    def _advance() -> None:
+        state["done"] += 1
+        if progress is not None:
+            progress(state["done"], total)
+
+    def _store(i: int, stats: CoreStats) -> None:
+        """A completed cell: result list, cache, journal, progress."""
+        results[i] = stats
+        resolved.add(i)
+        if cache is not None and not state["cache_write_down"]:
+            try:
+                cache.put(keys[i], stats)
+            except Exception as exc:
+                state["cache_write_down"] = True
+                warnings.warn(
+                    "result cache writes failing "
+                    f"({type(exc).__name__}: {exc}); continuing without "
+                    "persisting results",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        if journal is not None:
+            journal.record(keys[i], stats)
+        _advance()
+
+    def _attempt_number(i: int) -> int:
+        return error_counts.get(i, 0) + death_counts.get(i, 0)
+
+    def _give_up(i: int, kind: str, error_type: str,
+                 message: str) -> None:
+        """All attempts spent: record (skip) or raise (retry/raise)."""
+        record = FailureRecord(
+            index=i, kind=kind, error_type=error_type,
+            message=message, attempts=_attempt_number(i),
+        )
+        if on_error == "skip":
+            failures.append(record)
+            resolved.add(i)
+            _advance()
+        else:
+            raise GridError(record)
+
+    def _task_failed(i: int, kind: str, error_type: str,
+                     message: str) -> bool:
+        """Register one failed attempt; True means try again."""
+        if kind == "worker-died":
+            death_counts[i] = death_counts.get(i, 0) + 1
+            if death_counts[i] <= _MAX_RESUBMITS:
+                return True
+        else:
+            error_counts[i] = error_counts.get(i, 0) + 1
+            if error_counts[i] < policy.max_attempts:
+                policy.pause(error_counts[i])
+                return True
+        _give_up(i, kind, error_type, message)
+        return False
+
+    # -- preload: journal first (the resume source), then cache -----
     pending: List[int] = []
     for i, task in enumerate(tasks):
-        if cache is not None:
+        if cache is not None or journal is not None:
             keys[i] = task_key(task, version=version)
+        hit = None
+        if journal is not None:
+            hit = journal.get(keys[i])
+        if hit is None and cache is not None:
             hit = cache.get(keys[i])
-            if hit is not None:
-                results[i] = hit
-                done += 1
-                if progress is not None:
-                    progress(done, total)
-                continue
+        if hit is not None:
+            _store(i, hit)
+            continue
         pending.append(i)
 
-    def _record(i: int, stats: CoreStats) -> int:
-        results[i] = stats
-        if cache is not None:
-            cache.put(keys[i], stats)
-        if progress is not None:
-            progress(done + 1, total)
-        return done + 1
+    def _run_serial(indices: Iterable[int]) -> None:
+        for i in indices:
+            if i in resolved:
+                continue
+            while True:
+                try:
+                    stats = _execute_cell(tasks[i], i, _attempt_number(i))
+                except KeyboardInterrupt:
+                    # Never a task failure: completed cells are already
+                    # journaled, so the caller can resume.
+                    raise
+                except Exception as exc:
+                    if fail_fast:
+                        raise
+                    error_counts[i] = error_counts.get(i, 0) + 1
+                    if error_counts[i] < policy.max_attempts:
+                        policy.pause(error_counts[i])
+                        continue
+                    try:
+                        _give_up(i, "error", type(exc).__name__, str(exc))
+                    except GridError as failure:
+                        raise failure from exc
+                    break
+                else:
+                    _store(i, stats)
+                    break
 
     if jobs > 1 and len(pending) > 1 and _fork_available():
-        workers = min(jobs, len(pending))
-        if chunk_size is None:
-            chunk_size = max(1, len(pending) // (workers * 4))
-        context = multiprocessing.get_context("fork")
-        with context.Pool(
-            workers, initializer=_init_worker, initargs=(tasks,)
-        ) as pool:
-            for i, stats in pool.imap_unordered(
-                _run_at, pending, chunksize=chunk_size
-            ):
-                done = _record(i, stats)
+        remaining = _run_pool(
+            tasks, pending,
+            jobs=jobs, timeout=timeout,
+            max_worker_deaths=max_worker_deaths,
+            store=_store, task_failed=_task_failed,
+            attempt_number=_attempt_number, resolved=resolved,
+        )
+        if remaining:
+            _run_serial(remaining)
     else:
-        for i in pending:
-            done = _record(i, _execute(tasks[i]))
-    return results
+        _run_serial(pending)
+    return GridResult(results, failures)
+
+
+def _run_pool(
+    tasks: List[SimTask],
+    pending: List[int],
+    *,
+    jobs: int,
+    timeout: Optional[float],
+    max_worker_deaths: int,
+    store: Callable[[int, CoreStats], None],
+    task_failed: Callable[[int, str, str, str], bool],
+    attempt_number: Callable[[int], int],
+    resolved: Set[int],
+) -> List[int]:
+    """Supervise a fork pool over ``pending``; returns leftovers.
+
+    The return value is normally empty; when the pool is declared
+    unhealthy (too many unexpected worker deaths, or workers cannot be
+    spawned) it is the list of still-unfinished task indices, which
+    the caller runs in-process.
+    """
+    context = multiprocessing.get_context("fork")
+    results_q = context.Queue()
+    todo = deque(pending)
+    workers: Dict[int, _Worker] = {}
+    next_id = 0
+    deaths = 0
+
+    def _remaining() -> List[int]:
+        left = [i for i in todo if i not in resolved]
+        for worker in workers.values():
+            if worker.current is not None:
+                i = worker.current[0]
+                if i not in resolved and i not in left:
+                    left.append(i)
+        return left
+
+    def _inflight() -> int:
+        return sum(1 for w in workers.values() if w.current is not None)
+
+    try:
+        while (todo or _inflight()) :
+            # Keep the pool sized to the work left; replace dead
+            # workers here too (spawn failure => degrade).
+            want = min(jobs, len(todo) + _inflight())
+            while len(workers) < want:
+                try:
+                    workers[next_id] = _Worker(
+                        context, tasks, results_q, next_id
+                    )
+                except OSError as exc:
+                    warnings.warn(
+                        f"cannot spawn simulation worker ({exc}); "
+                        "running remaining cells in-process",
+                        RuntimeWarning, stacklevel=3,
+                    )
+                    raise _PoolUnhealthy from exc
+                next_id += 1
+
+            # Dispatch to idle workers.
+            for worker in workers.values():
+                if worker.current is None and todo:
+                    i = todo.popleft()
+                    if i in resolved:
+                        continue
+                    worker.dispatch(i, attempt_number(i), timeout)
+            if not todo and not _inflight():
+                break
+
+            # Wait briefly for a result, then run health checks.
+            try:
+                wid, i, ok, payload = results_q.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue_module.Empty:
+                pass
+            else:
+                worker = workers.get(wid)
+                if worker is not None and worker.current is not None \
+                        and worker.current[0] == i:
+                    worker.current = None
+                if i not in resolved:
+                    if ok:
+                        store(i, payload)
+                    else:
+                        error_type, message = payload
+                        if task_failed(i, "error", error_type, message):
+                            todo.append(i)
+                continue
+
+            now = time.monotonic()
+            for wid, worker in list(workers.items()):
+                current = worker.current
+                if current is not None:
+                    i, deadline = current
+                    if deadline is not None and now > deadline:
+                        # Hung task: kill the worker deliberately
+                        # (doesn't count against pool health).
+                        worker.process.kill()
+                        worker.process.join(timeout=1.0)
+                        del workers[wid]
+                        if i not in resolved and task_failed(
+                            i, "timeout", "",
+                            f"exceeded {timeout:.3g}s wall-clock budget",
+                        ):
+                            todo.append(i)
+                        continue
+                if not worker.process.is_alive():
+                    # Unexpected death (kill fault, OOM, segfault).
+                    worker.process.join(timeout=1.0)
+                    del workers[wid]
+                    deaths += 1
+                    if current is not None:
+                        i = current[0]
+                        code = worker.process.exitcode
+                        if i not in resolved and task_failed(
+                            i, "worker-died",
+                            "", f"worker exited with code {code} "
+                                f"while running task {i}",
+                        ):
+                            todo.append(i)
+                    if deaths > max_worker_deaths:
+                        warnings.warn(
+                            f"worker pool unhealthy ({deaths} worker "
+                            "deaths); running remaining cells "
+                            "in-process",
+                            RuntimeWarning, stacklevel=3,
+                        )
+                        raise _PoolUnhealthy
+    except _PoolUnhealthy:
+        return _remaining()
+    finally:
+        for worker in workers.values():
+            worker.stop()
+        results_q.close()
+    return []

@@ -1,0 +1,260 @@
+"""Deterministic fault injection for the execution engine.
+
+The fault-tolerance machinery in :mod:`repro.exec.engine` — retries,
+per-task timeouts, dead-worker resubmission, journal resume — is only
+trustworthy if it can be *demonstrated*, repeatedly and bit-for-bit,
+against real failures.  This module is that test substrate: an
+injector that raises, delays, kills the executing worker process, or
+simulates a Ctrl-C at scheduled task indices, deterministically.
+
+Determinism comes from scheduling faults by **(task index, attempt
+number)** rather than wall-clock or randomness at fire time: the
+engine passes both to :meth:`FaultInjector.fire` before executing a
+cell, and a fault fires iff ``attempt < fault.attempts``.  A
+transient fault (``attempts=1``) therefore fails the first try and
+succeeds on retry or resubmission; a permanent one
+(``attempts=ALWAYS``) exhausts any retry budget.  Because attempt
+numbers are assigned by the supervising parent process, the schedule
+replays identically across worker pools, in-process runs, and journal
+resumes — no shared state between processes is needed.
+
+The injector is installed process-wide with :func:`install` /
+:func:`uninstall` or the :func:`injected` context manager; a fork
+pool started while one is installed inherits it.  For CI and CLI
+experiments, ``REPRO_FAULT_SPEC`` (see :meth:`FaultInjector.from_spec`)
+installs one automatically at the first grid run.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "ALWAYS",
+    "Fault",
+    "FaultInjector",
+    "InjectedFault",
+    "injected",
+    "install",
+    "uninstall",
+    "active",
+]
+
+#: ``Fault.attempts`` value meaning "fire on every attempt".
+ALWAYS = 10 ** 9
+
+#: Exit status used when a kill-fault terminates a worker — visible in
+#: the supervisor's logs and distinct from normal termination.
+KILL_EXIT_CODE = 87
+
+_ACTIONS = ("raise", "delay", "kill", "interrupt")
+
+
+class InjectedFault(RuntimeError):
+    """The error raised by ``raise`` faults (and in-process kills)."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled fault.
+
+    Attributes
+    ----------
+    action:
+        ``"raise"`` — raise :class:`InjectedFault`;
+        ``"delay"`` — sleep ``seconds`` before executing (to trip
+        per-task timeouts);
+        ``"kill"`` — ``os._exit`` the executing worker process (in an
+        in-process run, where exiting would kill the experiment
+        itself, it degrades to :class:`InjectedFault`);
+        ``"interrupt"`` — raise :class:`KeyboardInterrupt`, the
+        scripted stand-in for Ctrl-C in resume tests.
+    attempts:
+        Fire while the task's attempt number is below this; ``1``
+        (default) makes the fault transient, :data:`ALWAYS` permanent.
+    seconds:
+        Sleep length for ``"delay"``.
+    """
+
+    action: str
+    attempts: int = 1
+    seconds: float = 0.0
+
+    def __post_init__(self):
+        if self.action not in _ACTIONS:
+            raise ValueError(
+                f"unknown fault action {self.action!r}; "
+                f"expected one of {_ACTIONS}"
+            )
+        if self.attempts < 1:
+            raise ValueError("attempts must be >= 1")
+
+
+class FaultInjector:
+    """A deterministic schedule of faults, keyed by task index.
+
+    Parameters
+    ----------
+    schedule:
+        task index -> :class:`Fault`.
+    sleep:
+        Clock used by ``delay`` faults; injectable for fast tests.
+
+    Attributes
+    ----------
+    fired:
+        Log of ``(index, attempt, action)`` triples, in fire order.
+        Per-process: a fork worker's log dies with the worker, so
+        assert against it only for in-process runs.
+    """
+
+    def __init__(self, schedule: Mapping[int, Fault], *,
+                 sleep: Callable[[float], None] = time.sleep):
+        self.schedule: Dict[int, Fault] = dict(schedule)
+        self.sleep = sleep
+        self.fired: List[Tuple[int, int, str]] = []
+
+    @classmethod
+    def seeded(cls, seed: int, n_tasks: int, *, raises: int = 0,
+               kills: int = 0, delays: int = 0,
+               raise_attempts: int = 1, delay_seconds: float = 0.05,
+               ) -> "FaultInjector":
+        """A reproducible random schedule over ``n_tasks`` cells.
+
+        Picks ``raises + kills + delays`` distinct task indices with
+        ``random.Random(seed)`` and assigns the actions in that order
+        — the same seed always yields the same schedule.
+        """
+        wanted = raises + kills + delays
+        if wanted > n_tasks:
+            raise ValueError(
+                f"cannot schedule {wanted} faults over {n_tasks} tasks"
+            )
+        rng = random.Random(seed)
+        indices = rng.sample(range(n_tasks), wanted)
+        schedule: Dict[int, Fault] = {}
+        cursor = 0
+        for _ in range(raises):
+            schedule[indices[cursor]] = Fault("raise", raise_attempts)
+            cursor += 1
+        for _ in range(kills):
+            schedule[indices[cursor]] = Fault("kill")
+            cursor += 1
+        for _ in range(delays):
+            schedule[indices[cursor]] = Fault(
+                "delay", seconds=delay_seconds
+            )
+            cursor += 1
+        return cls(schedule)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FaultInjector":
+        """Parse a compact schedule string (the CI/CLI entry point).
+
+        ``spec`` is comma-separated ``action:index[:attempts[:seconds]]``
+        items, e.g. ``"kill:5,raise:12:2,delay:20:1:0.25"`` — kill the
+        worker running task 5 once, fail task 12 on its first two
+        attempts, delay task 20's first attempt by 0.25 s.  ``attempts``
+        may be ``always`` for a permanent fault.
+        """
+        schedule: Dict[int, Fault] = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            parts = item.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"bad fault spec item {item!r}; "
+                    "use action:index[:attempts[:seconds]]"
+                )
+            action = parts[0].strip().lower()
+            index = int(parts[1])
+            attempts = 1
+            if len(parts) > 2 and parts[2].strip():
+                field = parts[2].strip().lower()
+                attempts = ALWAYS if field == "always" else int(field)
+            seconds = float(parts[3]) if len(parts) > 3 else 0.0
+            schedule[index] = Fault(action, attempts, seconds)
+        return cls(schedule)
+
+    def fire(self, index: int, attempt: int, *,
+             in_worker: bool = False) -> None:
+        """Apply the fault scheduled for ``(index, attempt)``, if any.
+
+        Called by the engine immediately before executing a cell.
+        """
+        fault = self.schedule.get(index)
+        if fault is None or attempt >= fault.attempts:
+            return
+        self.fired.append((index, attempt, fault.action))
+        if fault.action == "delay":
+            self.sleep(fault.seconds)
+        elif fault.action == "kill":
+            if in_worker:
+                os._exit(KILL_EXIT_CODE)
+            # In-process there is no worker to sacrifice; fail the
+            # task instead so retry still has something to chew on.
+            raise InjectedFault(
+                f"injected in-process kill at task {index} "
+                f"(attempt {attempt})"
+            )
+        elif fault.action == "interrupt":
+            raise KeyboardInterrupt(
+                f"injected interrupt at task {index}"
+            )
+        else:
+            raise InjectedFault(
+                f"injected failure at task {index} (attempt {attempt})"
+            )
+
+
+#: The process-wide injector, if any.  Fork workers inherit it.
+_ACTIVE: Optional[FaultInjector] = None
+_ENV_CHECKED = False
+
+#: Environment variable holding a ``from_spec`` schedule; read once,
+#: at the first grid execution with no explicitly installed injector.
+ENV_VAR = "REPRO_FAULT_SPEC"
+
+
+def install(injector: FaultInjector) -> None:
+    """Make ``injector`` the process-wide active injector."""
+    global _ACTIVE
+    _ACTIVE = injector
+
+
+def uninstall() -> None:
+    """Remove the active injector (idempotent)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[FaultInjector]:
+    """The active injector, auto-installing from ``REPRO_FAULT_SPEC``.
+
+    The environment is consulted once per process; explicit
+    :func:`install` / :func:`uninstall` always wins afterwards.
+    """
+    global _ACTIVE, _ENV_CHECKED
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        spec = os.environ.get(ENV_VAR)
+        if spec:
+            _ACTIVE = FaultInjector.from_spec(spec)
+    return _ACTIVE
+
+
+@contextmanager
+def injected(injector: FaultInjector):
+    """Scope an injector to a ``with`` block (used by the test suite)."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()

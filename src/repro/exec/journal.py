@@ -1,0 +1,156 @@
+"""Append-only checkpoint journal for interrupted simulation grids.
+
+A :class:`~repro.exec.cache.ResultCache` already makes reruns cheap,
+but it is an *optional* performance feature keyed for global reuse.
+The journal is the *durability* feature: one file per screen that
+records every completed cell as it finishes, so a run killed at cell
+79 of 88 — Ctrl-C, OOM, power loss — resumes from cell 80 instead of
+cell 1, even when no cache directory was configured.
+
+Format: one JSON line per completed cell::
+
+    {"v": 1, "key": "<task_key sha-256>", "sha": "<sha-256 of blob>",
+     "stats": "<base64 pickle of CoreStats>"}
+
+Design points:
+
+* **Append-only** — a crash can only ever damage the final line.
+  Loading validates each line's embedded checksum and silently drops
+  torn or corrupt lines (counted in :attr:`Journal.corrupt`), so a
+  journal written right up to the moment of a ``kill -9`` still
+  resumes from every fully recorded cell.
+* **Content-keyed** — entries are stored under the same
+  :func:`~repro.exec.cache.task_key` hash the cache uses, so a resume
+  is correct even if the caller reorders the grid, and a journal
+  written for one screen is simply inert (never wrong) for another.
+* **Self-checking** — the pickle blob's own sha-256 travels with it;
+  a flipped bit makes the line invalid rather than producing subtly
+  wrong statistics.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+__all__ = ["Journal"]
+
+_FORMAT_VERSION = 1
+
+
+class Journal:
+    """Append-only record of completed (task-key, stats) cells.
+
+    Parameters
+    ----------
+    path:
+        The journal file.  Created (with parents) on first write; an
+        existing file is loaded so previously completed cells are
+        immediately visible via :meth:`get` — this is what makes
+        ``--resume`` work.
+    sync:
+        Fsync after every record.  Off by default: the flush-per-line
+        discipline already survives process death (Ctrl-C, SIGKILL),
+        and fsync only adds protection against whole-machine crashes
+        at a large per-cell cost.
+
+    Attributes
+    ----------
+    corrupt:
+        Torn or checksum-invalid lines dropped while loading.
+    """
+
+    def __init__(self, path: Union[str, os.PathLike], *,
+                 sync: bool = False):
+        self.path = Path(path)
+        self.sync = sync
+        self.corrupt = 0
+        self._entries: Dict[str, object] = {}
+        self._handle = None
+        if self.path.exists():
+            self._load()
+
+    # -- reading ----------------------------------------------------
+
+    def _load(self) -> None:
+        with open(self.path, "rb") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line.decode("utf-8"))
+                    if entry.get("v") != _FORMAT_VERSION:
+                        raise ValueError("unknown journal format version")
+                    key = entry["key"]
+                    blob = base64.b64decode(entry["stats"])
+                    if hashlib.sha256(blob).hexdigest() != entry["sha"]:
+                        raise ValueError("checksum mismatch")
+                    stats = pickle.loads(blob)
+                except Exception:
+                    # A torn final line (interrupted write) or a
+                    # damaged entry: drop it, never fail the resume.
+                    self.corrupt += 1
+                else:
+                    self._entries[key] = stats
+
+    def get(self, key: str):
+        """The recorded stats for ``key``, or ``None``."""
+        return self._entries.get(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def keys(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    # -- writing ----------------------------------------------------
+
+    def record(self, key: str, stats) -> None:
+        """Append one completed cell (idempotent per key).
+
+        The line is flushed immediately so the entry survives the
+        process dying right after the call.
+        """
+        if key in self._entries:
+            return
+        blob = pickle.dumps(stats, pickle.HIGHEST_PROTOCOL)
+        line = json.dumps({
+            "v": _FORMAT_VERSION,
+            "key": key,
+            "sha": hashlib.sha256(blob).hexdigest(),
+            "stats": base64.b64encode(blob).decode("ascii"),
+        })
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+        self._entries[key] = stats
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass

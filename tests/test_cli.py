@@ -101,6 +101,68 @@ class TestClassifyCommand:
             main(["classify", "-b", "doom"])
 
 
+class TestExecFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.retry == 1
+        assert args.task_timeout is None
+        assert args.on_error == "raise"
+        assert args.journal is None
+        assert not args.resume
+
+    def test_bad_retry_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["screen", "--retry", "0"])
+
+    def test_existing_journal_needs_resume(self, tmp_path):
+        journal = tmp_path / "screen.journal"
+        journal.write_text("")
+        with pytest.raises(SystemExit, match="--resume"):
+            main(["screen", "--journal", str(journal)])
+
+    def test_resume_needs_journal(self):
+        with pytest.raises(SystemExit, match="--journal"):
+            main(["screen", "--resume"])
+
+
+class TestInterruptHandling:
+    def _interrupt_run(self, monkeypatch):
+        from repro.core import PBExperiment
+
+        def interrupted(self, **kwargs):
+            progress = self.progress
+            if progress is not None:
+                progress(7, 176)
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(PBExperiment, "run", interrupted)
+
+    def test_screen_exits_130_with_summary(self, monkeypatch, capsys):
+        self._interrupt_run(monkeypatch)
+        assert main(["screen"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted after 7 completed cells" in err
+        assert "--journal" in err
+
+    def test_screen_summary_names_journal(self, monkeypatch, capsys,
+                                          tmp_path):
+        self._interrupt_run(monkeypatch)
+        journal = str(tmp_path / "screen.journal")
+        assert main(["screen", "--journal", journal]) == 130
+        err = capsys.readouterr().err
+        assert f"--journal {journal} --resume" in err
+
+    def test_classify_exits_130(self, monkeypatch, capsys):
+        self._interrupt_run(monkeypatch)
+        assert main(["classify"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_enhance_exits_130(self, monkeypatch, capsys):
+        self._interrupt_run(monkeypatch)
+        assert main(["enhance"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+
 @pytest.mark.slow
 class TestExperimentCommands:
     def test_screen_small(self, capsys):
@@ -122,3 +184,21 @@ class TestExperimentCommands:
                      "--kind", "prefetch"]) == 0
         out = capsys.readouterr().out
         assert "Sum-of-ranks shifts under prefetch" in out
+
+    def test_screen_with_journal_then_resume(self, capsys, tmp_path,
+                                             monkeypatch):
+        journal = str(tmp_path / "screen.journal")
+        assert main(["screen", "-b", "gzip", "-n", "800",
+                     "--journal", journal]) == 0
+        first = capsys.readouterr().out
+        # Resume: every cell comes off the journal, no simulation.
+        import repro.exec.engine as engine
+
+        def no_simulate(*args, **kwargs):
+            raise AssertionError("resume must not re-simulate")
+
+        monkeypatch.setattr(engine, "simulate", no_simulate)
+        assert main(["screen", "-b", "gzip", "-n", "800",
+                     "--journal", journal, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert second == first
