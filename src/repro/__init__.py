@@ -15,7 +15,9 @@ The library has five layers, importable as subpackages:
   plus the paper's own published data for exact validation;
 * :mod:`repro.reporting` — text renderings of every paper table;
 * :mod:`repro.exec` — the parallel, cached execution engine every
-  experiment and sweep runs its simulation grid through.
+  experiment and sweep runs its simulation grid through;
+* :mod:`repro.analysis` — the determinism & fork-safety static
+  analysis (``repro lint``) that gates changes to all of the above.
 
 Quick start::
 
@@ -30,8 +32,28 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from . import core, cpu, doe, exec, reporting, workloads
+#: Subpackages resolved lazily (PEP 562).  Laziness is load-bearing:
+#: ``python -m repro.analysis`` must work on a bare interpreter (the
+#: CI lint job installs nothing), and eagerly importing the simulator
+#: stack would drag NumPy in at ``import repro`` time.
+_SUBPACKAGES = (
+    "analysis", "core", "cpu", "doe", "exec", "reporting", "workloads",
+)
 
-__all__ = [
-    "core", "cpu", "doe", "exec", "reporting", "workloads", "__version__",
-]
+__all__ = [*_SUBPACKAGES, "__version__"]
+
+
+def __getattr__(name):
+    if name in _SUBPACKAGES:
+        import importlib
+
+        module = importlib.import_module(f".{name}", __name__)
+        globals()[name] = module
+        return module
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )
+
+
+def __dir__():
+    return sorted({*globals(), *_SUBPACKAGES})

@@ -1,0 +1,492 @@
+"""The REP001–REP007 checker suite: this repository's invariants.
+
+Each checker encodes one way a simulation campaign has actually been
+corrupted in the wild (see the rule docstrings).  The common thread
+is the engine's core guarantee — the 88-run Plackett-Burman screen is
+bit-identical across serial, parallel, cached, fault-injected and
+resumed execution — which only holds if no code path consults hidden
+per-process state: the global RNG, the wall clock, hash/directory
+iteration order, or fork-inherited mutable globals.
+
+The suite is deliberately small and opinionated: these are *this
+repo's* rules, not a general linter.  ``docs/analysis.md`` documents
+each rule with examples and the sanctioned escapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional, Tuple
+
+from .core import Checker, FileContext, dotted_name
+from .findings import Severity
+
+# ---------------------------------------------------------------------------
+# REP001 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+#: Constructors that are fine when given a seed argument.
+_SEEDABLE = {
+    "random.Random": "random.Random",
+    "numpy.random.RandomState": "numpy.random.RandomState",
+}
+
+#: Call names (resolved) whose bare form means "the unseeded default".
+_DEFAULT_RNG = "default_rng"
+
+
+class UnseededRandomness(Checker):
+    """REP001: randomness drawn from unseeded or global-state RNGs.
+
+    ``random.random()``-style module-level calls share one hidden
+    global generator whose state depends on import order and every
+    other caller in the process — two runs of the same experiment
+    diverge as soon as anything else consumes entropy.  The same goes
+    for NumPy's legacy global (``np.random.rand`` & co.) and for
+    ``default_rng()`` / ``Random()`` / ``RandomState()`` constructed
+    without a seed, which seed themselves from OS entropy.  The
+    sanctioned pattern is an explicitly seeded generator object
+    (``random.Random(seed)``, ``np.random.default_rng(seed)``)
+    plumbed to where it is used.
+    """
+
+    rule = "REP001"
+    name = "unseeded-randomness"
+    description = ("module-level RNG calls and unseeded generator "
+                   "constructors")
+    severity = Severity.ERROR
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        resolved = ctx.resolve_call(node)
+        if resolved is None:
+            return
+        seedable = _SEEDABLE.get(resolved)
+        if seedable is not None:
+            if not node.args and not node.keywords:
+                ctx.report(
+                    node, self.rule, self.severity,
+                    f"{seedable}() without a seed draws OS entropy; "
+                    "pass an explicit seed",
+                )
+            return
+        if resolved.split(".")[-1] == _DEFAULT_RNG:
+            if not node.args and not node.keywords:
+                ctx.report(
+                    node, self.rule, self.severity,
+                    "default_rng() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+            return
+        for prefix in ("random.", "numpy.random."):
+            if resolved.startswith(prefix):
+                ctx.report(
+                    node, self.rule, self.severity,
+                    f"{resolved}() uses the hidden process-global RNG; "
+                    "use an explicitly seeded generator object",
+                )
+                return
+
+
+# ---------------------------------------------------------------------------
+# REP002 — wall-clock / entropy sources
+# ---------------------------------------------------------------------------
+
+#: Canonical names whose return value differs between identical runs.
+_ENTROPY_CALLS = {
+    "time.time": "wall-clock time",
+    "time.time_ns": "wall-clock time",
+    "datetime.datetime.now": "wall-clock time",
+    "datetime.datetime.utcnow": "wall-clock time",
+    "datetime.datetime.today": "wall-clock time",
+    "datetime.date.today": "wall-clock time",
+    "uuid.uuid1": "host/clock-derived identifiers",
+    "uuid.uuid4": "OS entropy",
+    "os.urandom": "OS entropy",
+    "os.getrandom": "OS entropy",
+    "random.SystemRandom": "OS entropy",
+}
+
+
+class EntropySource(Checker):
+    """REP002: wall-clock and OS-entropy reads.
+
+    Anything derived from ``time.time()``, ``uuid4()`` or
+    ``os.urandom()`` is different on every run by construction; if it
+    flows into a simulator decision, an effect computation, or a
+    cache/journal key, replay and warm-cache reruns silently stop
+    being comparable.  Monotonic clocks for *deadlines*
+    (``time.monotonic``) are fine — they never enter results — and
+    further sanctioned calls can be listed under ``allow_calls`` in
+    the TOML config.
+    """
+
+    rule = "REP002"
+    name = "entropy-source"
+    description = "wall-clock / entropy reads that vary across runs"
+    severity = Severity.ERROR
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        resolved = ctx.resolve_call(node)
+        if resolved is None or resolved in ctx.config.allow_calls:
+            return
+        why = _ENTROPY_CALLS.get(resolved)
+        if why is None and resolved.startswith("secrets."):
+            why = "OS entropy"
+        if why is not None:
+            ctx.report(
+                node, self.rule, self.severity,
+                f"{resolved}() injects {why} into the run; results "
+                "and cache keys must not depend on it",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP003 — iteration over unordered collections
+# ---------------------------------------------------------------------------
+
+#: Filesystem enumerations whose order is directory-state dependent.
+_FS_ENUM = {"glob.glob", "glob.iglob", "os.listdir", "os.scandir"}
+_FS_METHODS = {"glob", "rglob", "iterdir"}
+
+#: Order-sensitive consumers: materialize or fold their argument in
+#: iteration order.  (min/max/len/set/sorted are order-insensitive
+#: and deliberately absent; float ``sum`` is NOT associative.)
+_ORDERED_SINKS = {"sum", "list", "tuple", "enumerate",
+                  "math.fsum", "itertools.accumulate"}
+
+
+def _unordered_reason(node: ast.AST,
+                      ctx: FileContext) -> Optional[str]:
+    """Why ``node`` produces values in nondeterministic order."""
+    if isinstance(node, ast.Set):
+        return "a set literal has no stable iteration order"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension has no stable iteration order"
+    if isinstance(node, ast.Call):
+        resolved = ctx.resolve_call(node)
+        if resolved in ("set", "frozenset"):
+            return f"{resolved}() has no stable iteration order"
+        if resolved in _FS_ENUM:
+            return (f"{resolved}() enumerates in directory order, "
+                    "which varies across filesystems")
+        name = dotted_name(node.func)
+        if isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _FS_METHODS:
+            label = name or f"...{node.func.attr}"
+            return (f"{label}() enumerates in directory order, "
+                    "which varies across filesystems")
+    return None
+
+
+class UnorderedIteration(Checker):
+    """REP003: iteration order taken from an unordered source.
+
+    A ``for`` loop, comprehension, or order-sensitive fold
+    (``sum``, ``list``, ``tuple``, ``str.join``, ...) over a set or a
+    raw directory listing visits elements in hash/filesystem order.
+    When the values feed an effect sum, a serialized report, or a
+    ``task_key`` hash, two identical runs produce different bits —
+    float addition is not associative and JSON arrays are ordered.
+    Wrap the source in ``sorted(...)`` (the fix in all sanctioned
+    cases in this tree) or consume it with an order-insensitive
+    reduction (``len``/``min``/``max``/``set``).
+    """
+
+    rule = "REP003"
+    name = "unordered-iteration"
+    description = ("for/comprehension/fold over sets or directory "
+                   "listings")
+    severity = Severity.ERROR
+    interests = (ast.For, ast.AsyncFor, ast.ListComp, ast.DictComp,
+                 ast.GeneratorExp, ast.Call)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            self._check_iterable(node.iter, ctx, "for loop iterates")
+        elif isinstance(node, (ast.ListComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            what = {
+                ast.ListComp: "list comprehension iterates",
+                ast.DictComp: "dict comprehension iterates",
+                ast.GeneratorExp: "generator expression iterates",
+            }[type(node)]
+            for generator in node.generators:
+                self._check_iterable(generator.iter, ctx, what)
+        elif isinstance(node, ast.Call):
+            sink = ctx.resolve_call(node)
+            is_join = (isinstance(node.func, ast.Attribute)
+                       and node.func.attr == "join")
+            if sink in _ORDERED_SINKS or is_join:
+                label = "str.join folds" if is_join \
+                    else f"{sink}() materializes"
+                for arg in node.args:
+                    self._check_iterable(arg, ctx, label)
+
+    def _check_iterable(self, iterable: ast.AST, ctx: FileContext,
+                        what: str) -> None:
+        reason = _unordered_reason(iterable, ctx)
+        if reason is not None:
+            ctx.report(
+                iterable, self.rule, self.severity,
+                f"{what} in nondeterministic order: {reason}; "
+                "wrap in sorted(...)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP004 — fork/pickle safety
+# ---------------------------------------------------------------------------
+
+#: Callable names (last dotted segment) that ship work to workers.
+_EXECUTORS = {
+    "run_grid", "Process", "Pool", "submit", "apply_async",
+    "map_async", "imap", "imap_unordered", "starmap",
+    "starmap_async",
+}
+
+
+class ForkSafety(Checker):
+    """REP004: state that does not survive the trip to a worker.
+
+    Two hazards.  (1) Lambdas, closures over local state, and bound
+    methods handed to ``run_grid``-style executors: they either fail
+    to pickle (spawn) or silently capture a *copy* of enclosing state
+    (fork), so the worker computes against stale data.  Ship
+    module-level functions and explicit arguments instead.  (2)
+    ``global`` rebinding inside functions: after ``fork`` each worker
+    owns a private copy of module state, so the rebinding is
+    invisible to the parent and every sibling — mutation intended to
+    coordinate work coordinates nothing.  Per-process flags are the
+    one sanctioned use and carry an explicit suppression in this
+    tree.
+    """
+
+    rule = "REP004"
+    name = "fork-safety"
+    description = ("closures/lambdas/bound methods sent to executors; "
+                   "global rebinding")
+    severity = Severity.ERROR
+    interests = (ast.Call, ast.Global)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Global):
+            ctx.report(
+                node, self.rule, Severity.WARNING,
+                f"'global {', '.join(node.names)}' rebinds module "
+                "state inside a function; invisible to other "
+                "processes after fork",
+            )
+            return
+        assert isinstance(node, ast.Call)
+        name = ctx.resolve_call(node) or dotted_name(node.func)
+        if name is None:
+            return
+        executors = _EXECUTORS | ctx.config.executors
+        if name.split(".")[-1] not in executors:
+            return
+        values = list(node.args) + [kw.value for kw in node.keywords]
+        for value in values:
+            if isinstance(value, ast.Lambda):
+                ctx.report(
+                    value, self.rule, self.severity,
+                    f"lambda passed to {name}(); lambdas cannot be "
+                    "pickled and capture enclosing state — use a "
+                    "module-level function",
+                )
+            elif isinstance(value, ast.Name) and \
+                    value.id in ctx.nested_functions:
+                ctx.report(
+                    value, self.rule, self.severity,
+                    f"closure '{value.id}' passed to {name}(); nested "
+                    "functions capture enclosing state that does not "
+                    "travel to workers — use a module-level function",
+                )
+            elif isinstance(value, ast.Attribute) and \
+                    isinstance(value.value, ast.Name) and \
+                    value.value.id == "self":
+                ctx.report(
+                    value, self.rule, self.severity,
+                    f"bound method self.{value.attr} passed to "
+                    f"{name}(); the instance is dragged across the "
+                    "process boundary — use a module-level function",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP005 — mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                     ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray",
+                  "collections.defaultdict", "collections.Counter",
+                  "collections.OrderedDict", "collections.deque"}
+
+
+class MutableDefault(Checker):
+    """REP005: mutable default argument values.
+
+    A default is evaluated once at ``def`` time and shared by every
+    call; state accumulated in one experiment leaks into the next,
+    which is exactly the cross-run contamination the cache and
+    journal layers are built to rule out.  Use ``None`` plus an
+    in-body default.
+    """
+
+    rule = "REP005"
+    name = "mutable-default"
+    description = "list/dict/set default argument values"
+    severity = Severity.WARNING
+    interests = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        args = node.args
+        defaults = list(args.defaults) + \
+            [d for d in args.kw_defaults if d is not None]
+        for default in defaults:
+            mutable = isinstance(default, _MUTABLE_LITERALS)
+            if isinstance(default, ast.Call):
+                mutable = ctx.resolve_call(default) in _MUTABLE_CALLS
+            if mutable:
+                ctx.report(
+                    default, self.rule, self.severity,
+                    "mutable default argument is shared across calls; "
+                    "use None and default inside the body",
+                )
+
+
+# ---------------------------------------------------------------------------
+# REP006 — environment reads outside sanctioned entry points
+# ---------------------------------------------------------------------------
+
+class EnvironRead(Checker):
+    """REP006: ``os.environ`` / ``os.getenv`` reads.
+
+    An environment read is an undeclared input: it does not enter
+    ``task_key``, so two runs with different environments share cache
+    entries they must not, and a replayed journal cannot know what
+    the original run saw.  Configuration must arrive through
+    arguments.  The sanctioned entry points — the CLI and the fault
+    injector's ``REPRO_FAULT_SPEC`` hook — carry explicit
+    suppressions with reasons.
+    """
+
+    rule = "REP006"
+    name = "environ-read"
+    description = "os.environ / os.getenv access"
+    severity = Severity.ERROR
+    interests = (ast.Attribute, ast.Name, ast.Call)
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        if isinstance(node, ast.Call):
+            if ctx.resolve_call(node) == "os.getenv":
+                ctx.report(
+                    node, self.rule, self.severity,
+                    "os.getenv() is an undeclared input; pass "
+                    "configuration explicitly",
+                )
+            return
+        if isinstance(node, ast.Attribute):
+            if dotted_name(node) == "os.environ":
+                ctx.report(
+                    node, self.rule, self.severity,
+                    "os.environ is an undeclared input; pass "
+                    "configuration explicitly",
+                )
+            return
+        if isinstance(node, ast.Name) and \
+                ctx.imports.get(node.id) == "os.environ":
+            ctx.report(
+                node, self.rule, self.severity,
+                "os.environ is an undeclared input; pass "
+                "configuration explicitly",
+            )
+
+
+# ---------------------------------------------------------------------------
+# REP007 — overbroad exception handling
+# ---------------------------------------------------------------------------
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(n, ast.Raise) for n in ast.walk(handler))
+
+
+def _only_passes(handler: ast.ExceptHandler) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass) or
+        (isinstance(stmt, ast.Expr) and
+         isinstance(stmt.value, ast.Constant) and
+         stmt.value.value is Ellipsis)
+        for stmt in handler.body
+    )
+
+
+def _caught_names(handler: ast.ExceptHandler) -> Tuple[str, ...]:
+    node = handler.type
+    if node is None:
+        return ()
+    elts = node.elts if isinstance(node, ast.Tuple) else [node]
+    return tuple(filter(None, (dotted_name(e) for e in elts)))
+
+
+class ExceptionSwallow(Checker):
+    """REP007: handlers broad enough to eat control-flow exceptions.
+
+    A bare ``except:`` or ``except BaseException`` that does not
+    re-raise swallows ``KeyboardInterrupt`` and ``SystemExit`` — the
+    Ctrl-C/resume contract of the engine depends on those
+    propagating — and can mask a ``GridError`` as a success.  An
+    ``except Exception: pass`` hides every failure including
+    corrupted results.  Catch the narrowest type that the handler
+    can actually handle, and never silently.
+    """
+
+    rule = "REP007"
+    name = "exception-swallow"
+    description = "bare/BaseException handlers and silent swallows"
+    severity = Severity.ERROR
+    interests = (ast.ExceptHandler,)
+
+    def visit(self, node: ast.ExceptHandler, ctx: FileContext) -> None:
+        caught = _caught_names(node)
+        if node.type is None:
+            if not _handler_reraises(node):
+                ctx.report(
+                    node, self.rule, self.severity,
+                    "bare except swallows KeyboardInterrupt/"
+                    "SystemExit; catch a concrete exception type",
+                )
+            return
+        if "BaseException" in caught and not _handler_reraises(node):
+            ctx.report(
+                node, self.rule, self.severity,
+                "except BaseException without re-raise swallows "
+                "KeyboardInterrupt/SystemExit; narrow it or re-raise",
+            )
+            return
+        if "Exception" in caught and _only_passes(node):
+            ctx.report(
+                node, self.rule, Severity.WARNING,
+                "except Exception: pass silently swallows every "
+                "failure (including GridError); handle or log it",
+            )
+
+
+#: The shipped suite, in rule order.  ``Analyzer`` filters it through
+#: the config's select/ignore lists.
+ALL_CHECKERS = (
+    UnseededRandomness,
+    EntropySource,
+    UnorderedIteration,
+    ForkSafety,
+    MutableDefault,
+    EnvironRead,
+    ExceptionSwallow,
+)
+
+
+def default_checkers():
+    """Fresh instances of every shipped checker, in rule order."""
+    return [cls() for cls in ALL_CHECKERS]

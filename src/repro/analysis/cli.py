@@ -1,0 +1,151 @@
+"""Command-line front end: ``python -m repro.analysis`` / ``repro lint``.
+
+Exit status contract (relied on by CI and the CLI tests):
+
+* ``0`` — analysis ran and found nothing (clean tree);
+* ``1`` — analysis ran and reported at least one live finding;
+* ``2`` — usage error: unknown rule code, unreadable config or
+  baseline, or a path that does not exist.
+
+Both entry points share :func:`add_arguments` / :func:`run`, so the
+flag surface cannot drift between ``repro lint`` and
+``python -m repro.analysis``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .checkers import ALL_CHECKERS, default_checkers
+from .config import (
+    AnalysisConfig,
+    ConfigError,
+    load_baseline,
+    load_config,
+    write_baseline,
+)
+from .core import Analyzer
+from .reporters import render_json, render_text
+
+#: Exit statuses (module-level so tests assert against names).
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the shared flag surface on ``parser``."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], metavar="PATH",
+        help="files or directories to analyze "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format (default %(default)s)",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--config", default=None, metavar="FILE",
+        help="TOML config file (default: discover pyproject.toml "
+             "[tool.repro.analysis])",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="JSON baseline; findings fingerprinted in it are "
+             "absorbed rather than reported",
+    )
+    parser.add_argument(
+        "--write-baseline", default=None, metavar="FILE",
+        help="write the current findings as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _list_rules() -> str:
+    lines = []
+    for cls in ALL_CHECKERS:
+        lines.append(f"{cls.rule}  {cls.name:<22} {cls.description}")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace,
+        stdout=None, stderr=None) -> int:
+    """Execute one analysis per parsed ``args``; returns exit status."""
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+    if args.list_rules:
+        print(_list_rules(), file=stdout)
+        return EXIT_CLEAN
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: "
+              f"{', '.join(map(str, missing))}", file=stderr)
+        return EXIT_USAGE
+
+    try:
+        config = load_config(
+            Path(args.config) if args.config else None,
+            start=paths[0] if paths else None,
+        )
+        _merge_cli_rules(config, args)
+        analyzer = Analyzer(default_checkers(), config)
+        result = analyzer.analyze_paths(paths)
+        if args.baseline:
+            known = load_baseline(Path(args.baseline))
+            live = [f for f in result.findings
+                    if f.fingerprint() not in known]
+            result.baselined = len(result.findings) - len(live)
+            result.findings = live
+    except ConfigError as exc:
+        print(f"repro lint: {exc}", file=stderr)
+        return EXIT_USAGE
+
+    if args.write_baseline:
+        count = write_baseline(
+            result.findings, Path(args.write_baseline)
+        )
+        print(f"wrote {count} fingerprint(s) to "
+              f"{args.write_baseline}", file=stderr)
+        return EXIT_CLEAN
+
+    render = render_json if args.format == "json" else render_text
+    print(render(result), file=stdout)
+    return EXIT_CLEAN if result.clean else EXIT_FINDINGS
+
+
+def _merge_cli_rules(config: AnalysisConfig,
+                     args: argparse.Namespace) -> None:
+    """--select/--ignore override/extend the TOML lists."""
+    if args.select:
+        config.select = [r.strip() for r in args.select.split(",")
+                         if r.strip()]
+    if args.ignore:
+        config.ignore = list(config.ignore) + [
+            r.strip() for r in args.ignore.split(",") if r.strip()
+        ]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.analysis`` entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=__doc__.splitlines()[0],
+    )
+    add_arguments(parser)
+    return run(parser.parse_args(argv))

@@ -1,0 +1,333 @@
+"""Visitor core: one AST walk per file, shared by every checker.
+
+The framework half of :mod:`repro.analysis`.  A :class:`Checker`
+declares the node types it cares about (:attr:`Checker.interests`);
+the :class:`Analyzer` parses each file once, builds a
+:class:`FileContext` (source lines, import aliases, nested-function
+names), walks the tree once, and dispatches each node to every
+subscribed checker.  Checkers call :meth:`FileContext.report` to emit
+findings; the analyzer then applies ``# repro: noqa[...]``
+suppressions and rule selection, and returns an
+:class:`AnalysisResult` with deterministic ordering.
+
+Adding a rule means subclassing :class:`Checker` and listing it in
+:data:`repro.analysis.checkers.ALL_CHECKERS` — the core never needs
+to change.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .config import AnalysisConfig
+from .findings import Finding, Severity
+
+#: Rule code reserved for files the analyzer cannot parse.
+PARSE_ERROR_RULE = "REP000"
+
+#: ``# repro: noqa`` / ``# repro: noqa[REP001,REP004]`` with an
+#: optional ``-- reason`` tail.  Matched against the physical source
+#: line a finding points at.
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
+    r"(?:\s*--\s*(?P<reason>.*))?",
+)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The ``a.b.c`` form of a Name/Attribute chain, or ``None``.
+
+    Anything that is not a pure attribute chain (calls, subscripts)
+    yields ``None`` — checkers only match statically-resolvable
+    names.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class FileContext:
+    """Everything checkers may need about the file being analyzed.
+
+    Attributes
+    ----------
+    path:
+        Path reported in findings (relative to the analysis root when
+        possible, so reports and baselines are machine-independent).
+    lines:
+        The file's physical source lines (1-indexed via ``line(n)``).
+    imports:
+        Alias -> canonical dotted module name, from ``import`` /
+        ``from .. import`` statements (``import numpy.random as npr``
+        maps ``npr`` to ``numpy.random``; ``from time import time``
+        maps ``time`` to ``time.time``).
+    nested_functions:
+        Names of functions defined inside other functions — closure
+        candidates for the fork-safety checker.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.AST,
+                 config: AnalysisConfig):
+        self.path = path
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.config = config
+        self.findings: List[Finding] = []
+        self.imports: Dict[str, str] = {}
+        self.nested_functions: Set[str] = set()
+        self._index_imports(tree)
+        self._index_nested_functions(tree)
+
+    # -- prepass indexes -------------------------------------------
+
+    def _index_imports(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        self.imports[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{node.module}.{alias.name}"
+
+    def _index_nested_functions(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for child in ast.walk(node):
+                    if child is node:
+                        continue
+                    if isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                        self.nested_functions.add(child.name)
+
+    # -- checker services ------------------------------------------
+
+    def line(self, lineno: int) -> str:
+        """The physical source line ``lineno`` (1-indexed), or ``""``."""
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def resolve_call(self, node: ast.Call) -> Optional[str]:
+        """The canonical dotted name a call resolves to, or ``None``.
+
+        Import aliases are expanded through one level: with
+        ``import numpy as np``, ``np.random.default_rng(...)``
+        resolves to ``numpy.random.default_rng``; with
+        ``from time import time``, ``time()`` resolves to
+        ``time.time``.
+        """
+        name = dotted_name(node.func)
+        if name is None:
+            return None
+        head, _, rest = name.partition(".")
+        target = self.imports.get(head)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        return name
+
+    def report(self, node: ast.AST, rule: str, severity: Severity,
+               message: str) -> None:
+        """Emit one finding anchored at ``node``."""
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0) + 1
+        self.findings.append(Finding(
+            path=self.path, line=lineno, column=col, rule=rule,
+            severity=severity, message=message,
+            source=self.line(lineno),
+        ))
+
+
+class Checker:
+    """Base class for one REP0xx rule.
+
+    Subclasses set :attr:`rule`, :attr:`name`, :attr:`description`,
+    :attr:`severity` and :attr:`interests` (the AST node classes to
+    receive), and implement :meth:`visit`.  :meth:`begin_file` runs
+    once per file before the walk, for per-file state.
+    """
+
+    rule: str = ""
+    name: str = ""
+    description: str = ""
+    severity: Severity = Severity.ERROR
+    interests: Tuple[type, ...] = ()
+
+    def begin_file(self, ctx: FileContext) -> None:
+        """Reset any per-file state (default: nothing)."""
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one analysis run.
+
+    ``findings`` are the live (unsuppressed, selected, unbaselined)
+    violations in deterministic order; ``suppressed`` counts findings
+    silenced by ``noqa`` comments, ``baselined`` those absorbed by a
+    baseline file.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    files: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+    #: The findings silenced by noqa comments (audit trail: this
+    #: repo's own tests assert every one carries a reason).
+    suppressions: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+
+class Analyzer:
+    """Runs a checker suite over files, one AST walk per file."""
+
+    def __init__(self, checkers: Sequence[Checker],
+                 config: Optional[AnalysisConfig] = None):
+        self.config = config or AnalysisConfig()
+        selected = self.config.selected_rules(
+            [c.rule for c in checkers]
+        )
+        self.checkers = [c for c in checkers if c.rule in selected]
+        self._by_interest: Dict[type, List[Checker]] = {}
+        for checker in self.checkers:
+            for node_type in checker.interests:
+                self._by_interest.setdefault(node_type, []) \
+                    .append(checker)
+        self._last_suppressions: List[Finding] = []
+
+    # -- single file -----------------------------------------------
+
+    def analyze_source(self, source: str,
+                       path: str = "<memory>") -> List[Finding]:
+        """All live findings for one source text (noqa applied)."""
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [Finding(
+                path=path, line=exc.lineno or 1,
+                column=(exc.offset or 0) + 1 or 1,
+                rule=PARSE_ERROR_RULE, severity=Severity.ERROR,
+                message=f"file does not parse: {exc.msg}",
+            )]
+        ctx = FileContext(path, source, tree, self.config)
+        for checker in self.checkers:
+            checker.begin_file(ctx)
+        for node in ast.walk(tree):
+            for checker in self._by_interest.get(type(node), ()):
+                checker.visit(node, ctx)
+        live, suppressed = _apply_suppressions(ctx)
+        self._last_suppressions = sorted(
+            suppressed, key=lambda f: f.sort_key
+        )
+        return sorted(live, key=lambda f: f.sort_key)
+
+    # -- trees of files --------------------------------------------
+
+    def analyze_paths(self, paths: Iterable[Path],
+                      root: Optional[Path] = None) -> AnalysisResult:
+        """Analyze files and directories; returns the merged result.
+
+        Directories are walked recursively for ``*.py`` in sorted
+        order.  Paths are reported relative to ``root`` (default: the
+        current directory) when possible.
+        """
+        result = AnalysisResult()
+        root = Path(root) if root is not None else Path(".")
+        for file in _collect_files(paths, self.config):
+            try:
+                source = file.read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError) as exc:
+                result.findings.append(Finding(
+                    path=_display(file, root), line=1, column=1,
+                    rule=PARSE_ERROR_RULE, severity=Severity.ERROR,
+                    message=f"cannot read file: {exc}",
+                ))
+                result.files += 1
+                continue
+            findings = self.analyze_source(source, _display(file, root))
+            result.files += 1
+            result.suppressed += len(self._last_suppressions)
+            result.suppressions.extend(self._last_suppressions)
+            result.findings.extend(findings)
+        result.findings.sort(key=lambda f: f.sort_key)
+        return result
+
+
+def _display(file: Path, root: Path) -> str:
+    """``file`` relative to ``root`` when possible, POSIX-style."""
+    try:
+        return file.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return file.as_posix()
+
+
+def _collect_files(paths: Iterable[Path],
+                   config: AnalysisConfig) -> List[Path]:
+    """The sorted, deduplicated, exclusion-filtered file list.
+
+    Sorted traversal is load-bearing: the report (and therefore the
+    JSON output and baseline) must not depend on directory-entry
+    order.
+    """
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    seen: Set[Path] = set()
+    unique: List[Path] = []
+    for file in files:
+        key = file.resolve()
+        if key in seen or config.excludes(file):
+            continue
+        seen.add(key)
+        unique.append(file)
+    return unique
+
+
+def _apply_suppressions(ctx: FileContext):
+    """Split raw findings into (live, suppressed) per noqa comments.
+
+    A suppression comment on the finding's anchor line silences it:
+    ``# repro: noqa`` silences every rule, ``# repro: noqa[REP001]``
+    only the listed ones.  An optional ``-- reason`` tail documents
+    why; it is encouraged (and asserted on in this repo's own tree)
+    but not enforced here.
+    """
+    live: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in ctx.findings:
+        match = _NOQA_RE.search(ctx.line(finding.line))
+        if match and _covers(match, finding.rule):
+            suppressed.append(finding)
+        else:
+            live.append(finding)
+    return live, suppressed
+
+
+def _covers(match: "re.Match", rule: str) -> bool:
+    rules = match.group("rules")
+    if rules is None:
+        return True
+    wanted = {r.strip() for r in rules.split(",") if r.strip()}
+    return rule in wanted

@@ -1,0 +1,85 @@
+"""The finding and severity model shared by every checker.
+
+A :class:`Finding` is one reported hazard: a rule code (``REP0xx``),
+a severity, a location, a one-line message, and the source line it
+points at.  Findings order deterministically by ``(path, line,
+column, rule)`` so reports are bit-identical run to run — the
+analyzer that polices determinism must itself be deterministic.
+
+:meth:`Finding.fingerprint` is the baseline identity: a hash of the
+*relative* path, the rule, and the stripped source text of the
+flagged line.  Line numbers deliberately do not enter it, so a
+baselined finding survives unrelated edits above it in the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict
+
+
+class Severity(Enum):
+    """How strongly a rule's violation threatens reproducibility.
+
+    ``ERROR`` marks a direct determinism or fork-safety hazard;
+    ``WARNING`` marks a fragility that becomes a hazard under edits
+    (mutable defaults, swallowed exceptions).  Both fail the gate —
+    the split exists for reading reports, not for triage by exit
+    code.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One reported violation of a REP0xx rule."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    severity: Severity
+    message: str
+    source: str = ""
+    #: Reason text of the suppression that silenced this finding, if
+    #: any (set by the suppression pass; suppressed findings are kept
+    #: for the ``--show-suppressed`` accounting, not reported).
+    suppressed: bool = field(default=False, compare=False)
+
+    @property
+    def sort_key(self):
+        return (self.path, self.line, self.column, self.rule)
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselines: path + rule + source text.
+
+        Uses the stripped source line rather than the line number so
+        the fingerprint survives the file shifting around it.
+        """
+        blob = "::".join((self.path, self.rule, self.source.strip()))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> Dict:
+        """JSON-ready representation (used by the JSON reporter)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "rule": self.rule,
+            "severity": str(self.severity),
+            "message": self.message,
+            "source": self.source,
+            "fingerprint": self.fingerprint(),
+        }
+
+    def render(self) -> str:
+        """The one-line text form: ``path:line:col: RULE message``."""
+        return (f"{self.path}:{self.line}:{self.column}: "
+                f"{self.rule} [{self.severity}] {self.message}")

@@ -1,0 +1,40 @@
+"""Text and JSON renderings of an :class:`AnalysisResult`.
+
+Both renderings are fully deterministic — findings arrive sorted by
+``(path, line, column, rule)`` and JSON keys are sorted — so CI can
+diff reports across runs and the tool passes its own REP003 check.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .core import AnalysisResult
+
+
+def render_text(result: AnalysisResult) -> str:
+    """Human-oriented report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in result.findings]
+    counts = f"{len(result.findings)} finding" \
+        + ("" if len(result.findings) == 1 else "s")
+    tail = [f"checked {result.files} file"
+            + ("" if result.files == 1 else "s")
+            + f": {counts}"]
+    if result.suppressed:
+        tail.append(f"{result.suppressed} suppressed by noqa")
+    if result.baselined:
+        tail.append(f"{result.baselined} absorbed by baseline")
+    lines.append(", ".join(tail))
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """Machine-oriented report for CI gates and tooling."""
+    payload = {
+        "version": 1,
+        "files": result.files,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the paper's workflow end to end:
+Seven commands cover the paper's workflow end to end:
 
 * ``screen``   — §4.1: PB screen over the 41 parameters, print ranks;
 * ``classify`` — §4.2: distance matrix and groups (measured or from
@@ -11,7 +11,9 @@ Six commands cover the paper's workflow end to end:
 * ``characterize`` — classical workload characterization (mix, branch
   statistics, footprints, miss-rate curves);
 * ``tables``   — print the paper's exact exhibits (Tables 1-4, 6-8,
-  10, 11 from bundled data).
+  10, 11 from bundled data);
+* ``lint``     — the determinism & fork-safety static analysis
+  (``repro.analysis``) that gates changes to this tree in CI.
 """
 
 from __future__ import annotations
@@ -396,6 +398,12 @@ def cmd_tables(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis.cli import run
+
+    return run(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -454,6 +462,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("which", nargs="*",
                    help="subset: 1 2 3 4 params 9 10 11 (default all)")
     p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser(
+        "lint",
+        help="determinism & fork-safety static analysis (REP0xx)",
+    )
+    from repro.analysis.cli import add_arguments
+
+    add_arguments(p)
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

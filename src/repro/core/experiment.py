@@ -209,7 +209,10 @@ class PBExperiment:
             prefetch_lines=self.prefetch_lines,
         )
         grid = run_grid(
-            tasks, jobs=jobs, cache=cache, progress=self.progress,
+            tasks, jobs=jobs, cache=cache,
+            # run_grid invokes progress callbacks in the calling
+            # process only; the bound method never travels to workers.
+            progress=self.progress,  # repro: noqa[REP004] -- parent-side callback
             retry=retry, timeout=timeout, on_error=on_error,
             journal=journal,
         )

@@ -15,7 +15,7 @@ guaranteeing results identical to the serial path.  See
 harness the fault paths are tested with.
 """
 
-from .cache import ResultCache, task_key
+from .cache import ResultCache, canonical_blob, canonicalize, task_key
 from .engine import SimTask, grid_tasks, run_grid
 from .fault import (
     FailureRecord,
@@ -37,6 +37,8 @@ __all__ = [
     "ResultCache",
     "RetryPolicy",
     "SimTask",
+    "canonical_blob",
+    "canonicalize",
     "grid_tasks",
     "run_grid",
     "task_key",

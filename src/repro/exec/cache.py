@@ -20,6 +20,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import math
 import os
 import pickle
 import tempfile
@@ -28,6 +29,61 @@ from typing import Optional, Union
 
 from repro.cpu import SIMULATOR_VERSION
 from repro.cpu.stats import CoreStats
+
+
+def canonicalize(value):
+    """``value`` reduced to a canonical, JSON-ready form.
+
+    Cache keys must be a pure function of configuration *content*, so
+    every representation accident is normalized away before hashing:
+
+    * mappings are rebuilt with keys in sorted order (two dicts built
+      in different insertion orders hash identically) and rejected if
+      any key is not a string — non-string keys invite ``1`` vs
+      ``"1"`` aliasing under JSON;
+    * sets and frozensets become sorted lists, tuples become lists;
+    * ``-0.0`` is normalized to ``0.0`` (distinct bit patterns, equal
+      values — they must share a cache entry);
+    * NaN and the infinities are **rejected** with :class:`ValueError`:
+      no meaningful machine configuration contains them, NaN breaks
+      equality-based canonicalization (``nan != nan``), and JSON has
+      no portable encoding for any of the three;
+    * other non-JSON scalars fall back to ``str()`` (enums, paths),
+      matching the previous behaviour of ``json.dumps(default=str)``.
+    """
+    if isinstance(value, dict):
+        keys = list(value.keys())
+        if any(not isinstance(k, str) for k in keys):
+            raise ValueError(
+                "cache-key mappings must have string keys, got "
+                f"{sorted(type(k).__name__ for k in keys)}"
+            )
+        return {k: canonicalize(value[k]) for k in sorted(keys)}
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonicalize(v) for v in value)
+    if isinstance(value, float):
+        if math.isnan(value) or math.isinf(value):
+            raise ValueError(
+                f"non-finite float {value!r} cannot enter a cache key"
+            )
+        return 0.0 if value == 0.0 else value
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    return str(value)
+
+
+def canonical_blob(payload) -> bytes:
+    """The canonical serialized form a cache key hashes.
+
+    Exposed separately from :func:`task_key` so tests (and external
+    tools building compatible keys) can assert on the exact bytes.
+    """
+    return json.dumps(
+        canonicalize(payload), sort_keys=True, allow_nan=False,
+        separators=(",", ":"),
+    ).encode("utf-8")
 
 
 def task_key(task, *, version: str = SIMULATOR_VERSION) -> str:
@@ -57,8 +113,7 @@ def task_key(task, *, version: str = SIMULATOR_VERSION) -> str:
         "prefetch_lines": task.prefetch_lines,
         "warmup": task.warmup,
     }
-    blob = json.dumps(payload, sort_keys=True, default=str)
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_blob(payload)).hexdigest()
 
 
 class ResultCache:
@@ -159,5 +214,5 @@ class ResultCache:
         """Number of distinct entries across both layers."""
         keys = set(self._memory)
         if self.path is not None:
-            keys.update(f.stem for f in self.path.glob("*.pkl"))
+            keys.update(f.stem for f in sorted(self.path.glob("*.pkl")))
         return len(keys)

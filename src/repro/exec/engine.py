@@ -176,7 +176,7 @@ def _worker_main(tasks, inbox, results, worker_id) -> None:
     supervisor can apply the retry policy.  Only an actual process
     death (kill fault, OOM, segfault) takes the worker down.
     """
-    global _IN_WORKER
+    global _IN_WORKER  # repro: noqa[REP004] -- per-process flag, set only in the child after fork
     _IN_WORKER = True
     while True:
         message = inbox.get()
@@ -186,7 +186,7 @@ def _worker_main(tasks, inbox, results, worker_id) -> None:
         try:
             stats = _execute_cell(tasks[index], index, attempt)
             payload = (worker_id, index, True, stats)
-        except BaseException as exc:
+        except BaseException as exc:  # repro: noqa[REP007] -- worker must report every failure (incl. injected interrupts) to the supervisor, which re-applies interrupt semantics
             payload = (worker_id, index, False,
                        (type(exc).__name__, str(exc)))
         try:

@@ -225,13 +225,13 @@ ENV_VAR = "REPRO_FAULT_SPEC"
 
 def install(injector: FaultInjector) -> None:
     """Make ``injector`` the process-wide active injector."""
-    global _ACTIVE
+    global _ACTIVE  # repro: noqa[REP004] -- process-wide by design; fork workers inherit the parent's injector
     _ACTIVE = injector
 
 
 def uninstall() -> None:
     """Remove the active injector (idempotent)."""
-    global _ACTIVE
+    global _ACTIVE  # repro: noqa[REP004] -- process-wide by design, see install()
     _ACTIVE = None
 
 
@@ -241,10 +241,10 @@ def active() -> Optional[FaultInjector]:
     The environment is consulted once per process; explicit
     :func:`install` / :func:`uninstall` always wins afterwards.
     """
-    global _ACTIVE, _ENV_CHECKED
+    global _ACTIVE, _ENV_CHECKED  # repro: noqa[REP004] -- once-per-process memoisation of the env probe
     if _ACTIVE is None and not _ENV_CHECKED:
         _ENV_CHECKED = True
-        spec = os.environ.get(ENV_VAR)
+        spec = os.environ.get(ENV_VAR)  # repro: noqa[REP006] -- REPRO_FAULT_SPEC is the sanctioned CI/CLI fault-schedule entry point
         if spec:
             _ACTIVE = FaultInjector.from_spec(spec)
     return _ACTIVE

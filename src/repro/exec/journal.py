@@ -152,5 +152,5 @@ class Journal:
     def __del__(self):  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
+        except Exception:  # repro: noqa[REP007] -- GC-time close must never raise; interpreter may be tearing down
             pass

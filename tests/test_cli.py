@@ -163,6 +163,59 @@ class TestInterruptHandling:
         assert "interrupted" in capsys.readouterr().err
 
 
+class TestLintCommand:
+    """``repro lint`` — the determinism analysis as a subcommand.
+
+    Exit-status contract: 0 clean, 1 findings, 2 usage error.
+    """
+
+    def test_clean_file_exits_0(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("def f(x):\n    return x\n")
+        assert main(["lint", str(clean)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_1(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import os\nx = os.getenv('X')\n")
+        assert main(["lint", str(dirty)]) == 1
+        assert "REP006" in capsys.readouterr().out
+
+    def test_missing_path_exits_2(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope.py")]) == 2
+
+    def test_unknown_rule_exits_2(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert main(["lint", str(clean), "--select", "REP999"]) == 2
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nt = time.time()\n")
+        assert main(["lint", str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "REP002"
+
+    def test_baseline_workflow(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import os\nx = os.getenv('X')\n")
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(dirty),
+                     "--write-baseline", str(baseline)]) == 0
+        assert main(["lint", str(dirty),
+                     "--baseline", str(baseline)]) == 0
+
+    def test_src_repro_is_clean(self):
+        """The shipped tree passes its own gate through the CLI."""
+        from pathlib import Path
+
+        import repro
+
+        assert main(["lint", str(Path(repro.__file__).parent)]) == 0
+
+
 @pytest.mark.slow
 class TestExperimentCommands:
     def test_screen_small(self, capsys):

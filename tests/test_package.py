@@ -7,7 +7,8 @@ import pytest
 import repro
 
 
-SUBPACKAGES = ["core", "cpu", "doe", "exec", "reporting", "workloads"]
+SUBPACKAGES = ["analysis", "core", "cpu", "doe", "exec", "reporting",
+               "workloads"]
 
 
 class TestSurface:
