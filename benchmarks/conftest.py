@@ -16,7 +16,12 @@ The experiments run through :mod:`repro.exec`:
   over N worker processes — results are identical at any value;
 * ``--cache-dir DIR`` (or ``REPRO_BENCH_CACHE``) keeps an on-disk
   result cache, so repeated benchmark sessions at the same scale skip
-  the simulations entirely and time only the analysis under study.
+  the simulations entirely and time only the analysis under study;
+* ``--manifest-dir DIR`` (or ``REPRO_BENCH_MANIFEST_DIR``) writes one
+  ``BENCH_<label>.json`` run manifest and ``BENCH_<label>.metrics.jsonl``
+  metrics dump per session experiment (see :mod:`repro.obs`), so a
+  perf-trajectory directory accumulates comparable provenance records
+  across sessions.
 """
 
 import os
@@ -43,6 +48,12 @@ def pytest_addoption(parser):
         default=os.environ.get("REPRO_BENCH_CACHE"),
         help="on-disk simulation result cache directory",
     )
+    group.addoption(
+        "--manifest-dir",
+        default=os.environ.get("REPRO_BENCH_MANIFEST_DIR"),
+        help="write BENCH_<label>.json run manifests (plus metrics "
+             "JSONL) for each session experiment into this directory",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -57,6 +68,53 @@ def exec_cache(request):
 
 
 @pytest.fixture(scope="session")
+def manifest_dir(request):
+    return request.config.getoption("--manifest-dir")
+
+
+def _instrumented_run(label, manifest_dir, jobs, cache_dir, run):
+    """Run one session experiment, optionally emitting observability
+    artifacts (``BENCH_<label>.json`` + ``BENCH_<label>.metrics.jsonl``)
+    into ``manifest_dir``.
+
+    ``run`` is a callable taking the (possibly ``None``) telemetry
+    bundle and returning the experiment result.  Telemetry is strictly
+    observational, so results are identical either way.
+    """
+    if not manifest_dir:
+        return run(None)
+    from pathlib import Path
+
+    from repro.obs import (
+        RunManifest,
+        Telemetry,
+        config_fingerprint,
+        write_metrics_jsonl,
+    )
+
+    telemetry = Telemetry.armed(trace=False, simulator_counters=True)
+    settings = {"jobs": jobs, "cache_dir": cache_dir, "scale": SCALE}
+    manifest = RunManifest(
+        command=f"bench:{label}",
+        fingerprint=config_fingerprint({
+            "label": label, "scale": SCALE,
+            "benchmarks": list(BENCHMARK_NAMES),
+        }),
+        settings=settings,
+        workload={"benchmarks": len(BENCHMARK_NAMES), "scale": SCALE},
+        fault_spec=os.environ.get("REPRO_FAULT_SPEC"),
+    )
+    out = Path(manifest_dir)
+    result = run(telemetry)
+    metrics_path = out / f"BENCH_{label}.metrics.jsonl"
+    write_metrics_jsonl(telemetry.metrics, metrics_path)
+    manifest.artifacts["metrics"] = str(metrics_path)
+    manifest.finalize(metrics=telemetry.snapshot())
+    manifest.write(out / f"BENCH_{label}.json")
+    return result
+
+
+@pytest.fixture(scope="session")
 def suite_traces():
     """The 13 benchmark traces at Table 5-proportional lengths."""
     return {
@@ -66,9 +124,16 @@ def suite_traces():
 
 
 @pytest.fixture(scope="session")
-def table9_experiment(suite_traces, exec_jobs, exec_cache):
+def table9_experiment(suite_traces, exec_jobs, exec_cache, request,
+                      manifest_dir):
     """The 88-configuration base-machine experiment (paper Table 9)."""
-    return PBExperiment(suite_traces).run(jobs=exec_jobs, cache=exec_cache)
+    return _instrumented_run(
+        "table9", manifest_dir, exec_jobs,
+        request.config.getoption("--cache-dir"),
+        lambda telemetry: PBExperiment(suite_traces).run(
+            jobs=exec_jobs, cache=exec_cache, telemetry=telemetry,
+        ),
+    )
 
 
 @pytest.fixture(scope="session")
@@ -87,11 +152,15 @@ def precompute_tables(suite_traces):
 
 @pytest.fixture(scope="session")
 def table12_experiment(suite_traces, precompute_tables, exec_jobs,
-                       exec_cache):
+                       exec_cache, request, manifest_dir):
     """The enhanced-machine experiment (paper Table 12)."""
-    return PBExperiment(
-        suite_traces, precompute_tables=precompute_tables
-    ).run(jobs=exec_jobs, cache=exec_cache)
+    return _instrumented_run(
+        "table12", manifest_dir, exec_jobs,
+        request.config.getoption("--cache-dir"),
+        lambda telemetry: PBExperiment(
+            suite_traces, precompute_tables=precompute_tables
+        ).run(jobs=exec_jobs, cache=exec_cache, telemetry=telemetry),
+    )
 
 
 @pytest.fixture(scope="session")

@@ -37,7 +37,8 @@ __version__ = "1.0.0"
 #: CI lint job installs nothing), and eagerly importing the simulator
 #: stack would drag NumPy in at ``import repro`` time.
 _SUBPACKAGES = (
-    "analysis", "core", "cpu", "doe", "exec", "reporting", "workloads",
+    "analysis", "core", "cpu", "doe", "exec", "obs", "reporting",
+    "workloads",
 )
 
 __all__ = [*_SUBPACKAGES, "__version__"]

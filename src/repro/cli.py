@@ -101,11 +101,11 @@ class _ExecOptions:
         self.on_error = on_error
         self.journal = journal
 
-    def run_kwargs(self):
+    def run_kwargs(self, telemetry=None):
         return dict(
             jobs=self.jobs, cache=self.cache, retry=self.retry,
             timeout=self.timeout, on_error=self.on_error,
-            journal=self.journal,
+            journal=self.journal, telemetry=telemetry,
         )
 
 
@@ -145,6 +145,114 @@ def _exec_options(args):
         args.jobs, cache, retry, args.task_timeout, args.on_error,
         journal,
     )
+
+
+def _add_obs_args(parser):
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="write a Chrome trace-event JSON of the run (open it in "
+             "https://ui.perfetto.dev or chrome://tracing)",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="FILE",
+        help="write the final metrics snapshot as JSONL "
+             "(one instrument per line)",
+    )
+    parser.add_argument(
+        "--manifest", default=None, metavar="FILE",
+        help="write a JSON run manifest (input fingerprint, versions, "
+             "engine settings, fault spec, final metrics)",
+    )
+
+
+class _Obs:
+    """Telemetry wiring parsed from ``--trace/--metrics/--manifest``.
+
+    Arms a :class:`repro.obs.Telemetry` when any of the three flags is
+    present, and owns writing the artifacts when the command finishes
+    (including an interrupted finish, so a killed run still leaves its
+    partial trace and a manifest saying so).  With no flags every
+    method degrades to a no-op and the command pays nothing.
+    """
+
+    def __init__(self, args, command):
+        import os
+
+        self.trace_path = getattr(args, "trace", None)
+        self.metrics_path = getattr(args, "metrics", None)
+        self.manifest_path = getattr(args, "manifest", None)
+        self.telemetry = None
+        self.manifest = None
+        if not (self.trace_path or self.metrics_path
+                or self.manifest_path):
+            return
+        from repro.obs import RunManifest, Telemetry, config_fingerprint
+
+        # Spans only matter if a trace is written, but the manifest
+        # wants the final metrics snapshot, so the registry is always
+        # armed (simulator counters included — that is the whole point
+        # of asking for metrics).
+        self.telemetry = Telemetry.armed(
+            trace=self.trace_path is not None,
+            metrics=self.metrics_path is not None
+            or self.manifest_path is not None,
+            simulator_counters=True,
+        )
+        if self.manifest_path:
+            settings = {
+                "jobs": args.jobs,
+                "cache_dir": args.cache_dir,
+                "retry": args.retry,
+                "task_timeout": args.task_timeout,
+                "on_error": args.on_error,
+                "journal": args.journal,
+            }
+            workload = {
+                "benchmarks": args.benchmarks,
+                "length": args.length,
+            }
+            artifacts = {}
+            if self.trace_path:
+                artifacts["trace"] = self.trace_path
+            if self.metrics_path:
+                artifacts["metrics"] = self.metrics_path
+            if args.journal:
+                artifacts["journal"] = args.journal
+            self.manifest = RunManifest(
+                command=command,
+                fingerprint=config_fingerprint({
+                    "command": command,
+                    "settings": settings,
+                    "workload": workload,
+                }),
+                settings=settings,
+                workload=workload,
+                fault_spec=os.environ.get("REPRO_FAULT_SPEC"),  # repro: noqa[REP006] -- recorded verbatim in the manifest for provenance, never branched on
+                artifacts=artifacts,
+            )
+
+    def phase(self, name, **attributes):
+        from repro.obs.telemetry import phase_of
+
+        return phase_of(self.telemetry, name, **attributes)
+
+    def finish(self, status="completed"):
+        """Write every requested artifact; called exactly once."""
+        if self.telemetry is None:
+            return
+        from repro.obs import write_chrome_trace, write_metrics_jsonl
+
+        if self.trace_path:
+            write_chrome_trace(self.telemetry.tracer, self.trace_path)
+        if self.metrics_path:
+            write_metrics_jsonl(
+                self.telemetry.metrics, self.metrics_path
+            )
+        if self.manifest is not None:
+            self.manifest.finalize(
+                status=status, metrics=self.telemetry.snapshot(),
+            )
+            self.manifest.write(self.manifest_path)
 
 
 class _CellProgress:
@@ -192,18 +300,22 @@ def cmd_screen(args) -> int:
 
     traces = _traces(args)
     options = _exec_options(args)
+    obs = _Obs(args, "screen")
     progress = _CellProgress()
     print(f"running 88 configurations x {len(traces)} benchmarks ...",
           file=sys.stderr)
     try:
         result = PBExperiment(traces, progress=progress) \
-            .run(**options.run_kwargs())
+            .run(**options.run_kwargs(telemetry=obs.telemetry))
     except KeyboardInterrupt:
+        obs.finish(status="interrupted")
         _interrupt_summary(args, progress)
         return EXIT_INTERRUPTED
     for failure in result.failures:
         print(f"warning: {failure.describe()}", file=sys.stderr)
-    ranking = rank_parameters_from_result(result)
+    with obs.phase("rank"):
+        ranking = rank_parameters_from_result(result)
+    obs.finish()
     print(render_ranking(ranking, title="Parameter ranks"))
     print()
     print("significant (sum-of-ranks gap):",
@@ -234,6 +346,7 @@ def cmd_classify(args) -> int:
     )
     from repro.reporting import render_distance_matrix, render_groups
 
+    obs = _Obs(args, "classify")
     if args.paper:
         from repro.core.paper_data import paper_table9_ranking
 
@@ -246,17 +359,24 @@ def cmd_classify(args) -> int:
               file=sys.stderr)
         try:
             result = PBExperiment(traces, progress=progress) \
-                .run(**options.run_kwargs())
+                .run(**options.run_kwargs(telemetry=obs.telemetry))
         except KeyboardInterrupt:
+            obs.finish(status="interrupted")
             _interrupt_summary(args, progress)
             return EXIT_INTERRUPTED
         for failure in result.failures:
             print(f"warning: {failure.describe()}", file=sys.stderr)
-        ranking = rank_parameters_from_result(result)
+        with obs.phase("rank"):
+            ranking = rank_parameters_from_result(result)
     threshold = args.threshold or PAPER_SIMILARITY_THRESHOLD
-    print(render_distance_matrix(ranking, title="Distance matrix"))
+    with obs.phase("classify", threshold=round(threshold, 3)):
+        matrix = render_distance_matrix(ranking,
+                                        title="Distance matrix")
+        groups = render_groups(ranking, threshold, title="Groups")
+    obs.finish()
+    print(matrix)
     print()
-    print(render_groups(ranking, threshold, title="Groups"))
+    print(groups)
     return 0
 
 
@@ -271,33 +391,47 @@ def cmd_enhance(args) -> int:
 
     traces = _traces(args)
     options = _exec_options(args)
+    obs = _Obs(args, "enhance")
     progress = _CellProgress()
+    run_kwargs = options.run_kwargs(telemetry=obs.telemetry)
     print(f"running 2 x 88 configurations x {len(traces)} benchmarks ...",
           file=sys.stderr)
     try:
-        before = PBExperiment(traces, progress=progress) \
-            .run(**options.run_kwargs())
+        with obs.phase("enhance-before"):
+            before = PBExperiment(traces, progress=progress) \
+                .run(**run_kwargs)
         if args.kind == "precompute":
-            tables = {
-                name: build_precompute_table(trace, args.table_entries)
-                for name, trace in traces.items()
-            }
-            after = PBExperiment(
-                traces, precompute_tables=tables, progress=progress,
-            ).run(**options.run_kwargs())
+            with obs.phase("precompute-tables",
+                           entries=args.table_entries):
+                tables = {
+                    name: build_precompute_table(
+                        trace, args.table_entries
+                    )
+                    for name, trace in traces.items()
+                }
+            with obs.phase("enhance-after"):
+                after = PBExperiment(
+                    traces, precompute_tables=tables,
+                    progress=progress,
+                ).run(**run_kwargs)
         else:
-            after = PBExperiment(
-                traces, prefetch_lines=args.lines, progress=progress,
-            ).run(**options.run_kwargs())
+            with obs.phase("enhance-after"):
+                after = PBExperiment(
+                    traces, prefetch_lines=args.lines,
+                    progress=progress,
+                ).run(**run_kwargs)
     except KeyboardInterrupt:
+        obs.finish(status="interrupted")
         _interrupt_summary(args, progress)
         return EXIT_INTERRUPTED
     for failure in before.failures + after.failures:
         print(f"warning: {failure.describe()}", file=sys.stderr)
-    analysis = EnhancementAnalysis(
-        rank_parameters_from_result(before),
-        rank_parameters_from_result(after),
-    )
+    with obs.phase("rank"):
+        analysis = EnhancementAnalysis(
+            rank_parameters_from_result(before),
+            rank_parameters_from_result(after),
+        )
+    obs.finish()
     print(render_enhancement(
         analysis, top=args.top,
         title=f"Sum-of-ranks shifts under {args.kind}",
@@ -414,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("screen", help="PB parameter screen (§4.1)")
     _add_workload_args(p)
     _add_exec_args(p)
+    _add_obs_args(p)
     p.add_argument("--lenth", action="store_true",
                    help="also report Lenth-significant factors")
     p.add_argument("--alpha", type=float, default=0.05,
@@ -425,6 +560,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("classify", help="benchmark classification (§4.2)")
     _add_workload_args(p)
     _add_exec_args(p)
+    _add_obs_args(p)
     p.add_argument("--paper", action="store_true",
                    help="use the paper's published Table 9 data")
     p.add_argument("--threshold", type=float, default=None,
@@ -434,6 +570,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("enhance", help="enhancement analysis (§4.3)")
     _add_workload_args(p)
     _add_exec_args(p)
+    _add_obs_args(p)
     p.add_argument("--kind", choices=["precompute", "prefetch"],
                    default="precompute")
     p.add_argument("--table-entries", type=int, default=128,

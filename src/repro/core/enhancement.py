@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.cpu import MachineConfig, build_precompute_table
+from repro.obs.telemetry import phase_of
 from repro.workloads import Trace
 
 from .experiment import PBExperiment, PBExperimentResult
@@ -96,6 +97,7 @@ def analyze_enhancement(
     timeout=None,
     on_error: str = "raise",
     journal=None,
+    telemetry=None,
 ) -> Tuple[EnhancementAnalysis, PBExperimentResult, PBExperimentResult]:
     """Run the full §4.3 study: PB before and after precomputation.
 
@@ -116,30 +118,39 @@ def analyze_enhancement(
     requires complete effect tables, so a benchmark with skipped cells
     drops out of both rankings.
 
+    ``telemetry`` wraps the halves in ``enhance-before`` /
+    ``enhance-after`` phase spans (plus ``precompute-tables`` around
+    profile building) and flows into both experiment runs.
+
     Returns the analysis plus both raw experiment results.
     """
     if precompute_tables is None:
-        precompute_tables = {
-            name: build_precompute_table(trace, table_entries)
-            for name, trace in traces.items()
-        }
+        with phase_of(telemetry, "precompute-tables",
+                      entries=table_entries):
+            precompute_tables = {
+                name: build_precompute_table(trace, table_entries)
+                for name, trace in traces.items()
+            }
     kwargs = {}
     if parameter_names is not None:
         kwargs["parameter_names"] = parameter_names
     exec_kwargs = dict(
         jobs=jobs, cache=cache, retry=retry, timeout=timeout,
-        on_error=on_error, journal=journal,
+        on_error=on_error, journal=journal, telemetry=telemetry,
     )
-    before = PBExperiment(
-        traces, base_config=base_config, progress=progress, **kwargs
-    ).run(**exec_kwargs)
-    after = PBExperiment(
-        traces,
-        base_config=base_config,
-        precompute_tables=precompute_tables,
-        progress=progress,
-        **kwargs,
-    ).run(**exec_kwargs)
+    with phase_of(telemetry, "enhance-before"):
+        before = PBExperiment(
+            traces, base_config=base_config, progress=progress,
+            **kwargs
+        ).run(**exec_kwargs)
+    with phase_of(telemetry, "enhance-after"):
+        after = PBExperiment(
+            traces,
+            base_config=base_config,
+            precompute_tables=precompute_tables,
+            progress=progress,
+            **kwargs,
+        ).run(**exec_kwargs)
     analysis = EnhancementAnalysis(
         rank_parameters_from_result(before),
         rank_parameters_from_result(after),

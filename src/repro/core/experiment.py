@@ -24,6 +24,7 @@ from repro.exec import (
     grid_tasks,
     run_grid,
 )
+from repro.obs.telemetry import phase_of
 from repro.workloads import Trace
 
 
@@ -182,6 +183,7 @@ class PBExperiment:
         timeout: Optional[float] = None,
         on_error: str = "raise",
         journal=None,
+        telemetry=None,
     ) -> PBExperimentResult:
         """Simulate every (row, benchmark) pair; return all results.
 
@@ -201,45 +203,56 @@ class PBExperiment:
         effects are computed only for benchmarks whose column is
         complete.  With ``journal=`` an interrupted screen resumes
         from its completed cells on the next run.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry`, optional) adds
+        coarse phase spans — ``pb-design`` around task construction,
+        ``pb-analyze`` around response extraction and effect
+        computation — and flows into :func:`repro.exec.run_grid` for
+        the task-level lifecycle.  Strictly observational: results are
+        bit-identical with it on or off.
         """
-        configs = self.configs()
-        tasks = grid_tasks(
-            configs, self.traces,
-            precompute_tables=self.precompute_tables,
-            prefetch_lines=self.prefetch_lines,
-        )
+        with phase_of(telemetry, "pb-design",
+                      rows=self.design.n_runs,
+                      benchmarks=len(self.traces)):
+            configs = self.configs()
+            tasks = grid_tasks(
+                configs, self.traces,
+                precompute_tables=self.precompute_tables,
+                prefetch_lines=self.prefetch_lines,
+            )
         grid = run_grid(
             tasks, jobs=jobs, cache=cache,
             # run_grid invokes progress callbacks in the calling
             # process only; the bound method never travels to workers.
             progress=self.progress,  # repro: noqa[REP004] -- parent-side callback
             retry=retry, timeout=timeout, on_error=on_error,
-            journal=journal,
+            journal=journal, telemetry=telemetry,
         )
-        benches = list(self.traces)
-        responses: Dict[str, List[Optional[float]]] = \
-            {b: [] for b in benches}
-        index = 0
-        for config in configs:
-            for bench in benches:
-                stats = grid[index]
-                index += 1
-                if stats is None:
-                    responses[bench].append(None)
-                elif self.response is None:
-                    responses[bench].append(float(stats.cycles))
-                else:
-                    responses[bench].append(
-                        float(self.response(stats, config))
-                    )
-        failures = [
-            CellFailure(
-                row=record.index // len(benches),
-                benchmark=benches[record.index % len(benches)],
-                record=record,
+        with phase_of(telemetry, "pb-analyze"):
+            benches = list(self.traces)
+            responses: Dict[str, List[Optional[float]]] = \
+                {b: [] for b in benches}
+            index = 0
+            for config in configs:
+                for bench in benches:
+                    stats = grid[index]
+                    index += 1
+                    if stats is None:
+                        responses[bench].append(None)
+                    elif self.response is None:
+                        responses[bench].append(float(stats.cycles))
+                    else:
+                        responses[bench].append(
+                            float(self.response(stats, config))
+                        )
+            failures = [
+                CellFailure(
+                    row=record.index // len(benches),
+                    benchmark=benches[record.index % len(benches)],
+                    record=record,
+                )
+                for record in grid.failures
+            ]
+            return PBExperimentResult(
+                self.design, responses, failures=failures
             )
-            for record in grid.failures
-        ]
-        return PBExperimentResult(
-            self.design, responses, failures=failures
-        )

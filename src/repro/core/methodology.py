@@ -23,6 +23,7 @@ from repro.cpu import MachineConfig, config_from_levels
 from repro.cpu.params import parameter_spec
 from repro.doe import AnovaResult, anova, full_factorial_design
 from repro.exec import grid_tasks, run_grid
+from repro.obs.telemetry import phase_of
 from repro.workloads import Trace
 
 from .experiment import PBExperiment
@@ -69,6 +70,7 @@ def sensitivity_analysis(
     timeout=None,
     on_error: str = "raise",
     journal=None,
+    telemetry=None,
 ) -> SensitivityStudy:
     """Full-factorial ANOVA (step 3) over a small set of factors.
 
@@ -92,11 +94,12 @@ def sensitivity_analysis(
         config_from_levels(levels, base_config)
         for levels in design.runs()
     ]
-    grid = run_grid(
-        grid_tasks(configs, traces), jobs=jobs, cache=cache,
-        retry=retry, timeout=timeout, on_error=on_error,
-        journal=journal,
-    )
+    with phase_of(telemetry, "sensitivity", factors=len(factors)):
+        grid = run_grid(
+            grid_tasks(configs, traces), jobs=jobs, cache=cache,
+            retry=retry, timeout=timeout, on_error=on_error,
+            journal=journal, telemetry=telemetry,
+        )
     benchmarks = list(traces)
     anovas: Dict[str, AnovaResult] = {}
     for j, bench in enumerate(benchmarks):
@@ -149,6 +152,7 @@ def recommended_workflow(
     timeout=None,
     on_error: str = "raise",
     journal=None,
+    telemetry=None,
 ) -> WorkflowResult:
     """Run the paper's full four-step parameter-selection workflow.
 
@@ -166,7 +170,7 @@ def recommended_workflow(
     ranking = rank_parameters_from_result(
         experiment.run(
             jobs=jobs, cache=cache, retry=retry, timeout=timeout,
-            on_error=on_error, journal=journal,
+            on_error=on_error, journal=journal, telemetry=telemetry,
         )
     )
     critical = ranking.significant_factors()[:max_critical]
@@ -176,7 +180,7 @@ def recommended_workflow(
     sensitivity = sensitivity_analysis(
         traces, critical, base_config, jobs=jobs, cache=cache,
         retry=retry, timeout=timeout, on_error=on_error,
-        journal=journal,
+        journal=journal, telemetry=telemetry,
     )
     final_config = choose_final_values(ranking, sensitivity, base_config)
     return WorkflowResult(

@@ -28,6 +28,7 @@ from repro.exec import (
     grid_tasks,
     run_grid,
 )
+from repro.obs.telemetry import phase_of
 from repro.workloads import Trace
 
 
@@ -107,6 +108,7 @@ def sweep(
     timeout: Optional[float] = None,
     on_error: str = "raise",
     journal=None,
+    telemetry=None,
 ) -> SweepResult:
     """Measure cycles across values of one ``MachineConfig`` field.
 
@@ -119,6 +121,8 @@ def sweep(
     ``journal`` are the engine's fault-tolerance controls; under
     ``on_error="skip"`` a failed cell becomes ``None`` in the result
     and the affected value drops out of ``best_value()``.
+    ``telemetry`` adds a ``sweep`` phase span naming the swept field
+    and flows into the engine (see :class:`repro.obs.Telemetry`).
     """
     if not values:
         raise ValueError("need at least one value to sweep")
@@ -128,11 +132,13 @@ def sweep(
         if linked and value in linked:
             changes.update(linked[value])
         configs.append(base_config.evolve(**changes))
-    grid = run_grid(
-        grid_tasks(configs, traces), jobs=jobs, cache=cache,
-        retry=retry, timeout=timeout, on_error=on_error,
-        journal=journal,
-    )
+    with phase_of(telemetry, "sweep", field=field_name,
+                  values=len(values)):
+        grid = run_grid(
+            grid_tasks(configs, traces), jobs=jobs, cache=cache,
+            retry=retry, timeout=timeout, on_error=on_error,
+            journal=journal, telemetry=telemetry,
+        )
     cycles: Dict[str, List[Optional[int]]] = {b: [] for b in traces}
     index = 0
     for _ in configs:
@@ -186,6 +192,7 @@ def iterative_refinement(
     timeout: Optional[float] = None,
     on_error: str = "raise",
     journal=None,
+    telemetry=None,
 ) -> RefinementResult:
     """Fix each parameter at its best value, iterating to a fixed point.
 
@@ -204,7 +211,8 @@ def iterative_refinement(
     underlying sweep; with ``on_error="skip"`` a value whose cell
     failed permanently simply cannot be chosen (see
     :meth:`SweepResult.best_value`), so one broken configuration
-    cannot sink a whole refinement.
+    cannot sink a whole refinement.  ``telemetry`` wraps each round in
+    a ``refinement-round`` phase span and flows into every sweep.
     """
     if not sweeps:
         raise ValueError("need at least one parameter to refine")
@@ -216,20 +224,23 @@ def iterative_refinement(
     for round_index in range(max_rounds):
         result.rounds = round_index + 1
         changed = False
-        for field_name, values in sweeps.items():
-            outcome = sweep(
-                traces, field_name, values, config,
-                jobs=jobs, cache=cache, retry=retry, timeout=timeout,
-                on_error=on_error, journal=journal,
-            )
-            chosen = outcome.best_value()
-            result.steps.append(
-                RefinementStep(field_name, outcome, chosen)
-            )
-            if previous.get(field_name) != chosen:
-                changed = True
-            previous[field_name] = chosen
-            config = config.evolve(**{field_name: chosen})
+        with phase_of(telemetry, "refinement-round",
+                      round=round_index + 1):
+            for field_name, values in sweeps.items():
+                outcome = sweep(
+                    traces, field_name, values, config,
+                    jobs=jobs, cache=cache, retry=retry,
+                    timeout=timeout, on_error=on_error,
+                    journal=journal, telemetry=telemetry,
+                )
+                chosen = outcome.best_value()
+                result.steps.append(
+                    RefinementStep(field_name, outcome, chosen)
+                )
+                if previous.get(field_name) != chosen:
+                    changed = True
+                previous[field_name] = chosen
+                config = config.evolve(**{field_name: chosen})
         if not changed:
             break
     result.final_config = config

@@ -215,6 +215,19 @@ class Pipeline:
         fetch_index = 0
         fetch_stall_until = 0
         last_fetch_block = -1
+        #: True while the pending fetch stall is misprediction
+        #: recovery, False while it is I-side latency (cache/TLB time
+        #: or a BTB misfetch bubble) — drives stall attribution only.
+        fetch_block_mispredict = False
+
+        # Stall-cycle attribution (observational; see
+        # CoreStats.stall_cycles).  Plain local ints in the hot loop,
+        # folded into the stats dict once at the end.
+        stall_fetch = 0
+        stall_mispredict = 0
+        stall_rob = 0
+        stall_lsq = 0
+        stall_fu = 0
         #: per fetched-branch info awaiting dispatch: index -> (mispredicted, history)
         fetch_info: Dict[int, tuple] = {}
         ifq: deque = deque()  # (trace index, fetch cycle)
@@ -270,6 +283,7 @@ class Pipeline:
                     if entry.is_branch:
                         if entry.mispredicted:
                             fetch_stall_until = cycle + penalty + redirect_extra
+                            fetch_block_mispredict = True
                             if predictor is not None \
                                     and entry.kind == _KIND_COND:
                                 predictor.repair(
@@ -283,6 +297,7 @@ class Pipeline:
                 ready.sort(key=lambda e: e.seq)
                 budget = width
                 issued_any: List[int] = []
+                fu_blocked = False
                 for pos, entry in enumerate(ready):
                     if budget == 0:
                         break
@@ -301,6 +316,7 @@ class Pipeline:
                                 ),
                             )
                     else:
+                        fu_blocked = True
                         continue
                     entry.state = _ISSUED
                     when = cycle + latency
@@ -309,6 +325,10 @@ class Pipeline:
                     budget -= 1
                 for pos in reversed(issued_any):
                     ready.pop(pos)
+                if fu_blocked and not issued_any:
+                    # Ready work existed but every candidate waited on
+                    # a busy functional unit: a fully FU-bound cycle.
+                    stall_fu += 1
 
             # ---- dispatch ----------------------------------------------------
             budget = width
@@ -320,9 +340,11 @@ class Pipeline:
                 is_mem = op == _LOAD or op == _STORE
                 if len(rob) >= rob_capacity:
                     stats.dispatch_stall_rob += 1
+                    stall_rob += 1
                     break
                 if is_mem and lsq_occupancy >= lsq_capacity:
                     stats.dispatch_stall_lsq += 1
+                    stall_lsq += 1
                     break
                 ifq.popleft()
                 budget -= 1
@@ -370,7 +392,13 @@ class Pipeline:
                     ready.append(entry)
 
             # ---- fetch -------------------------------------------------------
-            if fetch_index < n and fetch_stall_until <= cycle:
+            if fetch_index < n and fetch_stall_until > cycle:
+                # Front end stalled this whole cycle; attribute it.
+                if fetch_block_mispredict:
+                    stall_mispredict += 1
+                else:
+                    stall_fetch += 1
+            elif fetch_index < n:
                 budget = width
                 while budget and len(ifq) < ifq_capacity and fetch_index < n:
                     index = fetch_index
@@ -382,6 +410,7 @@ class Pipeline:
                         extra = latency - config.l1i_latency
                         if extra > 0:
                             fetch_stall_until = cycle + extra
+                            fetch_block_mispredict = False
                             break
                     ifq.append((index, cycle))
                     fetch_index += 1
@@ -394,9 +423,11 @@ class Pipeline:
                         )
                         if stop == 2:  # mispredicted: wait for resolution
                             fetch_stall_until = _NEVER
+                            fetch_block_mispredict = True
                             break
                         if stop == 3:  # BTB misfetch: decode redirect
                             fetch_stall_until = cycle + _MISFETCH_BUBBLE
+                            fetch_block_mispredict = False
                             break
                         if stop == 1:  # predicted taken: fetch group ends
                             break
@@ -405,6 +436,13 @@ class Pipeline:
 
         stats.cycles = cycle
         stats.instructions = committed
+        stats.stall_cycles = {
+            "fetch": stall_fetch,
+            "fu_busy": stall_fu,
+            "lsq_full": stall_lsq,
+            "mispredict": stall_mispredict,
+            "rob_full": stall_rob,
+        }
         self._snapshot_memory(stats)
         stats.unit_operations = funits.utilization()
         return stats

@@ -55,6 +55,20 @@ class CoreStats:
     dispatch_stall_lsq: int = 0
     rob_occupancy_sum: int = 0
 
+    #: Per-cycle stall attribution by cause, for telemetry
+    #: (:mod:`repro.obs`).  Keys: ``fetch`` (I-cache/I-TLB latency and
+    #: BTB misfetch bubbles), ``mispredict`` (recovery after a wrong
+    #: direction/target), ``rob_full`` / ``lsq_full`` (dispatch
+    #: blocked on a full buffer), ``fu_busy`` (ready work but no free
+    #: functional unit issued anything).  Strictly observational:
+    #: attribution never alters the cycle count, and a cycle can be
+    #: attributed to more than one cause (front and back end stall
+    #: independently).  Empty on :class:`CoreStats` objects restored
+    #: from caches written before attribution existed — read it with
+    #: ``getattr(stats, "stall_cycles", {})`` when provenance is
+    #: unknown.
+    stall_cycles: Dict[str, int] = field(default_factory=dict)
+
     # Enhancement
     precompute_hits: int = 0
 

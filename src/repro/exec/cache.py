@@ -133,6 +133,12 @@ class ResultCache:
     corrupt:
         Torn or unreadable on-disk entries encountered (each is
         deleted and treated as a miss).
+    put_failures:
+        Failed :meth:`put` calls (disk full, read-only directory).
+        The execution engine increments this when a write raises, and
+        stops attempting writes to a cache whose counter is non-zero
+        — the counter *is* the "cache writes are down" flag, shared
+        across every grid using the cache instance.
     """
 
     def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
@@ -143,6 +149,21 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
+        self.put_failures = 0
+
+    def counters(self) -> dict:
+        """The four bookkeeping counters as a plain mapping.
+
+        Keys (``hits``, ``misses``, ``corrupt``, ``put_failures``)
+        are stable — this is the shape the metrics registry
+        (:mod:`repro.obs.metrics`) surfaces under ``cache.*``.
+        """
+        return {
+            "corrupt": self.corrupt,
+            "hits": self.hits,
+            "misses": self.misses,
+            "put_failures": self.put_failures,
+        }
 
     def _file(self, key: str) -> Path:
         return self.path / f"{key}.pkl"

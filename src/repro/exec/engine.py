@@ -41,6 +41,15 @@ Guarantees:
 * **Graceful fallback** — ``jobs=1``, a single pending task, or a
   platform without ``fork`` (e.g. Windows) all take the plain
   in-process path with identical results.
+* **Observability** — ``telemetry=`` (a
+  :class:`repro.obs.Telemetry`) records the full task lifecycle as
+  spans (queue wait, worker run, cache/journal restores, retries,
+  timeouts, worker deaths) and counters (tasks
+  completed/failed/retried, cache hits/misses, queue depth, per-task
+  wall seconds).  Telemetry is strictly observational: every hook runs
+  on the same guarded path as the ``progress`` callback — a raising
+  observer warns once and is then ignored — and results are
+  bit-identical with telemetry on or off.
 """
 
 from __future__ import annotations
@@ -236,6 +245,117 @@ class _PoolUnhealthy(Exception):
 
 
 # ---------------------------------------------------------------------------
+# Guarded observation (progress callback + telemetry)
+# ---------------------------------------------------------------------------
+
+class _Observer:
+    """Fans engine events out to the progress callback and telemetry,
+    with every call guarded.
+
+    Observation must never abort execution: a user ``progress``
+    callback that raises, or a broken tracer/metrics hook, is reported
+    once as a :class:`RuntimeWarning` and silenced thereafter — the
+    grid carries on either way.  All methods are no-ops when the
+    corresponding sink is absent, so an un-instrumented run pays a
+    single attribute check per event.
+
+    The telemetry argument is duck-typed (``tracer`` / ``metrics`` /
+    ``simulator_counters`` attributes) so this module needs no import
+    of :mod:`repro.obs`.
+    """
+
+    def __init__(self, progress, telemetry):
+        self._progress = progress
+        self.tracer = getattr(telemetry, "tracer", None)
+        self.metrics = getattr(telemetry, "metrics", None)
+        self.simulator_counters = (
+            self.metrics is not None
+            and bool(getattr(telemetry, "simulator_counters", False))
+        )
+        self._warned = False
+
+    def _guard(self, call, *args, **kwargs):
+        try:
+            return call(*args, **kwargs)
+        except Exception as exc:
+            if not self._warned:
+                self._warned = True
+                warnings.warn(
+                    "progress/telemetry callback failed "
+                    f"({type(exc).__name__}: {exc}); suppressing "
+                    "further observer errors — the grid continues",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+            return None
+
+    def progress(self, done: int, total: int) -> None:
+        if self._progress is not None:
+            self._guard(self._progress, done, total)
+
+    # -- spans ------------------------------------------------------
+
+    def begin(self, name, category, **attrs):
+        if self.tracer is None:
+            return None
+        return self._guard(self.tracer.begin, name, category, **attrs)
+
+    def begin_async(self, name, category, **attrs):
+        if self.tracer is None:
+            return None
+        return self._guard(
+            self.tracer.begin, name, category, asynchronous=True,
+            **attrs,
+        )
+
+    def finish(self, span, **attrs) -> None:
+        if self.tracer is not None and span is not None:
+            self._guard(self.tracer.finish, span, **attrs)
+
+    def finish_open(self, span, **attrs) -> None:
+        """Finish ``span`` only if nothing finished it already."""
+        if span is not None and getattr(span, "end", True) is None:
+            self.finish(span, **attrs)
+
+    def event(self, name, category, **attrs) -> None:
+        if self.tracer is not None:
+            self._guard(self.tracer.event, name, category, **attrs)
+
+    # -- metrics ----------------------------------------------------
+
+    def count(self, name: str, amount: int = 1) -> None:
+        # amount == 0 still registers the instrument, so snapshots
+        # have a stable shape (e.g. ``cache.hits`` on an all-miss run).
+        if self.metrics is not None:
+            self._guard(self.metrics.count, name, amount)
+
+    def gauge(self, name: str, value) -> None:
+        if self.metrics is not None:
+            self._guard(self.metrics.set_gauge, name, value)
+
+    def observe(self, name: str, value) -> None:
+        if self.metrics is not None:
+            self._guard(self.metrics.observe, name, value)
+
+    def sim_stats(self, stats: CoreStats) -> None:
+        """Fold one completed cell's simulator counters into ``sim.*``
+        (opt-in; tolerates stats restored from pre-attribution caches).
+        """
+        if not self.simulator_counters:
+            return
+        self._guard(self._sim_stats, stats)
+
+    def _sim_stats(self, stats: CoreStats) -> None:
+        registry = self.metrics
+        registry.count("sim.cycles", int(stats.cycles))
+        registry.count("sim.instructions", int(stats.instructions))
+        registry.count("sim.precompute_hits",
+                       int(stats.precompute_hits))
+        stalls = getattr(stats, "stall_cycles", None) or {}
+        registry.absorb_counts(stalls, prefix="sim.stall.")
+
+
+# ---------------------------------------------------------------------------
 # run_grid
 # ---------------------------------------------------------------------------
 
@@ -252,6 +372,7 @@ def run_grid(
     on_error: str = "raise",
     journal: Optional[Union[Journal, str, os.PathLike]] = None,
     max_worker_deaths: Optional[int] = None,
+    telemetry=None,
 ) -> GridResult:
     """Simulate every task; return stats in task order.
 
@@ -306,6 +427,16 @@ def run_grid(
         Unexpected worker deaths tolerated before the pool is declared
         unhealthy and the remaining cells run in-process (default
         ``2 * jobs + 2``).  Deliberate timeout kills do not count.
+    telemetry:
+        Optional :class:`repro.obs.Telemetry`.  Its tracer receives
+        the grid/preload phase spans, one ``run`` span per simulated
+        attempt, async ``queue`` spans for pool wait time, and instant
+        events for restores, retries, timeouts and worker deaths; its
+        metrics registry receives the ``tasks.*`` / ``cache.*`` /
+        ``workers.*`` counters, the ``queue.depth`` gauge, and the
+        ``task.seconds`` histogram (plus opt-in ``sim.*`` counters
+        aggregated from every completed cell).  All hooks run on the
+        same guarded path as ``progress``; see :class:`_Observer`.
     """
     tasks = list(tasks)
     total = len(tasks)
@@ -330,25 +461,31 @@ def run_grid(
     results: List[Optional[CoreStats]] = [None] * total
     failures: List[FailureRecord] = []
     keys: List[Optional[str]] = [None] * total
-    state = {"done": 0, "cache_write_down": False}
+    state = {"done": 0}
     error_counts: Dict[int, int] = {}
     death_counts: Dict[int, int] = {}
     resolved: Set[int] = set()
 
+    obs = _Observer(progress, telemetry)
+    cache_before = cache.counters() if cache is not None else None
+    grid_span = obs.begin("grid", "grid", tasks=total, jobs=jobs)
+    obs.count("grid.tasks", total)
+
     def _advance() -> None:
         state["done"] += 1
-        if progress is not None:
-            progress(state["done"], total)
+        obs.progress(state["done"], total)
 
     def _store(i: int, stats: CoreStats) -> None:
         """A completed cell: result list, cache, journal, progress."""
         results[i] = stats
         resolved.add(i)
-        if cache is not None and not state["cache_write_down"]:
+        if cache is not None and cache.put_failures == 0:
             try:
                 cache.put(keys[i], stats)
             except Exception as exc:
-                state["cache_write_down"] = True
+                # The counter doubles as the "writes are down" switch:
+                # one failure stops further attempts on this cache.
+                cache.put_failures += 1
                 warnings.warn(
                     "result cache writes failing "
                     f"({type(exc).__name__}: {exc}); continuing without "
@@ -358,6 +495,8 @@ def run_grid(
                 )
         if journal is not None:
             journal.record(keys[i], stats)
+        obs.count("tasks.completed")
+        obs.sim_stats(stats)
         _advance()
 
     def _attempt_number(i: int) -> int:
@@ -370,6 +509,9 @@ def run_grid(
             index=i, kind=kind, error_type=error_type,
             message=message, attempts=_attempt_number(i),
         )
+        obs.count("tasks.failed")
+        obs.event("task-failed", "fault", index=i, kind=kind,
+                  error=error_type)
         if on_error == "skip":
             failures.append(record)
             resolved.add(i)
@@ -380,13 +522,21 @@ def run_grid(
     def _task_failed(i: int, kind: str, error_type: str,
                      message: str) -> bool:
         """Register one failed attempt; True means try again."""
+        if kind == "timeout":
+            obs.count("tasks.timeouts")
         if kind == "worker-died":
             death_counts[i] = death_counts.get(i, 0) + 1
             if death_counts[i] <= _MAX_RESUBMITS:
+                obs.count("tasks.resubmitted")
+                obs.event("resubmit", "fault", index=i,
+                          attempt=_attempt_number(i))
                 return True
         else:
             error_counts[i] = error_counts.get(i, 0) + 1
             if error_counts[i] < policy.max_attempts:
+                obs.count("tasks.retried")
+                obs.event("retry", "fault", index=i, kind=kind,
+                          attempt=_attempt_number(i))
                 policy.pause(error_counts[i])
                 return True
         _give_up(i, kind, error_type, message)
@@ -394,35 +544,62 @@ def run_grid(
 
     # -- preload: journal first (the resume source), then cache -----
     pending: List[int] = []
+    preload_span = obs.begin(
+        "preload", "phase",
+        probing=("journal+cache" if journal is not None
+                 and cache is not None
+                 else "journal" if journal is not None
+                 else "cache" if cache is not None else "none"),
+    )
     for i, task in enumerate(tasks):
         if cache is not None or journal is not None:
             keys[i] = task_key(task, version=version)
         hit = None
         if journal is not None:
             hit = journal.get(keys[i])
+            if hit is not None:
+                obs.count("tasks.restored.journal")
+                obs.event("restore", "cache", index=i,
+                          source="journal")
         if hit is None and cache is not None:
             hit = cache.get(keys[i])
+            if hit is not None:
+                obs.count("tasks.restored.cache")
+                obs.event("restore", "cache", index=i, source="cache")
         if hit is not None:
             _store(i, hit)
             continue
         pending.append(i)
+    obs.finish(preload_span, restored=total - len(pending),
+               pending=len(pending))
 
     def _run_serial(indices: Iterable[int]) -> None:
         for i in indices:
             if i in resolved:
                 continue
             while True:
+                attempt = _attempt_number(i)
+                span = obs.begin("run", "task", index=i,
+                                 attempt=attempt)
+                started = time.monotonic()
                 try:
-                    stats = _execute_cell(tasks[i], i, _attempt_number(i))
+                    stats = _execute_cell(tasks[i], i, attempt)
                 except KeyboardInterrupt:
                     # Never a task failure: completed cells are already
                     # journaled, so the caller can resume.
+                    obs.finish(span, outcome="interrupted")
                     raise
                 except Exception as exc:
+                    obs.finish(span, outcome="error",
+                               error=type(exc).__name__)
                     if fail_fast:
                         raise
                     error_counts[i] = error_counts.get(i, 0) + 1
                     if error_counts[i] < policy.max_attempts:
+                        obs.count("tasks.retried")
+                        obs.event("retry", "fault", index=i,
+                                  kind="error",
+                                  attempt=_attempt_number(i))
                         policy.pause(error_counts[i])
                         continue
                     try:
@@ -431,21 +608,36 @@ def run_grid(
                         raise failure from exc
                     break
                 else:
+                    obs.finish(span, outcome="ok")
+                    obs.observe("task.seconds",
+                                time.monotonic() - started)
+                    obs.count("tasks.simulated")
                     _store(i, stats)
                     break
 
-    if jobs > 1 and len(pending) > 1 and _fork_available():
-        remaining = _run_pool(
-            tasks, pending,
-            jobs=jobs, timeout=timeout,
-            max_worker_deaths=max_worker_deaths,
-            store=_store, task_failed=_task_failed,
-            attempt_number=_attempt_number, resolved=resolved,
-        )
-        if remaining:
-            _run_serial(remaining)
-    else:
-        _run_serial(pending)
+    try:
+        if jobs > 1 and len(pending) > 1 and _fork_available():
+            remaining = _run_pool(
+                tasks, pending,
+                jobs=jobs, timeout=timeout,
+                max_worker_deaths=max_worker_deaths,
+                store=_store, task_failed=_task_failed,
+                attempt_number=_attempt_number, resolved=resolved,
+                obs=obs,
+            )
+            if remaining:
+                _run_serial(remaining)
+        else:
+            _run_serial(pending)
+    finally:
+        # Surface the cache's own counters as this grid's deltas, so
+        # a registry shared across grids accumulates true totals.
+        if cache is not None and obs.metrics is not None:
+            for name, value in cache.counters().items():
+                obs.count(f"cache.{name}",
+                          value - cache_before[name])
+        obs.finish(grid_span, completed=state["done"],
+                   failures=len(failures))
     return GridResult(results, failures)
 
 
@@ -460,6 +652,7 @@ def _run_pool(
     task_failed: Callable[[int, str, str, str], bool],
     attempt_number: Callable[[int], int],
     resolved: Set[int],
+    obs: _Observer,
 ) -> List[int]:
     """Supervise a fork pool over ``pending``; returns leftovers.
 
@@ -467,6 +660,13 @@ def _run_pool(
     unhealthy (too many unexpected worker deaths, or workers cannot be
     spawned) it is the list of still-unfinished task indices, which
     the caller runs in-process.
+
+    Telemetry (all parent-side, via ``obs``): each pending task gets
+    an async ``queue`` span from enqueue to dispatch, then a ``run``
+    span on its worker's lane from dispatch to result; timeouts,
+    deaths and degradation become instant events.  Span identities
+    derive from (task index, attempt), so traces from identical runs
+    match structurally no matter which worker drew which task.
     """
     context = multiprocessing.get_context("fork")
     results_q = context.Queue()
@@ -474,6 +674,20 @@ def _run_pool(
     workers: Dict[int, _Worker] = {}
     next_id = 0
     deaths = 0
+
+    #: Open telemetry spans keyed by task index (at most one queue
+    #: wait and one in-flight run per task at any moment).
+    queue_spans: Dict[int, object] = {}
+    run_spans: Dict[int, object] = {}
+    run_started: Dict[int, float] = {}
+
+    def _enqueue_span(i: int) -> None:
+        queue_spans[i] = obs.begin_async(
+            "queue", "task", index=i, attempt=attempt_number(i),
+        )
+
+    for i in todo:
+        _enqueue_span(i)
 
     def _remaining() -> List[int]:
         left = [i for i in todo if i not in resolved]
@@ -503,16 +717,31 @@ def _run_pool(
                         "running remaining cells in-process",
                         RuntimeWarning, stacklevel=3,
                     )
+                    obs.count("pool.degraded")
+                    obs.event("pool-degraded", "fault",
+                              reason="spawn-failure")
                     raise _PoolUnhealthy from exc
+                obs.count("workers.spawned")
                 next_id += 1
 
             # Dispatch to idle workers.
-            for worker in workers.values():
+            for wid, worker in workers.items():
                 if worker.current is None and todo:
                     i = todo.popleft()
                     if i in resolved:
+                        obs.finish_open(queue_spans.pop(i, None),
+                                        outcome="superseded")
                         continue
-                    worker.dispatch(i, attempt_number(i), timeout)
+                    attempt = attempt_number(i)
+                    worker.dispatch(i, attempt, timeout)
+                    obs.finish_open(queue_spans.pop(i, None),
+                                    outcome="dispatched")
+                    run_spans[i] = obs.begin(
+                        "run", "task", track=wid + 1,
+                        index=i, attempt=attempt,
+                    )
+                    run_started[i] = time.monotonic()
+                    obs.gauge("queue.depth", len(todo))
             if not todo and not _inflight():
                 break
 
@@ -530,11 +759,22 @@ def _run_pool(
                     worker.current = None
                 if i not in resolved:
                     if ok:
+                        obs.finish_open(run_spans.pop(i, None),
+                                        outcome="ok")
+                        started = run_started.pop(i, None)
+                        if started is not None:
+                            obs.observe("task.seconds",
+                                        time.monotonic() - started)
+                        obs.count("tasks.simulated")
                         store(i, payload)
                     else:
                         error_type, message = payload
+                        obs.finish_open(run_spans.pop(i, None),
+                                        outcome="error", error=error_type)
+                        run_started.pop(i, None)
                         if task_failed(i, "error", error_type, message):
                             todo.append(i)
+                            _enqueue_span(i)
                 continue
 
             now = time.monotonic()
@@ -548,26 +788,37 @@ def _run_pool(
                         worker.process.kill()
                         worker.process.join(timeout=1.0)
                         del workers[wid]
+                        obs.finish_open(run_spans.pop(i, None),
+                                        outcome="timeout")
+                        run_started.pop(i, None)
                         if i not in resolved and task_failed(
                             i, "timeout", "",
                             f"exceeded {timeout:.3g}s wall-clock budget",
                         ):
                             todo.append(i)
+                            _enqueue_span(i)
                         continue
                 if not worker.process.is_alive():
                     # Unexpected death (kill fault, OOM, segfault).
                     worker.process.join(timeout=1.0)
                     del workers[wid]
                     deaths += 1
+                    obs.count("workers.deaths")
+                    obs.event("worker-death", "fault",
+                              code=worker.process.exitcode)
                     if current is not None:
                         i = current[0]
                         code = worker.process.exitcode
+                        obs.finish_open(run_spans.pop(i, None),
+                                        outcome="worker-died")
+                        run_started.pop(i, None)
                         if i not in resolved and task_failed(
                             i, "worker-died",
                             "", f"worker exited with code {code} "
                                 f"while running task {i}",
                         ):
                             todo.append(i)
+                            _enqueue_span(i)
                     if deaths > max_worker_deaths:
                         warnings.warn(
                             f"worker pool unhealthy ({deaths} worker "
@@ -575,10 +826,19 @@ def _run_pool(
                             "in-process",
                             RuntimeWarning, stacklevel=3,
                         )
+                        obs.count("pool.degraded")
+                        obs.event("pool-degraded", "fault",
+                                  deaths=deaths)
                         raise _PoolUnhealthy
     except _PoolUnhealthy:
         return _remaining()
     finally:
+        # Close any spans left open by degradation or interruption;
+        # a healthy pool has already popped every entry.
+        for span in queue_spans.values():
+            obs.finish_open(span, outcome="abandoned")
+        for span in run_spans.values():
+            obs.finish_open(span, outcome="abandoned")
         for worker in workers.values():
             worker.stop()
         results_q.close()

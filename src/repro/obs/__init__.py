@@ -1,0 +1,62 @@
+"""Observability for the execution engine and simulator: spans,
+metrics, exporters, and run manifests.
+
+The engine of :mod:`repro.exec` runs 88-configuration screens across
+worker pools with caching, retries and fault injection — and until
+this package, its only window was a bare ``(done, total)`` progress
+callback.  :mod:`repro.obs` adds the measurement layer:
+
+* :mod:`repro.obs.span` — a lightweight span tracer recording the full
+  task lifecycle (queue wait, worker run, retries, timeouts,
+  cache/journal restores) plus coarse pipeline phases;
+* :mod:`repro.obs.metrics` — a registry of counters, gauges and
+  histograms with a deterministic snapshot API;
+* :mod:`repro.obs.export` — Chrome trace-event JSON (Perfetto),
+  metrics JSONL, and text summary tables;
+* :mod:`repro.obs.manifest` — one JSON provenance record per run;
+* :mod:`repro.obs.telemetry` — the :class:`Telemetry` facade threaded
+  through ``run_grid(telemetry=...)`` and the CLI's
+  ``--trace/--metrics/--manifest`` flags;
+* :mod:`repro.obs.clock` — the tree's **single sanctioned wall-clock
+  site** under the REP002 determinism lint.
+
+The package-wide contract: telemetry is strictly observational.  With
+it enabled, results are bit-identical to a bare run, span identities
+derive from task content (never RNG or time), and two identical runs
+produce traces equal after timestamp scrubbing
+(:func:`~repro.obs.export.scrub_trace`).  ``docs/observability.md``
+has the span model, metric catalogue and manifest schema.
+"""
+
+from .clock import elapsed, wall_time
+from .export import (
+    chrome_trace,
+    render_metrics_table,
+    scrub_trace,
+    write_chrome_trace,
+    write_metrics_jsonl,
+)
+from .manifest import RunManifest, config_fingerprint
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .span import Span, Tracer
+from .telemetry import Telemetry, phase_of
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunManifest",
+    "Span",
+    "Telemetry",
+    "Tracer",
+    "chrome_trace",
+    "config_fingerprint",
+    "elapsed",
+    "phase_of",
+    "render_metrics_table",
+    "scrub_trace",
+    "wall_time",
+    "write_chrome_trace",
+    "write_metrics_jsonl",
+]

@@ -1,0 +1,142 @@
+"""Run manifests: one JSON document describing one run.
+
+A manifest answers, months later, "what exactly produced this
+output?": the command and its workload, a content fingerprint of the
+experiment inputs, the simulator version, the interpreter and
+platform, every engine setting that shaped execution (jobs, cache,
+retry policy, timeout, journal), the active fault-injection spec, and
+the final metrics snapshot.  Together with the journal (ground truth
+of *what* ran) and the trace (ground truth of *when*), it completes
+the run's provenance record.
+
+The schema is deliberately flat and versioned (:data:`SCHEMA_VERSION`)
+so downstream tooling — the ``BENCH_*.json`` perf-trajectory files the
+benchmark harness emits, CI assertions — can consume it with plain
+``json.load`` and a handful of key checks.  Field values are either
+reproducible facts (fingerprint, versions, settings) or clearly
+volatile annotations (timestamps, host platform, elapsed seconds);
+:func:`RunManifest.to_dict` keeps them in separate top-level groups so
+a diff between two manifests separates signal from noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from . import clock
+
+__all__ = ["RunManifest", "config_fingerprint"]
+
+SCHEMA_VERSION = 1
+
+
+def config_fingerprint(payload: Dict[str, object]) -> str:
+    """SHA-256 of a canonicalized experiment-input description.
+
+    Uses the execution engine's canonical JSON encoding
+    (:func:`repro.exec.cache.canonical_blob`) so the fingerprint is
+    insensitive to mapping order and representation accidents, exactly
+    like a cache key.  Callers pass whatever identifies the run's
+    inputs: benchmark names, trace lengths, enhancement settings,
+    design parameters.
+    """
+    from repro.exec.cache import canonical_blob
+
+    return hashlib.sha256(canonical_blob(payload)).hexdigest()
+
+
+@dataclass
+class RunManifest:
+    """Provenance record for one telemetry-enabled run.
+
+    Build one per command invocation (or per benchmark session), call
+    :meth:`finalize` when the run ends, and :meth:`write` it next to
+    the trace and metrics artifacts.
+    """
+
+    command: str
+    #: Content fingerprint of the experiment inputs (see
+    #: :func:`config_fingerprint`); ``None`` when the caller has no
+    #: meaningful input description.
+    fingerprint: Optional[str] = None
+    #: Engine settings that shaped execution (jobs, cache, retry, ...).
+    settings: Dict[str, object] = field(default_factory=dict)
+    #: Workload description (benchmarks, trace length, ...).
+    workload: Dict[str, object] = field(default_factory=dict)
+    #: The ``REPRO_FAULT_SPEC`` in effect, if any.
+    fault_spec: Optional[str] = None
+    #: Final metrics snapshot (see
+    #: :meth:`repro.obs.metrics.MetricsRegistry.snapshot`).
+    metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    #: Sibling artifact paths (trace file, metrics file, journal).
+    artifacts: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self):
+        from repro.cpu import SIMULATOR_VERSION
+
+        self.simulator_version = SIMULATOR_VERSION
+        self.python_version = platform.python_version()
+        self.platform = platform.platform()
+        self.argv = list(sys.argv)
+        self.created = clock.wall_time()
+        self._t0 = clock.elapsed()
+        self.elapsed_seconds: Optional[float] = None
+        self.exit_status: Optional[str] = None
+
+    def finalize(self, *, status: str = "completed",
+                 metrics: Optional[Dict] = None) -> "RunManifest":
+        """Stamp the outcome: elapsed time, status, final metrics."""
+        self.elapsed_seconds = clock.elapsed() - self._t0
+        self.exit_status = status
+        if metrics is not None:
+            self.metrics = metrics
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """The manifest as a JSON-ready dict (stable key groups).
+
+        ``run`` holds reproducible facts, ``host`` the environment
+        annotations, ``outcome`` the volatile results — so diffing two
+        manifests of the same experiment shows differences exactly
+        where differences are expected.
+        """
+        return {
+            "schema": SCHEMA_VERSION,
+            "run": {
+                "command": self.command,
+                "fingerprint": self.fingerprint,
+                "simulator_version": self.simulator_version,
+                "settings": dict(self.settings),
+                "workload": dict(self.workload),
+                "fault_spec": self.fault_spec,
+                "artifacts": dict(self.artifacts),
+            },
+            "host": {
+                "python_version": self.python_version,
+                "platform": self.platform,
+                "argv": self.argv,
+                "created": self.created,
+            },
+            "outcome": {
+                "exit_status": self.exit_status,
+                "elapsed_seconds": self.elapsed_seconds,
+                "metrics": self.metrics,
+            },
+        }
+
+    def write(self, path: Union[str, os.PathLike]) -> Path:
+        """Write the manifest as indented JSON; returns the path."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return path

@@ -1,0 +1,180 @@
+"""Lightweight span tracing for simulation runs.
+
+A :class:`Tracer` records *spans* — named intervals with attributes —
+and *instant events*, cheaply enough to wrap every task of an 88-run
+screen.  The design is shaped by the determinism contract of
+:mod:`repro.obs`:
+
+* **IDs are content-derived.**  A span's identity comes from the name
+  and attributes its creator passes (task index, attempt number,
+  task-key prefix), never from RNG, object addresses, or the clock.
+  Two identical runs therefore produce traces that differ only in
+  timestamps (see :func:`repro.obs.export.scrub_trace`).
+* **Time is annotation.**  Start/end readings come from
+  :mod:`repro.obs.clock` and are stored as offsets from the tracer's
+  epoch; nothing downstream of a timestamp feeds back into execution.
+* **Recording is observational.**  A tracer never raises out of
+  ``begin``/``finish``/``event`` in normal operation, and the engine
+  additionally guards every telemetry call, so a broken tracer cannot
+  abort a healthy grid.
+
+Spans come in two flavours for export: *sync* spans belong to one
+track (the supervisor thread or a worker lane) and must nest; *async*
+spans (queue waits) may overlap freely and are rendered as async
+arrows by Perfetto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from . import clock
+
+__all__ = ["Span", "Tracer"]
+
+#: Track number used for spans recorded by the calling process (the
+#: grid supervisor); worker lanes are ``1 + worker_id``.
+SUPERVISOR_TRACK = 0
+
+
+@dataclass
+class Span:
+    """One named interval (or instant, when ``end`` stays ``None``)."""
+
+    name: str
+    category: str
+    attributes: Dict[str, object]
+    #: Seconds since the tracer epoch (monotonic, not wall time).
+    start: float
+    end: Optional[float] = None
+    #: Export lane: 0 is the supervisor, 1+N is worker N.
+    track: int = SUPERVISOR_TRACK
+    #: Overlapping span rendered as an async event pair; ``sync``
+    #: spans on one track must nest.
+    asynchronous: bool = False
+    #: True for zero-duration instant events.
+    instant: bool = False
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Span length in seconds, or ``None`` while still open."""
+        if self.end is None:
+            return None
+        return self.end - self.start
+
+    def ident(self) -> str:
+        """A deterministic identity string (no RNG, no clock).
+
+        Derived from the name, category and sorted attributes, so the
+        same logical span gets the same identity in every run — this
+        is what async event pairing and trace diffing key on.
+        """
+        parts = [self.category, self.name]
+        for key in sorted(self.attributes):
+            parts.append(f"{key}={self.attributes[key]}")
+        return ":".join(parts)
+
+
+class Tracer:
+    """Collects spans and instant events for one run.
+
+    The tracer is append-only and single-process: the engine emits all
+    telemetry from the calling process (worker processes report plain
+    results), so no locking is needed and recording order is the
+    supervisor's observation order.
+    """
+
+    def __init__(self):
+        #: Monotonic reading all span offsets are relative to.
+        self.epoch = clock.elapsed()
+        #: Wall-clock anchor for the epoch, exported as metadata so a
+        #: trace can be placed in civil time.
+        self.epoch_wall = clock.wall_time()
+        self._spans: List[Span] = []
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def spans(self) -> List[Span]:
+        """All recorded spans, in recording order."""
+        return list(self._spans)
+
+    def begin(self, name: str, category: str = "phase", *,
+              track: int = SUPERVISOR_TRACK,
+              asynchronous: bool = False,
+              **attributes) -> Span:
+        """Open a span; pair with :meth:`finish`."""
+        span = Span(
+            name=name, category=category, attributes=dict(attributes),
+            start=clock.elapsed() - self.epoch, track=track,
+            asynchronous=asynchronous,
+        )
+        self._spans.append(span)
+        return span
+
+    def finish(self, span: Span, **attributes) -> Span:
+        """Close ``span``, merging any final attributes (idempotent)."""
+        if span.end is None:
+            span.end = clock.elapsed() - self.epoch
+        if attributes:
+            span.attributes.update(attributes)
+        return span
+
+    def event(self, name: str, category: str = "event",
+              *, track: int = SUPERVISOR_TRACK, **attributes) -> Span:
+        """Record an instant event (retry, worker death, ...)."""
+        span = Span(
+            name=name, category=category, attributes=dict(attributes),
+            start=clock.elapsed() - self.epoch, track=track,
+            instant=True,
+        )
+        span.end = span.start
+        self._spans.append(span)
+        return span
+
+    def span(self, name: str, category: str = "phase",
+             **attributes) -> "_SpanContext":
+        """Context manager form for straight-line phases::
+
+            with tracer.span("effects", rows=88):
+                ...
+        """
+        return _SpanContext(self, name, category, attributes)
+
+    def close_open_spans(self) -> int:
+        """Finish every still-open span (e.g. after an interrupt).
+
+        Returns the number closed, and marks each with
+        ``interrupted=True`` so a truncated trace is honest about it.
+        """
+        closed = 0
+        for span in self._spans:
+            if span.end is None:
+                self.finish(span, interrupted=True)
+                closed += 1
+        return closed
+
+
+class _SpanContext:
+    """``with``-statement adapter around begin/finish."""
+
+    def __init__(self, tracer: Tracer, name: str, category: str,
+                 attributes: Dict[str, object]):
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._attributes = attributes
+        self._span: Optional[Span] = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracer.begin(
+            self._name, self._category, **self._attributes
+        )
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        extra = {}
+        if exc_type is not None:
+            extra["error"] = exc_type.__name__
+        self._tracer.finish(self._span, **extra)

@@ -1,0 +1,108 @@
+"""The :class:`Telemetry` facade the execution layers carry around.
+
+One object bundles the per-run observability state — a
+:class:`~repro.obs.span.Tracer`, a
+:class:`~repro.obs.metrics.MetricsRegistry`, and the opt-in simulator
+counter hook — so every API that learned a ``telemetry=`` keyword
+(:func:`repro.exec.run_grid`, :meth:`repro.core.PBExperiment.run`,
+:func:`repro.core.sweep`, :func:`repro.core.analyze_enhancement`, the
+CLI commands) threads a single optional argument instead of three.
+
+Any component may be absent: ``Telemetry(metrics=registry)`` collects
+counters without paying for span recording, and ``telemetry=None``
+(the default everywhere) is the zero-overhead off switch.  The
+:meth:`phase` helper degrades to a no-op context manager when there is
+no tracer, so instrumented code reads identically either way.
+
+Telemetry is **strictly observational**: the engine invokes every
+tracer/metrics call through a guarded path (a raising hook warns once
+and is ignored), results are bit-identical with telemetry on or off,
+and nothing recorded here feeds back into execution.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import ContextManager, Optional
+
+from .metrics import MetricsRegistry
+from .span import Tracer
+
+__all__ = ["Telemetry", "phase_of"]
+
+
+class Telemetry:
+    """Bundled tracer + metrics registry + simulator-counter opt-in.
+
+    Parameters
+    ----------
+    tracer:
+        Span recorder, or ``None`` to skip span collection.
+    metrics:
+        Metrics registry, or ``None`` to skip counters.
+    simulator_counters:
+        When true, the engine folds each completed cell's
+        :class:`~repro.cpu.stats.CoreStats` counters (cycles,
+        instructions, stall-cycle attribution, precompute hits) into
+        the registry under ``sim.*`` — opt-in because an 88-run screen
+        emits them 1144 times.
+    """
+
+    def __init__(self, *, tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None,
+                 simulator_counters: bool = False):
+        self.tracer = tracer
+        self.metrics = metrics
+        self.simulator_counters = simulator_counters
+
+    @classmethod
+    def armed(cls, *, trace: bool = True, metrics: bool = True,
+              simulator_counters: bool = False) -> "Telemetry":
+        """A telemetry bundle with the requested components built."""
+        return cls(
+            tracer=Tracer() if trace else None,
+            metrics=MetricsRegistry() if metrics else None,
+            simulator_counters=simulator_counters,
+        )
+
+    @property
+    def enabled(self) -> bool:
+        """True when at least one component is collecting."""
+        return self.tracer is not None or self.metrics is not None
+
+    def phase(self, name: str, **attributes) -> ContextManager:
+        """A coarse phase span, or a no-op without a tracer::
+
+            with telemetry.phase("effects", benchmarks=13):
+                ...
+
+        Safe on a ``None``-less call site only; the execution layers
+        use ``telemetry.phase(...) if telemetry else nullcontext()``
+        via :func:`phase_of`.
+        """
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(name, "phase", **attributes)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment a counter if a registry is attached."""
+        if self.metrics is not None:
+            self.metrics.count(name, amount)
+
+    def snapshot(self) -> dict:
+        """The metrics snapshot, or ``{}`` without a registry."""
+        if self.metrics is None:
+            return {}
+        return self.metrics.snapshot()
+
+
+def phase_of(telemetry: Optional[Telemetry], name: str,
+             **attributes) -> ContextManager:
+    """``telemetry.phase(...)`` that also accepts ``None``.
+
+    The standard guard for instrumenting a pipeline stage without
+    forcing every caller to carry a telemetry object.
+    """
+    if telemetry is None:
+        return nullcontext()
+    return telemetry.phase(name, **attributes)

@@ -1,0 +1,76 @@
+"""Unit tests for run manifests (repro.obs.manifest)."""
+
+import json
+
+from repro.cpu import SIMULATOR_VERSION
+from repro.obs.manifest import (
+    SCHEMA_VERSION,
+    RunManifest,
+    config_fingerprint,
+)
+
+
+class TestConfigFingerprint:
+    def test_insensitive_to_mapping_order(self):
+        a = config_fingerprint({"jobs": 2, "benchmarks": ["gzip"]})
+        b = config_fingerprint({"benchmarks": ["gzip"], "jobs": 2})
+        assert a == b
+
+    def test_sensitive_to_content(self):
+        a = config_fingerprint({"jobs": 2})
+        b = config_fingerprint({"jobs": 3})
+        assert a != b
+
+    def test_is_hex_sha256(self):
+        digest = config_fingerprint({"x": 1})
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestRunManifest:
+    def test_captures_environment(self):
+        manifest = RunManifest(command="screen")
+        assert manifest.simulator_version == SIMULATOR_VERSION
+        assert manifest.python_version.count(".") == 2
+        assert manifest.exit_status is None
+
+    def test_finalize_stamps_outcome(self):
+        manifest = RunManifest(command="screen")
+        manifest.finalize(status="completed",
+                          metrics={"tasks.completed":
+                                   {"type": "counter", "value": 88}})
+        assert manifest.exit_status == "completed"
+        assert manifest.elapsed_seconds >= 0
+        assert manifest.metrics["tasks.completed"]["value"] == 88
+
+    def test_to_dict_groups(self):
+        manifest = RunManifest(
+            command="screen",
+            fingerprint="ab" * 32,
+            settings={"jobs": 2},
+            workload={"benchmarks": "gzip"},
+            fault_spec=None,
+            artifacts={"trace": "t.json"},
+        )
+        manifest.finalize()
+        doc = manifest.to_dict()
+        assert doc["schema"] == SCHEMA_VERSION
+        assert set(doc) == {"schema", "run", "host", "outcome"}
+        assert doc["run"]["command"] == "screen"
+        assert doc["run"]["simulator_version"] == SIMULATOR_VERSION
+        assert doc["run"]["settings"] == {"jobs": 2}
+        assert doc["run"]["artifacts"] == {"trace": "t.json"}
+        assert doc["outcome"]["exit_status"] == "completed"
+
+    def test_write_round_trips(self, tmp_path):
+        manifest = RunManifest(command="enhance")
+        manifest.finalize(status="interrupted")
+        path = manifest.write(tmp_path / "run.json")
+        doc = json.loads(path.read_text())
+        assert doc["run"]["command"] == "enhance"
+        assert doc["outcome"]["exit_status"] == "interrupted"
+
+    def test_write_creates_parent_dirs(self, tmp_path):
+        manifest = RunManifest(command="screen")
+        path = manifest.write(tmp_path / "deep" / "run.json")
+        assert path.exists()

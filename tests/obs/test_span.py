@@ -1,0 +1,87 @@
+"""Unit tests for the span tracer (repro.obs.span)."""
+
+import pytest
+
+from repro.obs.span import SUPERVISOR_TRACK, Span, Tracer
+
+
+class TestSpan:
+    def test_duration_none_while_open(self):
+        span = Span("x", "task", {}, start=1.0)
+        assert span.duration is None
+        span.end = 3.5
+        assert span.duration == pytest.approx(2.5)
+
+    def test_ident_is_content_derived(self):
+        a = Span("run", "task", {"index": 3, "attempt": 0}, start=0.0)
+        b = Span("run", "task", {"attempt": 0, "index": 3}, start=9.9)
+        assert a.ident() == b.ident()
+        assert a.ident() == "task:run:attempt=0:index=3"
+
+    def test_ident_distinguishes_attributes(self):
+        a = Span("run", "task", {"index": 3}, start=0.0)
+        b = Span("run", "task", {"index": 4}, start=0.0)
+        assert a.ident() != b.ident()
+
+
+class TestTracer:
+    def test_begin_finish_records_interval(self):
+        tracer = Tracer()
+        span = tracer.begin("grid", "grid", tasks=4)
+        assert span.end is None
+        tracer.finish(span, completed=4)
+        assert span.end is not None
+        assert span.end >= span.start
+        assert span.attributes == {"tasks": 4, "completed": 4}
+        assert tracer.spans() == [span]
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.begin("a")
+        tracer.finish(span)
+        first_end = span.end
+        tracer.finish(span, outcome="late")
+        assert span.end == first_end
+        assert span.attributes["outcome"] == "late"
+
+    def test_event_is_instant(self):
+        tracer = Tracer()
+        span = tracer.event("retry", "fault", index=2)
+        assert span.instant
+        assert span.end == span.start
+
+    def test_default_track_is_supervisor(self):
+        tracer = Tracer()
+        assert tracer.begin("a").track == SUPERVISOR_TRACK
+        assert tracer.begin("b", track=3).track == 3
+
+    def test_context_manager_closes_span(self):
+        tracer = Tracer()
+        with tracer.span("phase-x", rows=88) as span:
+            assert span.end is None
+        assert span.end is not None
+        assert "error" not in span.attributes
+
+    def test_context_manager_records_error_type(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("phase-x"):
+                raise ValueError("boom")
+        (span,) = tracer.spans()
+        assert span.end is not None
+        assert span.attributes["error"] == "ValueError"
+
+    def test_close_open_spans_marks_interrupted(self):
+        tracer = Tracer()
+        open_span = tracer.begin("a")
+        closed_span = tracer.finish(tracer.begin("b"))
+        assert tracer.close_open_spans() == 1
+        assert open_span.end is not None
+        assert open_span.attributes["interrupted"] is True
+        assert "interrupted" not in closed_span.attributes
+
+    def test_len_counts_spans_and_events(self):
+        tracer = Tracer()
+        tracer.finish(tracer.begin("a"))
+        tracer.event("e")
+        assert len(tracer) == 2

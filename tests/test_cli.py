@@ -255,3 +255,89 @@ class TestExperimentCommands:
                      "--journal", journal, "--resume"]) == 0
         second = capsys.readouterr().out
         assert second == first
+
+
+class TestObservabilityFlags:
+    """--trace/--metrics/--manifest on screen/classify/enhance."""
+
+    SCREEN = ["screen", "-b", "gzip", "-n", "300"]
+
+    def test_flags_default_off(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.trace is None
+        assert args.metrics is None
+        assert args.manifest is None
+
+    def test_screen_writes_all_artifacts(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "t.json"
+        metrics = tmp_path / "m.jsonl"
+        manifest = tmp_path / "run.json"
+        assert main(self.SCREEN + [
+            "--trace", str(trace), "--metrics", str(metrics),
+            "--manifest", str(manifest),
+        ]) == 0
+        doc = json.loads(trace.read_text())
+        assert doc["traceEvents"]
+        assert {e["ph"] for e in doc["traceEvents"]} >= {"X", "M"}
+        lines = [json.loads(line)
+                 for line in metrics.read_text().splitlines()]
+        names = {entry["name"] for entry in lines}
+        assert {"grid.tasks", "tasks.completed", "sim.cycles"} <= names
+        run = json.loads(manifest.read_text())
+        assert run["run"]["command"] == "screen"
+        assert run["run"]["simulator_version"]
+        assert run["run"]["fingerprint"]
+        assert run["run"]["settings"]["jobs"] == 1
+        assert run["run"]["artifacts"]["trace"] == str(trace)
+        assert run["outcome"]["exit_status"] == "completed"
+        assert run["outcome"]["metrics"]
+
+    def test_output_identical_with_and_without_telemetry(
+            self, tmp_path, capsys):
+        assert main(self.SCREEN) == 0
+        bare = capsys.readouterr().out
+        assert main(self.SCREEN + [
+            "--trace", str(tmp_path / "t.json"),
+            "--metrics", str(tmp_path / "m.jsonl"),
+        ]) == 0
+        assert capsys.readouterr().out == bare
+
+    def test_manifest_alone_arms_metrics_only(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "run.json"
+        assert main(self.SCREEN + ["--manifest", str(manifest)]) == 0
+        run = json.loads(manifest.read_text())
+        assert run["outcome"]["metrics"]["tasks.completed"]["value"] \
+            == 88
+
+    def test_enhance_manifest(self, tmp_path, capsys):
+        import json
+
+        manifest = tmp_path / "run.json"
+        assert main([
+            "enhance", "-b", "gzip", "-n", "200",
+            "--manifest", str(manifest),
+        ]) == 0
+        run = json.loads(manifest.read_text())
+        assert run["run"]["command"] == "enhance"
+        # both screens of the study accumulate into one registry
+        assert run["outcome"]["metrics"]["tasks.completed"]["value"] \
+            == 176
+
+    def test_interrupt_still_writes_manifest(self, monkeypatch,
+                                             tmp_path, capsys):
+        import json
+
+        from repro.core import PBExperiment
+
+        def interrupted(self, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(PBExperiment, "run", interrupted)
+        manifest = tmp_path / "run.json"
+        assert main(["screen", "--manifest", str(manifest)]) == 130
+        run = json.loads(manifest.read_text())
+        assert run["outcome"]["exit_status"] == "interrupted"
