@@ -17,7 +17,10 @@ The library has five layers, importable as subpackages:
 * :mod:`repro.exec` — the parallel, cached execution engine every
   experiment and sweep runs its simulation grid through;
 * :mod:`repro.analysis` — the determinism & fork-safety static
-  analysis (``repro lint``) that gates changes to all of the above.
+  analysis (``repro lint``) that gates changes to all of the above;
+* :mod:`repro.guard` — end-to-end integrity: simulation watchdogs,
+  sealed artifacts, sampled re-execution audits, and the offline
+  ``repro verify`` cross-check.
 
 Quick start::
 
@@ -37,8 +40,8 @@ __version__ = "1.0.0"
 #: CI lint job installs nothing), and eagerly importing the simulator
 #: stack would drag NumPy in at ``import repro`` time.
 _SUBPACKAGES = (
-    "analysis", "core", "cpu", "doe", "exec", "obs", "reporting",
-    "workloads",
+    "analysis", "core", "cpu", "doe", "exec", "guard", "obs",
+    "reporting", "workloads",
 )
 
 __all__ = [*_SUBPACKAGES, "__version__"]

@@ -13,7 +13,11 @@ Seven commands cover the paper's workflow end to end:
 * ``tables``   — print the paper's exact exhibits (Tables 1-4, 6-8,
   10, 11 from bundled data);
 * ``lint``     — the determinism & fork-safety static analysis
-  (``repro.analysis``) that gates changes to this tree in CI.
+  (``repro.analysis``) that gates changes to this tree in CI;
+* ``verify``   — offline integrity cross-check of a finished run
+  directory (manifest / journal / cache / results; exit 0/1/2);
+* ``journal``  — inspect (``scan``) or repair (``repair``) a
+  checkpoint journal's damage.
 """
 
 from __future__ import annotations
@@ -88,24 +92,38 @@ def _add_exec_args(parser):
         help="continue from an existing --journal file instead of "
              "refusing to touch it",
     )
+    parser.add_argument(
+        "--audit", type=float, default=None, metavar="FRACTION",
+        help="re-execute this fraction of cache/journal hits and "
+             "compare bit-exact; a mismatch aborts the run with an "
+             "AuditMismatch naming both payloads",
+    )
+    parser.add_argument(
+        "--audit-seed", type=int, default=0, metavar="N",
+        help="seed of the deterministic audit sample "
+             "(default %(default)s)",
+    )
 
 
 class _ExecOptions:
     """The engine-facing keyword set parsed from CLI flags."""
 
-    def __init__(self, jobs, cache, retry, timeout, on_error, journal):
+    def __init__(self, jobs, cache, retry, timeout, on_error, journal,
+                 audit=None):
         self.jobs = jobs
         self.cache = cache
         self.retry = retry
         self.timeout = timeout
         self.on_error = on_error
         self.journal = journal
+        self.audit = audit
 
     def run_kwargs(self, telemetry=None):
         return dict(
             jobs=self.jobs, cache=self.cache, retry=self.retry,
             timeout=self.timeout, on_error=self.on_error,
             journal=self.journal, telemetry=telemetry,
+            audit=self.audit,
         )
 
 
@@ -141,9 +159,18 @@ def _exec_options(args):
         raise SystemExit("--resume needs --journal FILE")
     retry = RetryPolicy(max_attempts=args.retry) if args.retry > 1 \
         else None
+    audit = None
+    if args.audit is not None:
+        if not 0.0 <= args.audit <= 1.0:
+            raise SystemExit(
+                f"--audit must be in [0, 1], got {args.audit}"
+            )
+        from repro.guard import AuditPolicy
+
+        audit = AuditPolicy(fraction=args.audit, seed=args.audit_seed)
     return _ExecOptions(
         args.jobs, cache, retry, args.task_timeout, args.on_error,
-        journal,
+        journal, audit,
     )
 
 
@@ -163,6 +190,35 @@ def _add_obs_args(parser):
         help="write a JSON run manifest (input fingerprint, versions, "
              "engine settings, fault spec, final metrics)",
     )
+
+
+def _apply_run_dir(args):
+    """Expand ``--run-dir DIR`` into the individual artifact flags.
+
+    Fills every artifact path the offline ``repro verify`` contract
+    expects — ``journal.jsonl``, ``manifest.json``, ``metrics.jsonl``,
+    ``cache/`` and ``results.json`` under one directory — leaving any
+    flag the user set explicitly alone.  The run-dir's journal exists
+    to be resumed, so ``--resume`` is implied for it.  Returns the
+    results path (or ``None`` when no run dir was requested).
+    """
+    run_dir = getattr(args, "run_dir", None)
+    if not run_dir:
+        return None
+    from pathlib import Path
+
+    base = Path(run_dir)
+    base.mkdir(parents=True, exist_ok=True)
+    if args.journal is None:
+        args.journal = str(base / "journal.jsonl")
+        args.resume = True
+    if args.manifest is None:
+        args.manifest = str(base / "manifest.json")
+    if args.metrics is None:
+        args.metrics = str(base / "metrics.jsonl")
+    if args.cache_dir is None:
+        args.cache_dir = str(base / "cache")
+    return base / "results.json"
 
 
 class _Obs:
@@ -218,6 +274,10 @@ class _Obs:
                 artifacts["metrics"] = self.metrics_path
             if args.journal:
                 artifacts["journal"] = args.journal
+            if getattr(args, "run_dir", None):
+                artifacts["results"] = os.path.join(
+                    args.run_dir, "results.json"
+                )
             self.manifest = RunManifest(
                 command=command,
                 fingerprint=config_fingerprint({
@@ -298,6 +358,7 @@ def cmd_screen(args) -> int:
     from repro.doe import lenth_test
     from repro.reporting import render_ranking
 
+    results_path = _apply_run_dir(args)
     traces = _traces(args)
     options = _exec_options(args)
     obs = _Obs(args, "screen")
@@ -315,6 +376,17 @@ def cmd_screen(args) -> int:
         print(f"warning: {failure.describe()}", file=sys.stderr)
     with obs.phase("rank"):
         ranking = rank_parameters_from_result(result)
+    if results_path is not None:
+        if result.complete:
+            from repro.guard.verify import write_results
+
+            write_results(results_path, result, ranking)
+            print(f"results sealed to {results_path}",
+                  file=sys.stderr)
+        else:
+            print("warning: run incomplete; results.json not "
+                  "written (repro verify would be inconclusive)",
+                  file=sys.stderr)
     obs.finish()
     print(render_ranking(ranking, title="Parameter ranks"))
     print()
@@ -538,6 +610,70 @@ def cmd_lint(args) -> int:
     return run(args)
 
 
+def cmd_verify(args) -> int:
+    from repro.guard.verify import verify_run
+
+    report = verify_run(
+        args.run_dir,
+        manifest_path=args.manifest,
+        journal_path=args.journal,
+        results_path=args.results,
+        cache_dir=args.cache_dir,
+    )
+    print(report.describe())
+    return report.status
+
+
+def cmd_journal_scan(args) -> int:
+    import os
+
+    from repro.exec import scan_journal
+
+    if not os.path.exists(args.path):
+        raise SystemExit(f"no such journal: {args.path}")
+    version = None if args.any_version else _default_sim_version()
+    scan = scan_journal(args.path, version=version)
+    print(f"{scan.path}: {scan.total} line(s), {scan.valid} valid")
+    for lineno, reason in scan.invalid:
+        print(f"  line {lineno}: {reason}")
+    if scan.torn_tail:
+        print(f"  torn tail: truncating would keep {scan.keep_bytes} "
+              "bytes (run 'repro journal repair')")
+    return 1 if scan.invalid else 0
+
+
+def cmd_journal_repair(args) -> int:
+    import os
+
+    from repro.exec import repair_journal
+
+    if not os.path.exists(args.path):
+        raise SystemExit(f"no such journal: {args.path}")
+    version = None if args.any_version else _default_sim_version()
+    repair = repair_journal(args.path, version=version)
+    scan = repair.scan
+    print(f"{scan.path}: {scan.total} line(s), {scan.valid} valid")
+    if repair.truncated_bytes:
+        print(f"  truncated torn tail: {repair.truncated_bytes} "
+              "byte(s) removed")
+    else:
+        print("  no torn tail")
+    for lineno, reason in repair.dropped:
+        print(f"  line {lineno}: {reason} (left in place; a resume "
+              "will drop it)")
+    if repair.dropped:
+        print(f"  {len(repair.dropped)} damaged line(s) remain; "
+              "their cells will re-simulate on resume")
+    return 0
+
+
+def _default_sim_version():
+    """The current simulator version tag (lazy import)."""
+    from repro.cpu import SIMULATOR_VERSION
+
+    return SIMULATOR_VERSION
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -555,6 +691,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="Lenth significance level (default 0.05)")
     p.add_argument("--plot", action="store_true",
                    help="draw a text half-normal plot per benchmark")
+    p.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="write every artifact of a verifiable run under DIR "
+             "(journal, manifest, metrics, cache, sealed results); "
+             "check it later with 'repro verify DIR'",
+    )
     p.set_defaults(func=cmd_screen)
 
     p = sub.add_parser("classify", help="benchmark classification (§4.2)")
@@ -608,6 +750,43 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_arguments(p)
     p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser(
+        "verify",
+        help="cross-check a finished run's artifacts (exit 0/1/2)",
+    )
+    p.add_argument("run_dir", metavar="RUN_DIR",
+                   help="directory written by 'repro screen --run-dir'")
+    p.add_argument("--manifest", default=None, metavar="FILE",
+                   help="manifest path (default RUN_DIR/manifest.json)")
+    p.add_argument("--journal", default=None, metavar="FILE",
+                   help="journal path (default RUN_DIR/journal.jsonl)")
+    p.add_argument("--results", default=None, metavar="FILE",
+                   help="results path (default RUN_DIR/results.json)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="cache directory (default RUN_DIR/cache)")
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "journal",
+        help="inspect or repair a checkpoint journal",
+    )
+    jsub = p.add_subparsers(dest="action", required=True)
+    ps = jsub.add_parser(
+        "scan", help="classify every line without modifying the file"
+    )
+    ps.add_argument("path", help="journal file")
+    ps.add_argument("--any-version", action="store_true",
+                    help="skip the simulator-version check")
+    ps.set_defaults(func=cmd_journal_scan)
+    pr = jsub.add_parser(
+        "repair",
+        help="truncate a torn tail; report remaining damage",
+    )
+    pr.add_argument("path", help="journal file")
+    pr.add_argument("--any-version", action="store_true",
+                    help="skip the simulator-version check")
+    pr.set_defaults(func=cmd_journal_repair)
 
     return parser
 

@@ -67,6 +67,7 @@ from .parameter_selection import (
     ParameterRanking,
     rank_parameters,
     rank_parameters_from_result,
+    ranking_from_dict,
     ranking_from_rank_table,
 )
 
@@ -97,6 +98,7 @@ __all__ = [
     "rank_parameters",
     "rank_parameters_from_result",
     "rank_vectors",
+    "ranking_from_dict",
     "ranking_from_rank_table",
     "recommended_workflow",
     "replicate",

@@ -184,6 +184,7 @@ class PBExperiment:
         on_error: str = "raise",
         journal=None,
         telemetry=None,
+        audit=None,
     ) -> PBExperimentResult:
         """Simulate every (row, benchmark) pair; return all results.
 
@@ -210,6 +211,10 @@ class PBExperiment:
         computation — and flows into :func:`repro.exec.run_grid` for
         the task-level lifecycle.  Strictly observational: results are
         bit-identical with it on or off.
+
+        ``audit`` (an :class:`~repro.guard.audit.AuditPolicy` or a
+        fraction) re-executes a deterministic sample of cache/journal
+        hits and compares bit-exact; see :func:`repro.exec.run_grid`.
         """
         with phase_of(telemetry, "pb-design",
                       rows=self.design.n_runs,
@@ -226,7 +231,7 @@ class PBExperiment:
             # process only; the bound method never travels to workers.
             progress=self.progress,  # repro: noqa[REP004] -- parent-side callback
             retry=retry, timeout=timeout, on_error=on_error,
-            journal=journal, telemetry=telemetry,
+            journal=journal, telemetry=telemetry, audit=audit,
         )
         with phase_of(telemetry, "pb-analyze"):
             benches = list(self.traces)

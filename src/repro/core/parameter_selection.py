@@ -70,6 +70,22 @@ class ParameterRanking:
     def top(self, k: int) -> List[str]:
         return list(self.factors[:k])
 
+    def to_dict(self) -> Dict[str, object]:
+        """The ranking as a JSON-ready dict (Table 9 serialized).
+
+        The shape ``repro verify`` re-derives from a run's journal and
+        compares against the ``results.json`` a screen wrote: factor
+        order, per-benchmark rank columns, and the sum-of-ranks
+        totals.  Round-trips through :func:`ranking_from_dict`.
+        """
+        return {
+            "factors": list(self.factors),
+            "benchmarks": list(self.benchmarks),
+            "ranks": self.ranks.tolist(),
+            "sums": list(self.sums),
+            "significant": self.significant_factors(),
+        }
+
 
 def rank_parameters(
     effects: Mapping[str, EffectTable]
@@ -94,6 +110,17 @@ def rank_parameters_from_result(
 ) -> ParameterRanking:
     """Convenience: Table 9 directly from a finished PB experiment."""
     return rank_parameters(result.effects)
+
+
+def ranking_from_dict(payload: Mapping) -> ParameterRanking:
+    """Rebuild a :class:`ParameterRanking` serialized by
+    :meth:`ParameterRanking.to_dict`."""
+    return ParameterRanking(
+        tuple(payload["factors"]),
+        tuple(payload["benchmarks"]),
+        np.asarray(payload["ranks"], dtype=np.int64),
+        tuple(int(s) for s in payload["sums"]),
+    )
 
 
 def ranking_from_rank_table(

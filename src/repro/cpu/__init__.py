@@ -35,7 +35,13 @@ from .params import (
     config_from_levels,
     parameter_spec,
 )
-from .pipeline import SIMULATOR_VERSION, Pipeline, SimulationError, simulate
+from .pipeline import (
+    HANG_CYCLES,
+    SIMULATOR_VERSION,
+    Pipeline,
+    SimulationError,
+    simulate,
+)
 from .power import (
     DEFAULT_ENERGY_MODEL,
     EnergyBreakdown,
@@ -64,6 +70,7 @@ __all__ = [
     "energy_response",
     "estimate_energy",
     "FULLY_ASSOCIATIVE",
+    "HANG_CYCLES",
     "Instruction",
     "KIB",
     "MIB",

@@ -32,6 +32,8 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, List, Optional, Set
 
+from repro.guard.errors import SimulationHang
+
 from .branch import (
     BranchTargetBuffer,
     ReturnAddressStack,
@@ -54,6 +56,17 @@ _ISSUED = 1
 _DONE = 2
 
 _NEVER = 1 << 60  # sentinel for "stalled until further notice"
+
+#: Default retirement-progress watchdog threshold: a simulation that
+#: commits nothing for this many consecutive cycles is declared hung
+#: (:class:`~repro.guard.errors.SimulationHang`).  The longest
+#: *legitimate* commit gap is bounded by draining a full ROB through
+#: the slowest dependence chain — memory latencies plus FU intervals,
+#: a few thousand cycles on any Table 6-8 configuration — so fifty
+#: thousand cycles of silence is diagnostic, not conservative.  The
+#: cycle-budget guard (``max_cycles``) still backstops pathological
+#: configurations that commit one instruction per epoch.
+HANG_CYCLES = 50_000
 
 #: Cycles lost when a predicted-taken branch misses the BTB and the
 #: target must be recomputed at decode.
@@ -177,9 +190,40 @@ class Pipeline:
                     self.btb.insert(pc, int(target_arr[i]))
         hierarchy.reset_stats()
 
-    def run(self, trace, max_cycles: Optional[int] = None) -> CoreStats:
-        """Execute a trace to completion and return its statistics."""
+    def run(
+        self,
+        trace,
+        max_cycles: Optional[int] = None,
+        *,
+        hang_cycles: Optional[int] = HANG_CYCLES,
+        max_instructions: Optional[int] = None,
+    ) -> CoreStats:
+        """Execute a trace to completion and return its statistics.
+
+        Three watchdogs guard the run (all diagnostic only — they can
+        raise, never alter a successful run's numbers):
+
+        * ``max_instructions`` — refuse a trace longer than the
+          caller budgeted for, *before* burning cycles on it;
+        * ``hang_cycles`` — raise
+          :class:`~repro.guard.errors.SimulationHang` (with a
+          pipeline/ROB/LSQ state dump) when no instruction retires
+          for that many consecutive cycles; ``None`` disables;
+        * ``max_cycles`` — the overall cycle budget
+          (:class:`SimulationError`), defaulting to
+          ``400 * len(trace) + 100_000``.
+
+        A finished run's statistics are integrity-checked
+        (:meth:`~repro.cpu.stats.CoreStats.validate`) before being
+        returned, so NaN or overflowed derivations fail loudly here
+        instead of skewing downstream effect tables.
+        """
         n = len(trace)
+        if max_instructions is not None and n > max_instructions:
+            raise SimulationError(
+                f"{trace.name}: trace has {n} instructions, over the "
+                f"{max_instructions}-instruction budget"
+            )
         if max_cycles is None:
             max_cycles = 400 * n + 100_000
         config = self.config
@@ -243,12 +287,26 @@ class Pipeline:
         seq = 0
 
         cycle = 0
+        last_commit_cycle = 0
         while committed < n:
             cycle += 1
             if cycle > max_cycles:
                 raise SimulationError(
                     f"{trace.name}: exceeded {max_cycles} cycles with "
                     f"{committed}/{n} committed — model deadlock?"
+                )
+            if hang_cycles is not None \
+                    and cycle - last_commit_cycle > hang_cycles:
+                raise SimulationHang(
+                    f"{trace.name}: no instruction retired for "
+                    f"{cycle - last_commit_cycle} cycles "
+                    f"({committed}/{n} committed at cycle {cycle}) — "
+                    "livelocked simulation",
+                    dump=self._hang_dump(
+                        trace, cycle, committed, n, fetch_index,
+                        ifq, rob, lsq_occupancy, ready, completions,
+                        fetch_stall_until, fetch_block_mispredict,
+                    ),
                 )
 
             # ---- commit ------------------------------------------------------
@@ -257,6 +315,7 @@ class Pipeline:
                 entry = rob.popleft()
                 budget -= 1
                 committed += 1
+                last_commit_cycle = cycle
                 if entry.op == _STORE:
                     hierarchy.data_access(entry.mem_addr, write=True)
                     if store_for_addr.get(entry.mem_addr) is entry:
@@ -445,9 +504,47 @@ class Pipeline:
         }
         self._snapshot_memory(stats)
         stats.unit_operations = funits.utilization()
-        return stats
+        return stats.validate(trace.name)
 
     # -- helpers ---------------------------------------------------------------
+
+    def _hang_dump(self, trace, cycle, committed, n, fetch_index,
+                   ifq, rob, lsq_occupancy, ready, completions,
+                   fetch_stall_until, fetch_block_mispredict) -> dict:
+        """Machine-state snapshot attached to a :class:`SimulationHang`.
+
+        Everything a post-mortem needs to localize a livelock without
+        re-running: where fetch stopped, what the buffers hold, and
+        the instruction blocking the head of the ROB.
+        """
+        dump = {
+            "trace": trace.name,
+            "cycle": cycle,
+            "committed": committed,
+            "instructions": n,
+            "fetch_index": fetch_index,
+            "fetch_stall_until": fetch_stall_until,
+            "fetch_block_mispredict": fetch_block_mispredict,
+            "ifq_occupancy": len(ifq),
+            "rob_occupancy": len(rob),
+            "lsq_occupancy": lsq_occupancy,
+            "ready_instructions": len(ready),
+            "pending_completions": sum(
+                len(batch) for batch in completions.values()
+            ),
+        }
+        if rob:
+            head = rob[0]
+            dump["rob_head"] = {
+                "seq": head.seq,
+                "op": int(head.op),
+                "state": head.state,
+                "unresolved_deps": head.deps,
+                "pc": head.pc,
+                "is_branch": head.is_branch,
+                "precomputed": head.precomputed,
+            }
+        return dump
 
     def _fetch_branch(
         self, index, pc, kind, taken, target, perfect, fetch_info,
@@ -526,6 +623,8 @@ def simulate(
     max_cycles: Optional[int] = None,
     warmup: bool = False,
     prefetch_lines: int = 0,
+    hang_cycles: Optional[int] = HANG_CYCLES,
+    max_instructions: Optional[int] = None,
 ) -> CoreStats:
     """Run one trace on a freshly-built machine; the main entry point.
 
@@ -535,8 +634,18 @@ def simulate(
     and predictor (no timing), so the measurement reflects steady-state
     behaviour rather than compulsory misses — the discipline the
     experiment layer uses for every Plackett-Burman run.
+
+    ``hang_cycles`` and ``max_instructions`` are the watchdog knobs of
+    :meth:`Pipeline.run`: a run that stops retiring raises
+    :class:`~repro.guard.errors.SimulationHang` with a state dump, an
+    oversized trace is refused up front, and a numerically broken
+    result raises :class:`~repro.guard.errors.StatsInvalid` instead of
+    polluting downstream rank sums.
     """
     pipeline = Pipeline(config, precompute_table, prefetch_lines)
     if warmup:
         pipeline.warm(trace)
-    return pipeline.run(trace, max_cycles)
+    return pipeline.run(
+        trace, max_cycles,
+        hang_cycles=hang_cycles, max_instructions=max_instructions,
+    )

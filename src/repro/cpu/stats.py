@@ -8,8 +8,9 @@ the per-structure counters an architect uses to sanity-check behaviour
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 
 @dataclass
@@ -84,6 +85,88 @@ class CoreStats:
     @property
     def average_rob_occupancy(self) -> float:
         return self.rob_occupancy_sum / self.cycles if self.cycles else 0.0
+
+    def integrity_failures(self) -> List[str]:
+        """Every numerical-sanity check this object fails (none = ok).
+
+        The checks cover what arithmetic bugs actually produce:
+        negative counters (overflow of a narrower representation,
+        sign errors), NaN/inf in the derived metrics, rates outside
+        ``[0, 1]``, and counters that contradict each other
+        (mispredictions without branches, misses without accesses).
+        Strictly cheap — a few dozen comparisons — so the pipeline
+        runs it on every finished simulation.
+        """
+        failures = []
+        for name in ("cycles", "instructions", "branches",
+                     "mispredictions", "btb_misfetches",
+                     "ras_mispredictions", "dispatch_stall_rob",
+                     "dispatch_stall_lsq", "rob_occupancy_sum",
+                     "precompute_hits"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, float)) or value < 0 \
+                    or (isinstance(value, float)
+                        and not math.isfinite(value)):
+                failures.append(f"{name}={value!r} (negative or "
+                                "non-finite)")
+        if self.instructions and not self.cycles:
+            failures.append(
+                f"{self.instructions} instructions in 0 cycles"
+            )
+        if self.mispredictions > self.branches:
+            failures.append(
+                f"mispredictions={self.mispredictions} exceeds "
+                f"branches={self.branches}"
+            )
+        for name in ("l1i", "l1d", "l2", "itlb", "dtlb"):
+            snap = getattr(self, name)
+            if snap.accesses < 0 or snap.misses < 0 \
+                    or snap.writebacks < 0:
+                failures.append(f"{name} carries a negative counter")
+            elif snap.misses > snap.accesses:
+                failures.append(
+                    f"{name}: misses={snap.misses} exceeds "
+                    f"accesses={snap.accesses}"
+                )
+        for mapping, label in ((self.unit_operations, "unit_operations"),
+                               (self.stall_cycles, "stall_cycles")):
+            for key, value in mapping.items():
+                if not isinstance(value, int) or value < 0:
+                    failures.append(
+                        f"{label}[{key!r}]={value!r} (negative or "
+                        "non-integral)"
+                    )
+        for name in ("ipc", "misprediction_rate",
+                     "average_rob_occupancy"):
+            value = getattr(self, name)
+            if not math.isfinite(value) or value < 0:
+                failures.append(f"{name}={value!r} (non-finite or "
+                                "negative)")
+        for name in ("misprediction_rate",):
+            value = getattr(self, name)
+            if math.isfinite(value) and value > 1.0:
+                failures.append(f"{name}={value!r} exceeds 1")
+        return failures
+
+    def validate(self, context: str = "") -> "CoreStats":
+        """Raise :class:`repro.guard.errors.StatsInvalid` on any
+        integrity failure; returns ``self`` when clean.
+
+        ``context`` names the run (typically the trace) in the error
+        message.
+        """
+        failures = self.integrity_failures()
+        if failures:
+            from repro.guard.errors import StatsInvalid
+
+            where = f"{context}: " if context else ""
+            raise StatsInvalid(
+                f"{where}simulation statistics failed "
+                f"{len(failures)} integrity check(s): "
+                + "; ".join(failures),
+                failures=failures,
+            )
+        return self
 
     def summary(self) -> str:
         """A one-paragraph human-readable run summary."""

@@ -24,7 +24,13 @@ from .fault import (
     RetryPolicy,
 )
 from .faultinject import Fault, FaultInjector, InjectedFault
-from .journal import Journal
+from .journal import (
+    Journal,
+    JournalRepair,
+    JournalScan,
+    repair_journal,
+    scan_journal,
+)
 
 __all__ = [
     "FailureRecord",
@@ -34,12 +40,16 @@ __all__ = [
     "GridResult",
     "InjectedFault",
     "Journal",
+    "JournalRepair",
+    "JournalScan",
     "ResultCache",
     "RetryPolicy",
     "SimTask",
     "canonical_blob",
     "canonicalize",
     "grid_tasks",
+    "repair_journal",
     "run_grid",
+    "scan_journal",
     "task_key",
 ]

@@ -13,6 +13,17 @@ torn entry.  Enhancement analyses, iterative refinement and repeated
 benchmark sessions all hit the same keys, so the second time a
 configuration is measured it costs a dictionary lookup or one small
 file read instead of a full pipeline simulation.
+
+On-disk entries are **sealed** (:mod:`repro.guard.seal`): each file
+carries a header naming its kind, schema version, the
+``SIMULATOR_VERSION`` it was measured under, and a content checksum.
+A loader that finds anything wrong — corruption, truncation, a bare
+legacy pickle, an entry written under a different simulator version
+(possible despite key salting via hand edits or migrated directories)
+— **quarantines** the file under ``<cache>/quarantine/`` with the
+failure reason in its name, counts it per reason, and reports a miss.
+Nothing is silently deleted and, more importantly, nothing invalid is
+ever trusted.
 """
 
 from __future__ import annotations
@@ -25,10 +36,20 @@ import os
 import pickle
 import tempfile
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Optional, Union
 
 from repro.cpu import SIMULATOR_VERSION
 from repro.cpu.stats import CoreStats
+from repro.guard.errors import SealError, StatsInvalid
+from repro.guard.seal import check as check_seal, seal as make_seal
+
+#: Format version of one sealed cache entry (the ``schema`` field of
+#: its seal header).  v1 was the bare pickle written before sealing
+#: existed; bare pickles are now quarantined as ``unsealed``.
+CACHE_ENTRY_SCHEMA = 2
+
+#: Seal ``kind`` tag for result-cache entries.
+CACHE_ENTRY_KIND = "result-cache"
 
 
 def canonicalize(value):
@@ -125,14 +146,24 @@ class ResultCache:
         Directory for the on-disk layer (created if missing).  ``None``
         keeps the cache purely in-memory — still useful within one
         process (e.g. iterative refinement revisiting configurations).
+    version:
+        The simulator version entries must have been measured under
+        (default :data:`~repro.cpu.SIMULATOR_VERSION`).  Task keys
+        already salt the version, but the key is only the file *name*;
+        the seal inside the file is what proves the *content* matches
+        — a renamed, hand-edited or migrated entry fails here.
 
     Attributes
     ----------
     hits / misses:
         Lookup counters, for instrumentation and tests.
     corrupt:
-        Torn or unreadable on-disk entries encountered (each is
-        deleted and treated as a miss).
+        Invalid on-disk entries encountered (each is quarantined and
+        treated as a miss); the total across all reasons.
+    quarantined:
+        Per-reason breakdown of :attr:`corrupt` (``checksum``,
+        ``truncated``, ``unsealed``, ``version-drift``, ...), the
+        reason slugs of :mod:`repro.guard.errors`.
     put_failures:
         Failed :meth:`put` calls (disk full, read-only directory).
         The execution engine increments this when a write raises, and
@@ -141,51 +172,97 @@ class ResultCache:
         across every grid using the cache instance.
     """
 
-    def __init__(self, path: Optional[Union[str, os.PathLike]] = None):
+    def __init__(self, path: Optional[Union[str, os.PathLike]] = None,
+                 *, version: str = SIMULATOR_VERSION):
         self.path = Path(path) if path is not None else None
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
+        self.version = str(version)
         self._memory: dict = {}
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.put_failures = 0
+        self.quarantined: Dict[str, int] = {}
 
     def counters(self) -> dict:
-        """The four bookkeeping counters as a plain mapping.
+        """The five bookkeeping counters as a plain mapping.
 
-        Keys (``hits``, ``misses``, ``corrupt``, ``put_failures``)
-        are stable — this is the shape the metrics registry
-        (:mod:`repro.obs.metrics`) surfaces under ``cache.*``.
+        Keys (``hits``, ``misses``, ``corrupt``, ``put_failures``,
+        ``quarantined``) are stable — this is the shape the metrics
+        registry (:mod:`repro.obs.metrics`) surfaces under
+        ``cache.*``.  ``quarantined`` equals ``corrupt`` (it is the
+        same total, kept under the name the quarantine directory
+        uses); the per-reason breakdown lives in :attr:`quarantined`.
         """
         return {
             "corrupt": self.corrupt,
             "hits": self.hits,
             "misses": self.misses,
             "put_failures": self.put_failures,
+            "quarantined": sum(self.quarantined.values()),
         }
 
     def _file(self, key: str) -> Path:
         return self.path / f"{key}.pkl"
 
+    def _quarantine(self, file: Path, key: str, reason: str) -> None:
+        """Move a bad entry aside, named after its failure reason.
+
+        ``<cache>/quarantine/<key>.<reason>.pkl`` — out of the lookup
+        path (so it can never be trusted again) but preserved for
+        diagnosis (``repro verify`` lists quarantined entries by
+        reason).  If even the move fails the entry is deleted: an
+        invalid file must never remain where ``get`` would retry it
+        forever.
+        """
+        self.corrupt += 1
+        self.quarantined[reason] = self.quarantined.get(reason, 0) + 1
+        try:
+            directory = self.path / "quarantine"
+            directory.mkdir(exist_ok=True)
+            os.replace(file, directory / f"{key}.{reason}.pkl")
+        except OSError:
+            file.unlink(missing_ok=True)
+
     def _load_disk(self, key: str) -> Optional[CoreStats]:
         """Validate and load one on-disk entry (shared by ``get`` and
         ``__contains__`` so both agree on what counts as present).
 
-        A torn or incompatible entry is deleted, counted in
-        :attr:`corrupt`, and reported as absent.
+        An entry that fails its seal check (torn, truncated, legacy
+        unsealed, simulator-version drift), fails to unpickle, or
+        carries numerically broken statistics is quarantined with its
+        reason, counted, and reported as absent.
         """
         if self.path is None:
             return None
         file = self._file(key)
         try:
-            stats = pickle.loads(file.read_bytes())
+            blob = file.read_bytes()
         except FileNotFoundError:
             return None
-        except Exception:
-            self.corrupt += 1
-            file.unlink(missing_ok=True)
+        except OSError:
             return None
+        try:
+            payload = check_seal(
+                blob, kind=CACHE_ENTRY_KIND, schema=CACHE_ENTRY_SCHEMA,
+                simulator_version=self.version,
+            )
+        except SealError as exc:
+            self._quarantine(file, key, exc.reason)
+            return None
+        try:
+            stats = pickle.loads(payload)
+        except Exception:
+            self._quarantine(file, key, "unpicklable")
+            return None
+        validate = getattr(stats, "validate", None)
+        if callable(validate):
+            try:
+                validate()
+            except StatsInvalid:
+                self._quarantine(file, key, "invalid-stats")
+                return None
         self._memory[key] = stats
         return stats
 
@@ -202,15 +279,20 @@ class ResultCache:
         return None
 
     def put(self, key: str, stats: CoreStats) -> None:
-        """Store ``stats`` under ``key`` in both layers."""
+        """Store ``stats`` under ``key`` in both layers (sealed on disk)."""
         self._memory[key] = stats
         if self.path is not None:
+            blob = make_seal(
+                pickle.dumps(stats, pickle.HIGHEST_PROTOCOL),
+                kind=CACHE_ENTRY_KIND, schema=CACHE_ENTRY_SCHEMA,
+                simulator_version=self.version,
+            )
             fd, tmp = tempfile.mkstemp(
                 dir=self.path, prefix=".tmp-", suffix=".pkl"
             )
             try:
                 with os.fdopen(fd, "wb") as handle:
-                    pickle.dump(stats, handle, pickle.HIGHEST_PROTOCOL)
+                    handle.write(blob)
                 os.replace(tmp, self._file(key))
             except BaseException:
                 try:

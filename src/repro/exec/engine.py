@@ -69,6 +69,8 @@ from typing import (
 from repro.cpu import MachineConfig, SIMULATOR_VERSION
 from repro.cpu.pipeline import simulate
 from repro.cpu.stats import CoreStats
+from repro.guard.audit import AuditPolicy, coerce_policy, verify_restored
+from repro.guard.errors import AuditMismatch
 from repro.workloads import Trace
 
 from . import faultinject
@@ -373,6 +375,7 @@ def run_grid(
     journal: Optional[Union[Journal, str, os.PathLike]] = None,
     max_worker_deaths: Optional[int] = None,
     telemetry=None,
+    audit: Union[AuditPolicy, float, None] = None,
 ) -> GridResult:
     """Simulate every task; return stats in task order.
 
@@ -437,6 +440,18 @@ def run_grid(
         ``task.seconds`` histogram (plus opt-in ``sim.*`` counters
         aggregated from every completed cell).  All hooks run on the
         same guarded path as ``progress``; see :class:`_Observer`.
+    audit:
+        Sampled re-execution audit of cache/journal hits: an
+        :class:`~repro.guard.audit.AuditPolicy` or a bare fraction in
+        ``[0, 1]``.  A deterministic, seeded subset of restored cells
+        (selection is a pure function of the policy seed and the task
+        key) is re-simulated in-process and compared bit-exact against
+        the restored stats; any divergence raises
+        :class:`~repro.guard.errors.AuditMismatch` carrying both
+        payloads — a stale or tampered store must stop the run.
+        Audited cells take the normal (possibly parallel) execution
+        path, so a clean audit changes nothing but wall time; counters
+        land under ``audit.*``.
     """
     tasks = list(tasks)
     total = len(tasks)
@@ -458,6 +473,8 @@ def run_grid(
     if max_worker_deaths is None:
         max_worker_deaths = 2 * jobs + 2
 
+    audit_policy = coerce_policy(audit)
+
     results: List[Optional[CoreStats]] = [None] * total
     failures: List[FailureRecord] = []
     keys: List[Optional[str]] = [None] * total
@@ -465,11 +482,20 @@ def run_grid(
     error_counts: Dict[int, int] = {}
     death_counts: Dict[int, int] = {}
     resolved: Set[int] = set()
+    #: index -> (restored stats, source) for cells the audit selected;
+    #: the re-executed result is compared against this in ``_store``.
+    audit_expect: Dict[int, Tuple[CoreStats, str]] = {}
 
     obs = _Observer(progress, telemetry)
     cache_before = cache.counters() if cache is not None else None
     grid_span = obs.begin("grid", "grid", tasks=total, jobs=jobs)
     obs.count("grid.tasks", total)
+    if audit_policy.fraction > 0:
+        # Register the audit instruments up front so snapshots have a
+        # stable shape even when no cell is selected or violated.
+        obs.count("audit.selected", 0)
+        obs.count("audit.passed", 0)
+        obs.count("audit.violations", 0)
 
     def _advance() -> None:
         state["done"] += 1
@@ -477,6 +503,18 @@ def run_grid(
 
     def _store(i: int, stats: CoreStats) -> None:
         """A completed cell: result list, cache, journal, progress."""
+        expected = audit_expect.pop(i, None)
+        if expected is not None:
+            restored, source = expected
+            try:
+                verify_restored(keys[i], i, source, restored, stats)
+            except AuditMismatch:
+                obs.count("audit.violations")
+                obs.event("audit-violation", "guard", index=i,
+                          source=source)
+                raise
+            obs.count("audit.passed")
+            obs.event("audit-passed", "guard", index=i, source=source)
         results[i] = stats
         resolved.add(i)
         if cache is not None and cache.put_failures == 0:
@@ -555,22 +593,36 @@ def run_grid(
         if cache is not None or journal is not None:
             keys[i] = task_key(task, version=version)
         hit = None
+        source = ""
         if journal is not None:
             hit = journal.get(keys[i])
             if hit is not None:
+                source = "journal"
                 obs.count("tasks.restored.journal")
                 obs.event("restore", "cache", index=i,
                           source="journal")
         if hit is None and cache is not None:
             hit = cache.get(keys[i])
             if hit is not None:
+                source = "cache"
                 obs.count("tasks.restored.cache")
                 obs.event("restore", "cache", index=i, source="cache")
         if hit is not None:
+            if audit_policy.selects(keys[i]):
+                # Keep the restored value aside and re-execute the
+                # cell on the normal path; ``_store`` compares.
+                audit_expect[i] = (hit, source)
+                obs.count("audit.selected")
+                obs.event("audit-selected", "guard", index=i,
+                          source=source)
+                pending.append(i)
+                continue
             _store(i, hit)
             continue
         pending.append(i)
-    obs.finish(preload_span, restored=total - len(pending),
+    obs.finish(preload_span,
+               restored=total - len(pending),
+               audited=len(audit_expect),
                pending=len(pending))
 
     def _run_serial(indices: Iterable[int]) -> None:

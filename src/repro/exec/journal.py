@@ -9,38 +9,111 @@ cell 1, even when no cache directory was configured.
 
 Format: one JSON line per completed cell::
 
-    {"v": 1, "key": "<task_key sha-256>", "sha": "<sha-256 of blob>",
-     "stats": "<base64 pickle of CoreStats>"}
+    {"v": 2, "key": "<task_key sha-256>", "sha": "<sha-256 of blob>",
+     "sim": "<SIMULATOR_VERSION>", "stats": "<base64 pickle>"}
 
 Design points:
 
 * **Append-only** — a crash can only ever damage the final line.
-  Loading validates each line's embedded checksum and silently drops
-  torn or corrupt lines (counted in :attr:`Journal.corrupt`), so a
-  journal written right up to the moment of a ``kill -9`` still
-  resumes from every fully recorded cell.
+  Loading validates every line and drops invalid ones *loudly*: each
+  drop is counted per reason (:attr:`Journal.dropped`), totalled in
+  :attr:`Journal.corrupt`, and surfaced as a :class:`RuntimeWarning`
+  naming the file and the repair command — never silently discarded.
 * **Content-keyed** — entries are stored under the same
   :func:`~repro.exec.cache.task_key` hash the cache uses, so a resume
   is correct even if the caller reorders the grid, and a journal
   written for one screen is simply inert (never wrong) for another.
-* **Self-checking** — the pickle blob's own sha-256 travels with it;
-  a flipped bit makes the line invalid rather than producing subtly
+* **Self-checking** — the pickle blob's own sha-256 travels with it,
+  and each line names the ``SIMULATOR_VERSION`` it was measured
+  under; a flipped bit or a hand-migrated line from another simulator
+  becomes an invalid line with a named reason rather than subtly
   wrong statistics.
+
+Drop reasons (stable slugs, shared with :mod:`repro.guard.errors`):
+``torn`` (unterminated final line — the crash signature), ``malformed``
+(unparseable mid-file line), ``format-drift`` (journal format version
+changed), ``version-drift`` (simulator version changed), ``checksum``
+(payload hash mismatch), ``unpicklable`` (valid envelope, broken
+payload).  :func:`scan_journal` reports them per line without loading;
+:func:`repair_journal` (``repro journal repair``) truncates the torn
+tail and reports every dropped line explicitly.
 """
 
 from __future__ import annotations
 
 import base64
+import binascii
 import hashlib
 import json
 import os
 import pickle
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
-__all__ = ["Journal"]
+from repro.cpu import SIMULATOR_VERSION
 
-_FORMAT_VERSION = 1
+__all__ = [
+    "Journal",
+    "JournalRepair",
+    "JournalScan",
+    "repair_journal",
+    "scan_journal",
+]
+
+#: Journal line format version.  v1 lines (no ``sim`` field) predate
+#: sealed artifacts and are dropped as ``format-drift``.
+_FORMAT_VERSION = 2
+
+
+def _parse_line(raw: bytes, version: Optional[str]):
+    """Validate one journal line.
+
+    Returns ``(key, stats, None)`` on success or
+    ``(None, None, reason)`` with a stable reason slug on failure.
+    """
+    try:
+        entry = json.loads(raw.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        return None, None, "malformed"
+    if not isinstance(entry, dict):
+        return None, None, "malformed"
+    if entry.get("v") != _FORMAT_VERSION:
+        return None, None, "format-drift"
+    if version is not None and entry.get("sim") != str(version):
+        return None, None, "version-drift"
+    try:
+        key = entry["key"]
+        blob = base64.b64decode(entry["stats"], validate=True)
+    except (KeyError, TypeError, ValueError, binascii.Error):
+        return None, None, "malformed"
+    if not isinstance(key, str) \
+            or hashlib.sha256(blob).hexdigest() != entry.get("sha"):
+        return None, None, "checksum"
+    try:
+        stats = pickle.loads(blob)
+    except Exception:
+        return None, None, "unpicklable"
+    return key, stats, None
+
+
+def _iter_lines(data: bytes):
+    """Yield ``(lineno, raw, terminated, start_offset)`` per physical
+    line (1-based line numbers, blank lines skipped)."""
+    pos, lineno = 0, 0
+    size = len(data)
+    while pos < size:
+        newline = data.find(b"\n", pos)
+        if newline < 0:
+            raw, next_pos, terminated = data[pos:], size, False
+        else:
+            raw, next_pos, terminated = data[pos:newline], newline + 1, True
+        lineno += 1
+        stripped = raw.strip()
+        if stripped:
+            yield lineno, stripped, terminated, pos
+        pos = next_pos
 
 
 class Journal:
@@ -58,18 +131,26 @@ class Journal:
         discipline already survives process death (Ctrl-C, SIGKILL),
         and fsync only adds protection against whole-machine crashes
         at a large per-cell cost.
+    version:
+        The simulator version recorded on (and required of) every
+        line; defaults to :data:`~repro.cpu.SIMULATOR_VERSION`.
 
     Attributes
     ----------
     corrupt:
-        Torn or checksum-invalid lines dropped while loading.
+        Invalid lines dropped while loading (total across reasons).
+    dropped:
+        Per-reason breakdown of :attr:`corrupt` (``torn``,
+        ``checksum``, ``version-drift``, ...).
     """
 
     def __init__(self, path: Union[str, os.PathLike], *,
-                 sync: bool = False):
+                 sync: bool = False, version: str = SIMULATOR_VERSION):
         self.path = Path(path)
         self.sync = sync
+        self.version = str(version)
         self.corrupt = 0
+        self.dropped: Dict[str, int] = {}
         self._entries: Dict[str, object] = {}
         self._handle = None
         if self.path.exists():
@@ -78,26 +159,31 @@ class Journal:
     # -- reading ----------------------------------------------------
 
     def _load(self) -> None:
-        with open(self.path, "rb") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    entry = json.loads(line.decode("utf-8"))
-                    if entry.get("v") != _FORMAT_VERSION:
-                        raise ValueError("unknown journal format version")
-                    key = entry["key"]
-                    blob = base64.b64decode(entry["stats"])
-                    if hashlib.sha256(blob).hexdigest() != entry["sha"]:
-                        raise ValueError("checksum mismatch")
-                    stats = pickle.loads(blob)
-                except Exception:
-                    # A torn final line (interrupted write) or a
-                    # damaged entry: drop it, never fail the resume.
-                    self.corrupt += 1
-                else:
-                    self._entries[key] = stats
+        data = self.path.read_bytes()
+        for _lineno, raw, terminated, _start in _iter_lines(data):
+            key, stats, reason = _parse_line(raw, self.version)
+            if reason is None:
+                self._entries[key] = stats
+                continue
+            if not terminated:
+                # An unterminated final line is the signature of a
+                # write interrupted mid-record, not of damage.
+                reason = "torn"
+            self.corrupt += 1
+            self.dropped[reason] = self.dropped.get(reason, 0) + 1
+        if self.corrupt:
+            breakdown = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in sorted(self.dropped.items())
+            )
+            warnings.warn(
+                f"journal {self.path}: dropped {self.corrupt} invalid "
+                f"line(s) ({breakdown}); run "
+                f"'repro journal repair {self.path}' to inspect and "
+                "truncate a torn tail",
+                RuntimeWarning,
+                stacklevel=3,
+            )
 
     def get(self, key: str):
         """The recorded stats for ``key``, or ``None``."""
@@ -127,6 +213,7 @@ class Journal:
             "v": _FORMAT_VERSION,
             "key": key,
             "sha": hashlib.sha256(blob).hexdigest(),
+            "sim": self.version,
             "stats": base64.b64encode(blob).decode("ascii"),
         })
         if self._handle is None:
@@ -154,3 +241,118 @@ class Journal:
             self.close()
         except Exception:  # repro: noqa[REP007] -- GC-time close must never raise; interpreter may be tearing down
             pass
+
+
+# -- offline inspection & repair -----------------------------------
+
+
+@dataclass(frozen=True)
+class JournalScan:
+    """What a walk over a journal file found, line by line.
+
+    Attributes
+    ----------
+    path:
+        The file scanned.
+    total:
+        Non-blank physical lines.
+    valid:
+        Lines that load cleanly.
+    invalid:
+        ``(lineno, reason)`` pairs for every line a load would drop,
+        1-based, in file order.
+    torn_tail:
+        True when the file ends in an unterminated, unparseable line
+        — the footprint of a crash mid-write.
+    keep_bytes:
+        File size after truncating the torn tail (the full size when
+        :attr:`torn_tail` is false).
+    """
+
+    path: Path
+    total: int
+    valid: int
+    invalid: Tuple[Tuple[int, str], ...]
+    torn_tail: bool
+    keep_bytes: int
+
+    def reasons(self) -> Dict[str, int]:
+        """Per-reason counts of :attr:`invalid` lines."""
+        out: Dict[str, int] = {}
+        for _lineno, reason in self.invalid:
+            out[reason] = out.get(reason, 0) + 1
+        return out
+
+
+@dataclass(frozen=True)
+class JournalRepair:
+    """Outcome of :func:`repair_journal`.
+
+    Attributes
+    ----------
+    scan:
+        The pre-repair :class:`JournalScan`.
+    truncated_bytes:
+        Bytes removed from the end of the file (0 when no torn tail).
+    dropped:
+        ``(lineno, reason)`` for every line a load will still drop
+        *after* the repair — mid-file damage a tail truncation cannot
+        (and must not) touch.
+    """
+
+    scan: JournalScan
+    truncated_bytes: int
+    dropped: Tuple[Tuple[int, str], ...]
+
+
+def scan_journal(path: Union[str, os.PathLike], *,
+                 version: Optional[str] = SIMULATOR_VERSION) \
+        -> JournalScan:
+    """Classify every line of a journal without building its entries.
+
+    ``version=None`` skips the simulator-version check (useful when
+    inspecting a journal from another simulator build).
+    """
+    path = Path(path)
+    data = path.read_bytes()
+    total = valid = 0
+    invalid = []
+    torn_tail = False
+    keep_bytes = len(data)
+    for lineno, raw, terminated, start in _iter_lines(data):
+        total += 1
+        _key, _stats, reason = _parse_line(raw, version)
+        if reason is None:
+            valid += 1
+            continue
+        if not terminated:
+            reason = "torn"
+            torn_tail = True
+            keep_bytes = start
+        invalid.append((lineno, reason))
+    return JournalScan(path, total, valid, tuple(invalid),
+                       torn_tail, keep_bytes)
+
+
+def repair_journal(path: Union[str, os.PathLike], *,
+                   version: Optional[str] = SIMULATOR_VERSION) \
+        -> JournalRepair:
+    """Truncate a journal's torn tail; report every dropped line.
+
+    Only the unterminated final line is removed — it is the residue
+    of an interrupted write and can never parse.  Mid-file invalid
+    lines are *reported* (so the drops a resume performs are explicit)
+    but left in place: destroying evidence of damage is not repair.
+    """
+    scan = scan_journal(path, version=version)
+    truncated = 0
+    if scan.torn_tail:
+        size = scan.path.stat().st_size
+        with open(scan.path, "r+b") as handle:
+            handle.truncate(scan.keep_bytes)
+        truncated = size - scan.keep_bytes
+    remaining = tuple(
+        (lineno, reason) for lineno, reason in scan.invalid
+        if reason != "torn"
+    )
+    return JournalRepair(scan, truncated, remaining)

@@ -1,0 +1,211 @@
+"""The integrity-failure vocabulary of :mod:`repro.guard`.
+
+Every guard failure is *named*: an exception here always carries a
+short machine-readable ``reason`` slug (used to label quarantined
+artifacts and counters) next to the human-readable message.  The
+module is deliberately import-free so the simulator, the execution
+engine, and the artifact loaders can all raise these without pulling
+each other in.
+
+Hierarchy::
+
+    GuardViolation                 integrity of *data* is in doubt
+    ├── SealError                  a sealed artifact failed its check
+    │   ├── SealMissing            no seal header at all (legacy/foreign)
+    │   ├── SealTruncated          payload shorter than the header says
+    │   ├── SealCorrupt            unparseable header / checksum mismatch
+    │   └── SealVersionDrift       schema or simulator version mismatch
+    ├── TraceCorrupt               a trace archive violates invariants
+    └── AuditMismatch              re-execution disagreed with a cache hit
+
+    SimulationHang                 the *simulation* stopped retiring
+    StatsInvalid                   a finished run's statistics are broken
+
+:class:`SimulationHang` and :class:`StatsInvalid` are not
+:class:`GuardViolation` subclasses on purpose: they indict the live
+simulation (a model bug, a livelocked configuration), not a stored
+artifact, and the execution engine's retry machinery must be able to
+treat them as ordinary task errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AuditMismatch",
+    "GuardViolation",
+    "SealCorrupt",
+    "SealError",
+    "SealMissing",
+    "SealTruncated",
+    "SealVersionDrift",
+    "SimulationHang",
+    "StatsInvalid",
+    "TraceCorrupt",
+]
+
+
+class GuardViolation(RuntimeError):
+    """Some artifact or result failed an integrity check.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description.
+    reason:
+        Short slug naming the failure class (``"checksum"``,
+        ``"version-drift"``, ``"torn"``, ...) — stable across
+        releases, suitable for counters and quarantine file names.
+    artifact:
+        The artifact concerned (a path or a logical name), when known.
+    """
+
+    def __init__(self, message: str, *, reason: str = "violation",
+                 artifact=None):
+        super().__init__(message)
+        self.reason = reason
+        self.artifact = artifact
+
+
+class SealError(GuardViolation):
+    """A sealed artifact failed :func:`repro.guard.seal.check`."""
+
+
+class SealMissing(SealError):
+    """The blob carries no seal header at all.
+
+    Either a legacy artifact written before sealing existed, or a
+    foreign file that was never ours.  Loaders treat it exactly like
+    corruption — quarantine, never trust — but the distinct reason
+    (``"unsealed"``) keeps migration noise distinguishable from bit
+    rot in the counters.
+    """
+
+    def __init__(self, message: str, *, artifact=None):
+        super().__init__(message, reason="unsealed", artifact=artifact)
+
+
+class SealTruncated(SealError):
+    """The payload is shorter than the header promised.
+
+    The signature of an interrupted write (or a partial copy): the
+    header survived, the tail did not.
+    """
+
+    def __init__(self, message: str, *, artifact=None):
+        super().__init__(message, reason="truncated", artifact=artifact)
+
+
+class SealCorrupt(SealError):
+    """Unparseable header, trailing garbage, or checksum mismatch."""
+
+    def __init__(self, message: str, *, reason: str = "checksum",
+                 artifact=None):
+        super().__init__(message, reason=reason, artifact=artifact)
+
+
+class SealVersionDrift(SealError):
+    """The seal is intact but was written by a different world.
+
+    Schema drift (the artifact format changed) or simulator drift
+    (the timing model changed, so the payload describes a machine
+    that no longer exists).  The payload may be perfectly readable —
+    using it would still be wrong.
+    """
+
+    def __init__(self, message: str, *, reason: str = "version-drift",
+                 artifact=None):
+        super().__init__(message, reason=reason, artifact=artifact)
+
+
+class TraceCorrupt(GuardViolation):
+    """A trace archive violates a structural invariant.
+
+    Carries the index of the first offending record (``index``) and
+    the field concerned, so the error message points at the byte
+    neighbourhood to inspect rather than surfacing later as a
+    ``KeyError`` deep inside the ISA layer.
+    """
+
+    def __init__(self, message: str, *, index: int = -1,
+                 field: str = "", reason: str = "structure",
+                 artifact=None):
+        super().__init__(message, reason=reason, artifact=artifact)
+        self.index = index
+        self.field = field
+
+
+class AuditMismatch(GuardViolation):
+    """A sampled re-execution disagreed with a restored result.
+
+    The smoking gun for a stale cache or version drift that key
+    salting failed to catch (a hand-edited entry, a migrated
+    directory, a non-deterministic simulator bug).  Carries both
+    payloads so the divergence can be diffed field by field.
+
+    Attributes
+    ----------
+    key:
+        The content hash under which the stale result was stored.
+    index:
+        The task's grid position.
+    source:
+        ``"cache"`` or ``"journal"`` — where the restored value came
+        from.
+    expected:
+        The restored (trusted-until-now) stats.
+    actual:
+        The freshly re-executed stats.
+    fields:
+        Names of the differing stat fields.
+    """
+
+    def __init__(self, message: str, *, key: str = "", index: int = -1,
+                 source: str = "", expected=None, actual=None,
+                 fields=()):
+        super().__init__(message, reason="audit-mismatch",
+                         artifact=source or None)
+        self.key = key
+        self.index = index
+        self.source = source
+        self.expected = expected
+        self.actual = actual
+        self.fields = tuple(fields)
+
+
+class SimulationHang(RuntimeError):
+    """The pipeline stopped retiring instructions.
+
+    Raised by the retirement-progress watchdog in
+    :class:`repro.cpu.pipeline.Pipeline` when no instruction commits
+    for ``hang_cycles`` consecutive cycles — a livelock diagnosis
+    delivered in seconds instead of a silent task-timeout minutes
+    later.  ``dump`` is a plain dict snapshot of the machine state
+    (cycle, committed count, IFQ/ROB/LSQ occupancy, the head-of-ROB
+    entry, fetch stall state) for post-mortem without re-running.
+    """
+
+    def __init__(self, message: str, *, dump=None):
+        super().__init__(message)
+        self.dump = dict(dump or {})
+
+    def describe(self) -> str:
+        """The message plus the state dump, one ``key=value`` per line."""
+        lines = [str(self)]
+        for key in sorted(self.dump):
+            lines.append(f"  {key}={self.dump[key]!r}")
+        return "\n".join(lines)
+
+
+class StatsInvalid(RuntimeError):
+    """A finished run produced numerically broken statistics.
+
+    NaN or infinite derived metrics, negative counters, impossible
+    rates — signs of an arithmetic bug (overflow, divide-by-zero
+    feeding a later product) that would otherwise skew every
+    downstream effect and rank silently.  ``failures`` lists the
+    individual check failures.
+    """
+
+    def __init__(self, message: str, *, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)

@@ -1,0 +1,162 @@
+"""Sealing and checking binary artifacts.
+
+Every durable artifact this project writes — result-cache entries,
+journal lines, run manifests — used to carry its own ad-hoc notion of
+validity (a pickle that happens to load, a line whose checksum
+happens to match).  :func:`seal` and :func:`check` replace that with
+one uniform header so every loader detects the same four failure
+classes the same way:
+
+* **corruption** — the payload's SHA-256 no longer matches;
+* **truncation** — the payload is shorter than the header promised;
+* **schema drift** — the artifact format version changed;
+* **simulator drift** — :data:`repro.cpu.SIMULATOR_VERSION` changed,
+  so the payload describes measurements of a machine model that no
+  longer exists.
+
+Format (all ASCII until the payload)::
+
+    REPROSEAL1<newline>
+    {"kind": "...", "schema": N, "sim": "...", "len": N, "sha256": "..."}<newline>
+    <payload bytes>
+
+The header is a single canonical JSON line, so a sealed artifact is
+self-describing under ``head -2`` and greppable in a directory of
+thousands.  :func:`check` raises the typed errors of
+:mod:`repro.guard.errors`; each carries a stable ``reason`` slug the
+loaders use to name quarantined files and counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from .errors import (
+    SealCorrupt,
+    SealMissing,
+    SealTruncated,
+    SealVersionDrift,
+)
+
+__all__ = ["MAGIC", "seal", "check", "read_header"]
+
+#: First line of every sealed artifact.  The trailing ``1`` is the
+#: version of the *seal container* itself, independent of the sealed
+#: artifact's own ``schema``.
+MAGIC = b"REPROSEAL1\n"
+
+
+def _digest(payload: bytes) -> str:
+    return hashlib.sha256(payload).hexdigest()
+
+
+def seal(payload: bytes, *, kind: str, schema: int,
+         simulator_version: Optional[str] = None) -> bytes:
+    """Wrap ``payload`` in a sealed envelope.
+
+    Parameters
+    ----------
+    payload:
+        The artifact's raw bytes (a pickle, JSON, anything).
+    kind:
+        What this artifact is (``"result-cache"``, ``"manifest"``,
+        ...); :func:`check` refuses a blob sealed as something else,
+        so artifacts cannot silently masquerade across stores.
+    schema:
+        The artifact format version.
+    simulator_version:
+        :data:`repro.cpu.SIMULATOR_VERSION` for artifacts whose
+        contents depend on the timing model; ``None`` for artifacts
+        that do not (the check is then skipped on load).
+    """
+    header = {
+        "kind": kind,
+        "len": len(payload),
+        "schema": int(schema),
+        "sha256": _digest(payload),
+    }
+    if simulator_version is not None:
+        header["sim"] = str(simulator_version)
+    line = json.dumps(header, sort_keys=True, separators=(",", ":"))
+    return MAGIC + line.encode("ascii") + b"\n" + payload
+
+
+def read_header(blob: bytes) -> Dict[str, object]:
+    """The parsed seal header of ``blob`` (no payload validation).
+
+    For inspection tools; raises :class:`SealMissing` /
+    :class:`SealCorrupt` exactly like :func:`check` when even the
+    header cannot be trusted.
+    """
+    if not blob.startswith(MAGIC):
+        raise SealMissing("no seal header (legacy or foreign artifact)")
+    newline = blob.find(b"\n", len(MAGIC))
+    if newline < 0:
+        raise SealCorrupt("seal header line never terminates",
+                          reason="malformed-header")
+    try:
+        header = json.loads(blob[len(MAGIC):newline].decode("ascii"))
+        if not isinstance(header, dict):
+            raise ValueError("header is not an object")
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SealCorrupt(f"unparseable seal header: {exc}",
+                          reason="malformed-header") from None
+    header["_payload_offset"] = newline + 1
+    return header
+
+
+def check(blob: bytes, *, kind: str, schema: Optional[int] = None,
+          simulator_version: Optional[str] = None) -> bytes:
+    """Validate a sealed blob and return its payload bytes.
+
+    Checks, in order: the magic, the header, the artifact ``kind``,
+    schema drift, simulator drift, truncation, and finally the
+    payload checksum.  Drift is diagnosed *before* the checksum so a
+    stale-but-intact artifact is reported as drift (actionable:
+    regenerate) rather than corruption (alarming: investigate the
+    disk).
+
+    Parameters mirror :func:`seal`; pass ``schema=None`` or
+    ``simulator_version=None`` to skip the respective drift check.
+    """
+    header = read_header(blob)
+    offset = header.pop("_payload_offset")
+    found_kind = header.get("kind")
+    if found_kind != kind:
+        raise SealCorrupt(
+            f"sealed as {found_kind!r}, expected {kind!r}",
+            reason="wrong-kind",
+        )
+    if schema is not None and header.get("schema") != int(schema):
+        raise SealVersionDrift(
+            f"schema v{header.get('schema')} != expected v{schema}",
+            reason="schema-drift",
+        )
+    if simulator_version is not None and "sim" in header \
+            and header["sim"] != str(simulator_version):
+        raise SealVersionDrift(
+            f"simulator version {header['sim']!r} != current "
+            f"{simulator_version!r}",
+            reason="version-drift",
+        )
+    payload = blob[offset:]
+    expected_len = header.get("len")
+    if not isinstance(expected_len, int) or expected_len < 0:
+        raise SealCorrupt("seal header carries no valid payload length",
+                          reason="malformed-header")
+    if len(payload) < expected_len:
+        raise SealTruncated(
+            f"payload is {len(payload)} bytes, header promised "
+            f"{expected_len}"
+        )
+    if len(payload) > expected_len:
+        raise SealCorrupt(
+            f"{len(payload) - expected_len} bytes of trailing garbage "
+            "after the sealed payload",
+            reason="trailing-garbage",
+        )
+    if _digest(payload) != header.get("sha256"):
+        raise SealCorrupt("payload checksum mismatch")
+    return payload

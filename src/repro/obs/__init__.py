@@ -36,7 +36,7 @@ from .export import (
     write_chrome_trace,
     write_metrics_jsonl,
 )
-from .manifest import RunManifest, config_fingerprint
+from .manifest import RunManifest, config_fingerprint, load_manifest
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .span import Span, Tracer
 from .telemetry import Telemetry, phase_of
@@ -53,6 +53,7 @@ __all__ = [
     "chrome_trace",
     "config_fingerprint",
     "elapsed",
+    "load_manifest",
     "phase_of",
     "render_metrics_table",
     "scrub_trace",

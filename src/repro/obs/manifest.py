@@ -17,6 +17,15 @@ reproducible facts (fingerprint, versions, settings) or clearly
 volatile annotations (timestamps, host platform, elapsed seconds);
 :func:`RunManifest.to_dict` keeps them in separate top-level groups so
 a diff between two manifests separates signal from noise.
+
+Schema v2 adds an ``integrity`` group: the JSON-native equivalent of
+the binary seal envelope (:mod:`repro.guard.seal`) — artifact kind,
+schema version, simulator version, and a SHA-256 over the canonical
+encoding of the other groups.  ``json.load`` keeps working untouched;
+:func:`load_manifest` is the checking loader, raising the same typed
+:class:`~repro.guard.errors.SealError` family every other sealed
+artifact uses when a manifest was tampered with, truncated-and-
+reassembled, or written under a different schema.
 """
 
 from __future__ import annotations
@@ -30,11 +39,27 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.guard.errors import SealCorrupt, SealMissing, SealVersionDrift
+
 from . import clock
 
-__all__ = ["RunManifest", "config_fingerprint"]
+__all__ = ["RunManifest", "config_fingerprint", "load_manifest"]
 
-SCHEMA_VERSION = 1
+#: v1 had no ``integrity`` group; v2 (current) carries one.
+SCHEMA_VERSION = 2
+
+#: Seal ``kind`` tag manifests carry in their ``integrity`` group.
+MANIFEST_KIND = "manifest"
+
+
+def _integrity_digest(doc: Dict[str, object]) -> str:
+    """SHA-256 over the canonical encoding of a manifest's payload
+    groups (everything except ``integrity`` itself)."""
+    payload = {k: v for k, v in doc.items() if k != "integrity"}
+    blob = json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 def config_fingerprint(payload: Dict[str, object]) -> str:
@@ -107,7 +132,7 @@ class RunManifest:
         manifests of the same experiment shows differences exactly
         where differences are expected.
         """
-        return {
+        doc = {
             "schema": SCHEMA_VERSION,
             "run": {
                 "command": self.command,
@@ -130,6 +155,13 @@ class RunManifest:
                 "metrics": self.metrics,
             },
         }
+        doc["integrity"] = {
+            "kind": MANIFEST_KIND,
+            "schema": SCHEMA_VERSION,
+            "sim": self.simulator_version,
+            "sha256": _integrity_digest(doc),
+        }
+        return doc
 
     def write(self, path: Union[str, os.PathLike]) -> Path:
         """Write the manifest as indented JSON; returns the path."""
@@ -140,3 +172,60 @@ class RunManifest:
             encoding="utf-8",
         )
         return path
+
+
+def load_manifest(path: Union[str, os.PathLike],
+                  *, simulator_version: Optional[str] = None) \
+        -> Dict[str, object]:
+    """Load a manifest and verify its ``integrity`` group.
+
+    Raises the typed seal errors of :mod:`repro.guard.errors`:
+    :class:`SealMissing` for a v1/foreign manifest without an
+    integrity group, :class:`SealVersionDrift` on schema (or, when
+    ``simulator_version`` is given, simulator) drift, and
+    :class:`SealCorrupt` when the recomputed payload digest disagrees
+    — i.e. any group was edited after the run wrote it.  Returns the
+    parsed document.
+    """
+    path = Path(path)
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise SealCorrupt(
+            f"{path}: unparseable manifest: {exc}",
+            reason="malformed", artifact=str(path),
+        ) from None
+    if not isinstance(doc, dict) or "integrity" not in doc:
+        raise SealMissing(
+            f"{path}: manifest carries no integrity group "
+            "(schema v1 or foreign document)",
+            artifact=str(path),
+        )
+    integrity = doc["integrity"]
+    if not isinstance(integrity, dict) \
+            or integrity.get("kind") != MANIFEST_KIND:
+        raise SealCorrupt(
+            f"{path}: integrity group is not a manifest seal",
+            reason="wrong-kind", artifact=str(path),
+        )
+    if integrity.get("schema") != SCHEMA_VERSION \
+            or doc.get("schema") != SCHEMA_VERSION:
+        raise SealVersionDrift(
+            f"{path}: manifest schema v{doc.get('schema')} != "
+            f"expected v{SCHEMA_VERSION}",
+            reason="schema-drift", artifact=str(path),
+        )
+    if simulator_version is not None \
+            and integrity.get("sim") != str(simulator_version):
+        raise SealVersionDrift(
+            f"{path}: manifest written under simulator "
+            f"{integrity.get('sim')!r}, expected {simulator_version!r}",
+            artifact=str(path),
+        )
+    if _integrity_digest(doc) != integrity.get("sha256"):
+        raise SealCorrupt(
+            f"{path}: manifest payload does not match its integrity "
+            "digest — the document was edited after it was written",
+            artifact=str(path),
+        )
+    return doc

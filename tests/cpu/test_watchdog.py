@@ -1,0 +1,89 @@
+"""Tests for the simulation watchdogs (hang detection, instruction
+budget, statistics integrity) wired into the pipeline."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.cpu import HANG_CYCLES, MachineConfig, simulate
+from repro.cpu.pipeline import SimulationError
+from repro.guard import SimulationHang, StatsInvalid
+from repro.workloads import benchmark_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return benchmark_trace("gzip", 800)
+
+
+class TestHangWatchdog:
+    def test_normal_run_never_trips(self, trace):
+        stats = simulate(MachineConfig(), trace)
+        assert stats.instructions == len(trace)
+
+    def test_default_budget_is_generous(self):
+        # The shipped threshold must dwarf any legitimate commit gap
+        # (worst-case pile-up of memory latency, refill and queueing).
+        assert HANG_CYCLES >= 10_000
+
+    def test_tight_threshold_raises_with_dump(self, trace):
+        # An absurdly tight threshold turns an ordinary memory stall
+        # into a "hang" — exercising the real detection and dump path.
+        with pytest.raises(SimulationHang) as info:
+            simulate(MachineConfig(), trace, hang_cycles=1)
+        exc = info.value
+        assert exc.dump["trace"] == trace.name
+        for key in ("cycle", "committed", "rob_occupancy",
+                    "lsq_occupancy", "ifq_occupancy", "fetch_index"):
+            assert key in exc.dump
+        described = exc.describe()
+        assert "rob_occupancy=" in described
+        assert str(exc) in described
+
+    def test_disabled_watchdog_completes(self, trace):
+        baseline = simulate(MachineConfig(), trace)
+        unguarded = simulate(MachineConfig(), trace, hang_cycles=None)
+        assert unguarded == baseline
+
+
+class TestInstructionBudget:
+    def test_oversized_trace_refused_upfront(self, trace):
+        with pytest.raises(SimulationError, match="budget"):
+            simulate(MachineConfig(), trace,
+                     max_instructions=len(trace) - 1)
+
+    def test_exact_budget_accepted(self, trace):
+        stats = simulate(MachineConfig(), trace,
+                         max_instructions=len(trace))
+        assert stats.instructions == len(trace)
+
+
+class TestStatsIntegrity:
+    def test_finished_run_validates(self, trace):
+        stats = simulate(MachineConfig(), trace)
+        assert stats.integrity_failures() == []
+        assert stats.validate() is stats
+
+    def test_negative_counter_is_named(self, trace):
+        stats = simulate(MachineConfig(), trace)
+        broken = dataclasses.replace(stats, cycles=-1)
+        failures = broken.integrity_failures()
+        assert any("cycles" in f for f in failures)
+        with pytest.raises(StatsInvalid) as info:
+            broken.validate("gzip")
+        assert "gzip" in str(info.value)
+        assert info.value.failures
+
+    def test_impossible_rate_is_named(self, trace):
+        stats = simulate(MachineConfig(), trace)
+        broken = dataclasses.replace(
+            stats, mispredictions=stats.branches + 1
+        )
+        assert any("mispredictions" in f
+                   for f in broken.integrity_failures())
+
+    def test_nan_derivation_is_named(self, trace):
+        stats = simulate(MachineConfig(), trace)
+        broken = dataclasses.replace(stats, cycles=math.nan)
+        assert any("cycles" in f for f in broken.integrity_failures())

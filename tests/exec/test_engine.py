@@ -151,6 +151,27 @@ class TestCache:
         (tmp_path / "cache" / "deadbeef.pkl").write_bytes(b"not a pickle")
         assert cache.get("deadbeef") is None
 
+    def test_foreign_version_entry_rejected_on_get(self, tmp_path,
+                                                   traces):
+        """An entry *written* under another SIMULATOR_VERSION is
+        rejected by its seal even when it sits under the right file
+        name (hand-migrated directories, edited files)."""
+        task = SimTask(config=MachineConfig(), trace=traces["gzip"])
+        key = task_key(task)
+        stats = simulate(MachineConfig(), traces["gzip"], warmup=True)
+        ResultCache(tmp_path / "cache", version="v-old").put(key, stats)
+        cache = ResultCache(tmp_path / "cache", version="v-new")
+        assert cache.get(key) is None
+        assert cache.quarantined == {"version-drift": 1}
+        assert cache.counters()["quarantined"] == 1
+        quarantine = tmp_path / "cache" / "quarantine"
+        assert [f.name for f in quarantine.iterdir()] == \
+            [f"{key}.version-drift.pkl"]
+        # Quarantined means gone for good: the retry is still a miss
+        # and does not double-count.
+        assert cache.get(key) is None
+        assert cache.counters()["quarantined"] == 1
+
     def test_memory_only_cache(self, traces, monkeypatch):
         tasks = grid_tasks([MachineConfig()], traces)
         cache = ResultCache()

@@ -1,0 +1,127 @@
+"""Tests for the sealed-artifact envelope (repro.guard.seal)."""
+
+import json
+
+import pytest
+
+from repro.guard import (
+    MAGIC,
+    SealCorrupt,
+    SealMissing,
+    SealTruncated,
+    SealVersionDrift,
+    check,
+    read_header,
+    seal,
+)
+
+PAYLOAD = b"the payload bytes \x00\xff binary ok"
+
+
+def sealed(**kwargs):
+    options = dict(kind="test-kind", schema=3, simulator_version="1.0")
+    options.update(kwargs)
+    return seal(PAYLOAD, **options)
+
+
+class TestRoundtrip:
+    def test_check_returns_payload(self):
+        assert check(sealed(), kind="test-kind", schema=3,
+                     simulator_version="1.0") == PAYLOAD
+
+    def test_envelope_is_self_describing(self):
+        blob = sealed()
+        assert blob.startswith(MAGIC)
+        header = json.loads(blob.split(b"\n")[1])
+        assert header["kind"] == "test-kind"
+        assert header["schema"] == 3
+        assert header["sim"] == "1.0"
+        assert header["len"] == len(PAYLOAD)
+
+    def test_read_header_reports_offset(self):
+        blob = sealed()
+        header = read_header(blob)
+        offset = header["_payload_offset"]
+        assert blob[offset:] == PAYLOAD
+
+    def test_empty_payload(self):
+        blob = seal(b"", kind="k", schema=1)
+        assert check(blob, kind="k", schema=1) == b""
+
+    def test_skipped_checks(self):
+        # schema=None / simulator_version=None skip the drift checks.
+        blob = sealed()
+        assert check(blob, kind="test-kind") == PAYLOAD
+        assert check(blob, kind="test-kind", schema=3,
+                     simulator_version=None) == PAYLOAD
+
+    def test_no_sim_in_header_skips_sim_check(self):
+        blob = seal(PAYLOAD, kind="k", schema=1)
+        assert check(blob, kind="k", schema=1,
+                     simulator_version="anything") == PAYLOAD
+
+
+class TestFailures:
+    def test_missing_seal(self):
+        with pytest.raises(SealMissing) as info:
+            check(b"just some bytes", kind="test-kind")
+        assert info.value.reason == "unsealed"
+
+    def test_flipped_payload_byte_is_checksum(self):
+        blob = bytearray(sealed())
+        blob[-5] ^= 0xFF
+        with pytest.raises(SealCorrupt) as info:
+            check(bytes(blob), kind="test-kind", schema=3)
+        assert info.value.reason == "checksum"
+
+    def test_truncated_payload(self):
+        with pytest.raises(SealTruncated) as info:
+            check(sealed()[:-4], kind="test-kind", schema=3)
+        assert info.value.reason == "truncated"
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SealCorrupt) as info:
+            check(sealed() + b"extra", kind="test-kind", schema=3)
+        assert info.value.reason == "trailing-garbage"
+
+    def test_wrong_kind(self):
+        with pytest.raises(SealCorrupt) as info:
+            check(sealed(), kind="other-kind")
+        assert info.value.reason == "wrong-kind"
+
+    def test_schema_drift(self):
+        with pytest.raises(SealVersionDrift) as info:
+            check(sealed(), kind="test-kind", schema=4)
+        assert info.value.reason == "schema-drift"
+
+    def test_simulator_drift(self):
+        with pytest.raises(SealVersionDrift) as info:
+            check(sealed(), kind="test-kind", schema=3,
+                  simulator_version="2.0")
+        assert info.value.reason == "version-drift"
+
+    def test_drift_diagnosed_before_checksum(self):
+        # A stale *and* corrupt artifact reports drift: regenerating
+        # is the actionable fix either way.
+        blob = bytearray(sealed())
+        blob[-1] ^= 0xFF
+        with pytest.raises(SealVersionDrift):
+            check(bytes(blob), kind="test-kind", schema=4)
+
+    def test_unparseable_header(self):
+        blob = MAGIC + b"not json\n" + PAYLOAD
+        with pytest.raises(SealCorrupt) as info:
+            check(blob, kind="test-kind")
+        assert info.value.reason == "malformed-header"
+
+    def test_unterminated_header(self):
+        with pytest.raises(SealCorrupt) as info:
+            check(MAGIC + b'{"kind": "x"', kind="x")
+        assert info.value.reason == "malformed-header"
+
+    def test_header_without_length(self):
+        header = json.dumps({"kind": "x", "sha256": "0" * 64})
+        blob = MAGIC + header.encode() + b"\n" + PAYLOAD
+        with pytest.raises(SealCorrupt) as info:
+            check(blob, kind="x")
+        assert info.value.reason == "malformed-header"

@@ -1,0 +1,203 @@
+"""Tests for ``repro verify`` (repro.guard.verify) and the
+``--run-dir`` screen convenience that feeds it."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.cpu import SIMULATOR_VERSION
+from repro.guard import SealCorrupt, check as guard_check
+from repro.guard.verify import (
+    RESULTS_KIND,
+    RESULTS_SCHEMA,
+    load_results,
+    verify_run,
+)
+
+BENCH, LENGTH = "gzip", 600
+
+
+@pytest.fixture(scope="module")
+def run_dir(tmp_path_factory):
+    """One finished, verifiable screen run (88 x 1 cells)."""
+    directory = tmp_path_factory.mktemp("runs") / "screen"
+    status = main(["screen", "-b", BENCH, "-n", str(LENGTH),
+                   "--run-dir", str(directory)])
+    assert status == 0
+    return directory
+
+
+@pytest.fixture()
+def copy(run_dir, tmp_path):
+    """A private mutable copy of the finished run."""
+    target = tmp_path / "run"
+    shutil.copytree(run_dir, target)
+    return target
+
+
+class TestRunDirLayout:
+    def test_all_artifacts_written(self, run_dir):
+        for name in ("manifest.json", "journal.jsonl", "metrics.jsonl",
+                     "results.json", "cache"):
+            assert (run_dir / name).exists(), name
+
+    def test_results_document_is_sealed(self, run_dir):
+        payload = guard_check(
+            (run_dir / "results.json").read_bytes(),
+            kind=RESULTS_KIND, schema=RESULTS_SCHEMA,
+            simulator_version=SIMULATOR_VERSION,
+        )
+        doc = json.loads(payload)
+        assert doc["design"]["n_runs"] == 88
+        assert set(doc["responses"]) == {BENCH}
+        assert doc["ranking"]["factors"]
+        assert load_results(run_dir / "results.json") == doc
+
+    def test_manifest_records_workload(self, run_dir):
+        from repro.obs import load_manifest
+
+        doc = load_manifest(run_dir / "manifest.json")
+        assert doc["run"]["workload"] == {
+            "benchmarks": BENCH, "length": LENGTH,
+        }
+
+
+class TestCleanVerify:
+    def test_status_zero_all_checks_pass(self, run_dir):
+        report = verify_run(run_dir)
+        assert [c.name for c in report.checks if c.ok is not True] == []
+        assert report.status == 0
+
+    def test_cli_exit_zero(self, run_dir, capsys):
+        assert main(["verify", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "VERIFIED: all artifacts agree" in out
+        assert "recompute:gzip" in out
+
+    def test_rerun_with_run_dir_resumes_and_stays_clean(self, copy,
+                                                        capsys):
+        # --run-dir implies --resume on its own journal: the rerun
+        # costs zero simulations and rewrites identical artifacts.
+        assert main(["screen", "-b", BENCH, "-n", str(LENGTH),
+                     "--run-dir", str(copy)]) == 0
+        assert verify_run(copy).status == 0
+
+
+class TestViolations:
+    def test_corrupt_journal_line_names_the_file(self, copy, capsys):
+        journal = copy / "journal.jsonl"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        lines[2] = lines[2].replace(b'"sha": "', b'"sha": "f')
+        journal.write_bytes(b"".join(lines))
+        assert main(["verify", str(copy)]) == 1
+        out = capsys.readouterr().out
+        assert "journal.jsonl" in out and "checksum" in out
+
+    def test_corrupt_cache_entry_names_the_directory(self, copy,
+                                                     capsys):
+        entry = sorted((copy / "cache").glob("*.pkl"))[0]
+        blob = bytearray(entry.read_bytes())
+        blob[-3] ^= 0xFF
+        entry.write_bytes(bytes(blob))
+        assert main(["verify", str(copy)]) == 1
+        out = capsys.readouterr().out
+        assert "cache" in out and "quarantined" in out
+
+    def test_both_corruptions_both_named(self, copy, capsys):
+        journal = copy / "journal.jsonl"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        lines[0] = lines[0].replace(b'"sha": "', b'"sha": "f')
+        journal.write_bytes(b"".join(lines))
+        entry = sorted((copy / "cache").glob("*.pkl"))[1]
+        entry.write_bytes(entry.read_bytes()[:-10])
+        assert main(["verify", str(copy)]) == 1
+        out = capsys.readouterr().out
+        assert "journal.jsonl" in out
+        assert str(copy / "cache") in out
+
+    def test_tampered_results_seal(self, copy):
+        results = copy / "results.json"
+        blob = bytearray(results.read_bytes())
+        blob[-2] ^= 0xFF
+        results.write_bytes(bytes(blob))
+        report = verify_run(copy)
+        assert report.status == 1
+        failing = {c.name for c in report.violations}
+        assert failing == {"results"}
+
+    def test_doctored_results_caught_by_recompute(self, copy):
+        # Re-seal the document honestly but with one response value
+        # altered: only the recomputation can catch this.
+        from repro.guard import seal as make_seal
+
+        doc = load_results(copy / "results.json")
+        doc["responses"][BENCH][17] += 1.0
+        (copy / "results.json").write_bytes(make_seal(
+            json.dumps(doc).encode(), kind=RESULTS_KIND,
+            schema=RESULTS_SCHEMA, simulator_version=SIMULATOR_VERSION,
+        ))
+        report = verify_run(copy)
+        assert report.status == 1
+        failing = {c.name for c in report.violations}
+        assert f"recompute:{BENCH}" in failing
+
+    def test_doctored_ranking_caught(self, copy):
+        from repro.guard import seal as make_seal
+
+        doc = load_results(copy / "results.json")
+        doc["ranking"]["sums"][0] += 2
+        (copy / "results.json").write_bytes(make_seal(
+            json.dumps(doc).encode(), kind=RESULTS_KIND,
+            schema=RESULTS_SCHEMA, simulator_version=SIMULATOR_VERSION,
+        ))
+        report = verify_run(copy)
+        assert report.status == 1
+        assert "rank-sums" in {c.name for c in report.violations}
+
+    def test_edited_manifest_detected(self, copy):
+        manifest = copy / "manifest.json"
+        doc = json.loads(manifest.read_text())
+        doc["run"]["workload"]["length"] = 99999
+        manifest.write_text(json.dumps(doc))
+        report = verify_run(copy)
+        assert report.status == 1
+        assert report.checks[0].name == "manifest"
+        assert report.checks[0].ok is False
+
+
+class TestInconclusive:
+    def test_empty_directory(self, tmp_path):
+        report = verify_run(tmp_path)
+        assert report.status == 2
+        assert report.inconclusive
+
+    def test_missing_results_document(self, copy):
+        (copy / "results.json").unlink()
+        report = verify_run(copy)
+        assert report.status == 2
+        names = {c.name for c in report.inconclusive}
+        assert "results" in names
+
+    def test_missing_journal(self, copy):
+        (copy / "journal.jsonl").unlink()
+        report = verify_run(copy)
+        assert report.status == 2
+
+    def test_violation_outranks_missing_evidence(self, copy):
+        (copy / "results.json").unlink()
+        entry = sorted((copy / "cache").glob("*.pkl"))[0]
+        entry.write_bytes(b"junk")
+        report = verify_run(copy)
+        assert report.status == 1
+
+
+class TestResultsHelpers:
+    def test_load_results_raises_on_wrong_kind(self, tmp_path):
+        from repro.guard import seal as make_seal
+
+        path = tmp_path / "results.json"
+        path.write_bytes(make_seal(b"{}", kind="other", schema=1))
+        with pytest.raises(SealCorrupt):
+            load_results(path)

@@ -55,7 +55,10 @@ class TestRunManifest:
         manifest.finalize()
         doc = manifest.to_dict()
         assert doc["schema"] == SCHEMA_VERSION
-        assert set(doc) == {"schema", "run", "host", "outcome"}
+        assert set(doc) == {"schema", "run", "host", "outcome",
+                            "integrity"}
+        assert doc["integrity"]["kind"] == "manifest"
+        assert doc["integrity"]["sim"] == SIMULATOR_VERSION
         assert doc["run"]["command"] == "screen"
         assert doc["run"]["simulator_version"] == SIMULATOR_VERSION
         assert doc["run"]["settings"] == {"jobs": 2}

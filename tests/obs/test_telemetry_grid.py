@@ -157,6 +157,7 @@ class TestCacheCounters:
         cache = ResultCache()
         assert cache.counters() == {
             "corrupt": 0, "hits": 0, "misses": 0, "put_failures": 0,
+            "quarantined": 0,
         }
 
     def test_cache_counters_surface_in_registry(self, traces):

@@ -341,3 +341,86 @@ class TestObservabilityFlags:
         assert main(["screen", "--manifest", str(manifest)]) == 130
         run = json.loads(manifest.read_text())
         assert run["outcome"]["exit_status"] == "interrupted"
+
+
+class TestGuardFlags:
+    def test_audit_default_off(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.audit is None
+        assert args.audit_seed == 0
+        assert args.run_dir is None
+
+    def test_bad_audit_fraction_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["screen", "-b", "gzip", "-n", "600",
+                  "--audit", "1.5"])
+
+    def test_screen_with_audit_over_warm_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["screen", "-b", "gzip", "-n", "600",
+                     "--cache-dir", cache]) == 0
+        first = capsys.readouterr().out
+        assert main(["screen", "-b", "gzip", "-n", "600",
+                     "--cache-dir", cache, "--audit", "0.2"]) == 0
+        second = capsys.readouterr().out
+        assert second == first   # clean audit: bit-identical output
+
+
+class TestVerifyCommand:
+    def test_missing_run_dir_inconclusive(self, tmp_path, capsys):
+        assert main(["verify", str(tmp_path / "nowhere")]) == 2
+        assert "INCONCLUSIVE" in capsys.readouterr().out
+
+
+class TestJournalCommands:
+    def _journal(self, tmp_path):
+        from repro.cpu import MachineConfig, simulate
+        from repro.exec import Journal
+        from repro.workloads import benchmark_trace
+
+        trace = benchmark_trace("gzip", 600)
+        stats = simulate(MachineConfig(), trace, warmup=True)
+        path = tmp_path / "journal.jsonl"
+        with Journal(path) as journal:
+            for i in range(3):
+                journal.record(f"key-{i}" + "0" * 58, stats)
+        return path
+
+    def test_scan_clean_exits_zero(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        assert main(["journal", "scan", str(path)]) == 0
+        assert "3 valid" in capsys.readouterr().out
+
+    def test_scan_torn_exits_one(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        path.write_bytes(path.read_bytes()[:-20])
+        assert main(["journal", "scan", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "torn" in out
+
+    def test_repair_truncates_torn_tail(self, tmp_path, capsys):
+        path = self._journal(tmp_path)
+        size = path.stat().st_size
+        path.write_bytes(path.read_bytes()[:-20])
+        assert main(["journal", "repair", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "truncated torn tail" in out
+        # Idempotent and now clean.
+        assert main(["journal", "scan", str(path)]) == 0
+        assert path.stat().st_size < size
+
+    def test_repair_reports_midfile_damage_but_keeps_it(self, tmp_path,
+                                                        capsys):
+        path = self._journal(tmp_path)
+        lines = path.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"sha": "', b'"sha": "f')
+        path.write_bytes(b"".join(lines))
+        before = path.read_bytes()
+        assert main(["journal", "repair", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "line 2: checksum" in out
+        assert path.read_bytes() == before   # evidence preserved
+
+    def test_missing_journal_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["journal", "scan", str(tmp_path / "absent.jsonl")])

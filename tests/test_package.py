@@ -7,8 +7,8 @@ import pytest
 import repro
 
 
-SUBPACKAGES = ["analysis", "core", "cpu", "doe", "exec", "obs",
-               "reporting", "workloads"]
+SUBPACKAGES = ["analysis", "core", "cpu", "doe", "exec", "guard",
+               "obs", "reporting", "workloads"]
 
 
 class TestSurface:

@@ -1,16 +1,29 @@
 """Tests for trace serialization (repro.workloads.io)."""
 
+import io
+
 import numpy as np
 import pytest
 
 from repro.cpu import MachineConfig, simulate
+from repro.guard import check as guard_check
 from repro.workloads import benchmark_trace, load_trace, save_trace
-from repro.workloads.io import FORMAT_VERSION, _FIELDS
+from repro.workloads.io import FORMAT_VERSION, TRACE_KIND, _FIELDS
 
 
 @pytest.fixture
 def trace():
     return benchmark_trace("gzip", 1500)
+
+
+def _unseal(path):
+    """The arrays of a sealed archive, for tests that tamper with
+    them and re-write a plain (legacy-style) ``.npz``."""
+    payload = guard_check(
+        path.read_bytes(), kind=TRACE_KIND, schema=FORMAT_VERSION
+    )
+    with np.load(io.BytesIO(payload)) as archive:
+        return dict(archive)
 
 
 class TestRoundTrip:
@@ -48,8 +61,7 @@ class TestValidation:
     def test_version_mismatch(self, trace, tmp_path):
         path = tmp_path / "t.npz"
         save_trace(trace, path)
-        with np.load(path) as archive:
-            data = dict(archive)
+        data = _unseal(path)
         data["__version__"] = np.int64(FORMAT_VERSION + 1)
         np.savez(path, **data)
         with pytest.raises(ValueError, match="format"):
@@ -58,8 +70,7 @@ class TestValidation:
     def test_missing_field(self, trace, tmp_path):
         path = tmp_path / "t.npz"
         save_trace(trace, path)
-        with np.load(path) as archive:
-            data = dict(archive)
+        data = _unseal(path)
         del data["mem_addr"]
         np.savez(path, **data)
         with pytest.raises(ValueError, match="missing array"):
@@ -69,8 +80,7 @@ class TestValidation:
         """A structurally invalid trace fails validation at load."""
         path = tmp_path / "t.npz"
         save_trace(trace, path)
-        with np.load(path) as archive:
-            data = dict(archive)
+        data = _unseal(path)
         mem = data["mem_addr"].copy()
         op = data["op"]
         from repro.cpu import OpClass
@@ -109,8 +119,91 @@ class TestNameRoundTrip:
         external tool might write it) must load to the same string."""
         path = tmp_path / "t.npz"
         save_trace(trace, path)
-        with np.load(path) as archive:
-            data = dict(archive)
+        data = _unseal(path)
         data["__name__"] = np.str_("gzìp-unicode")
         np.savez(path, **data)
         assert load_trace(path).name == "gzìp-unicode"
+
+
+class TestStrictMode:
+    """``load_trace(strict=True)``: per-record invariants with the
+    offending record named (satellite of the repro.guard work)."""
+
+    def _mutated(self, trace, tmp_path, **changes):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        data = _unseal(path)
+        for field, (index, value) in changes.items():
+            column = data[field].copy()
+            column[index] = value
+            data[field] = column
+        np.savez(path, **data)
+        return path
+
+    def test_clean_trace_passes(self, trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path, strict=True)
+        assert loaded.fingerprint() == trace.fingerprint()
+
+    def test_opcode_domain(self, trace, tmp_path):
+        from repro.cpu import BranchKind
+        from repro.guard import TraceCorrupt
+
+        index = int(np.where(
+            trace.branch_kind == int(BranchKind.NONE)
+        )[0][5])
+        path = self._mutated(trace, tmp_path, op=(index, 99))
+        with pytest.raises(TraceCorrupt) as info:
+            load_trace(path, strict=True)
+        assert info.value.reason == "opcode-domain"
+        assert info.value.index == index
+        assert info.value.field == "op"
+        # The offending record is named in the message.
+        assert f"record {index}" in str(info.value)
+
+    def test_branch_kind_domain(self, trace, tmp_path):
+        from repro.cpu import OpClass
+        from repro.guard import TraceCorrupt
+
+        index = int(np.where(trace.op == int(OpClass.BRANCH))[0][0])
+        path = self._mutated(trace, tmp_path,
+                             branch_kind=(index, 77))
+        with pytest.raises(TraceCorrupt) as info:
+            load_trace(path, strict=True)
+        assert info.value.reason == "branch-kind-domain"
+        assert info.value.index == index
+
+    def test_negative_pc(self, trace, tmp_path):
+        from repro.guard import TraceCorrupt
+
+        path = self._mutated(trace, tmp_path, pc=(0, -8))
+        with pytest.raises(TraceCorrupt) as info:
+            load_trace(path, strict=True)
+        assert info.value.reason == "pc-domain"
+        assert info.value.index == 0
+
+    def test_pc_flow_break(self, trace, tmp_path):
+        from repro.cpu import BranchKind, OpClass
+        from repro.guard import TraceCorrupt
+
+        # A record whose predecessor is a plain instruction: its PC
+        # must be predecessor + 4.  Nudging it models a spliced or
+        # reordered trace.
+        plain = (trace.op != int(OpClass.BRANCH))[:-1]
+        index = int(np.where(plain)[0][10]) + 1
+        path = self._mutated(
+            trace, tmp_path, pc=(index, int(trace.pc[index]) + 400)
+        )
+        with pytest.raises(TraceCorrupt) as info:
+            load_trace(path, strict=True)
+        assert info.value.reason == "pc-flow"
+        assert info.value.index == index
+        assert info.value.field == "pc"
+
+    def test_default_load_skips_per_record_checks(self, trace,
+                                                  tmp_path):
+        """strict is opt-in: the default load only runs the cheap
+        structural validation, so external archives keep loading."""
+        path = self._mutated(trace, tmp_path, pc=(0, -8))
+        assert load_trace(path) is not None
