@@ -21,7 +21,13 @@ The experiments run through :mod:`repro.exec`:
   ``BENCH_<label>.json`` run manifest and ``BENCH_<label>.metrics.jsonl``
   metrics dump per session experiment (see :mod:`repro.obs`), so a
   perf-trajectory directory accumulates comparable provenance records
-  across sessions.
+  across sessions;
+* ``--core NAME`` (or ``REPRO_BENCH_CORE``) picks the simulator core
+  (default ``batched``); every core is field-exact equivalent, so the
+  deterministic ``sim.*`` totals in the emitted manifests are
+  core-independent — which is what lets ``repro bench check`` compare
+  a fresh batched-core session against the committed reference-core
+  baselines under ``benchmarks/baselines/`` bit-exact.
 """
 
 import os
@@ -54,6 +60,12 @@ def pytest_addoption(parser):
         help="write BENCH_<label>.json run manifests (plus metrics "
              "JSONL) for each session experiment into this directory",
     )
+    group.addoption(
+        "--core",
+        default=os.environ.get("REPRO_BENCH_CORE", "batched"),
+        help="simulator core for the session experiments "
+             "(default batched; all cores are field-exact equivalent)",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -72,7 +84,13 @@ def manifest_dir(request):
     return request.config.getoption("--manifest-dir")
 
 
-def _instrumented_run(label, manifest_dir, jobs, cache_dir, run):
+@pytest.fixture(scope="session")
+def exec_core(request):
+    return request.config.getoption("--core")
+
+
+def _instrumented_run(label, manifest_dir, jobs, cache_dir, run,
+                      core="batched"):
     """Run one session experiment, optionally emitting observability
     artifacts (``BENCH_<label>.json`` + ``BENCH_<label>.metrics.jsonl``)
     into ``manifest_dir``.
@@ -93,7 +111,8 @@ def _instrumented_run(label, manifest_dir, jobs, cache_dir, run):
     )
 
     telemetry = Telemetry.armed(trace=False, simulator_counters=True)
-    settings = {"jobs": jobs, "cache_dir": cache_dir, "scale": SCALE}
+    settings = {"jobs": jobs, "cache_dir": cache_dir, "scale": SCALE,
+                "core": core}
     manifest = RunManifest(
         command=f"bench:{label}",
         fingerprint=config_fingerprint({
@@ -124,15 +143,16 @@ def suite_traces():
 
 
 @pytest.fixture(scope="session")
-def table9_experiment(suite_traces, exec_jobs, exec_cache, request,
-                      manifest_dir):
+def table9_experiment(suite_traces, exec_jobs, exec_cache, exec_core,
+                      request, manifest_dir):
     """The 88-configuration base-machine experiment (paper Table 9)."""
     return _instrumented_run(
         "table9", manifest_dir, exec_jobs,
         request.config.getoption("--cache-dir"),
-        lambda telemetry: PBExperiment(suite_traces).run(
-            jobs=exec_jobs, cache=exec_cache, telemetry=telemetry,
-        ),
+        lambda telemetry: PBExperiment(
+            suite_traces, core=exec_core,
+        ).run(jobs=exec_jobs, cache=exec_cache, telemetry=telemetry),
+        core=exec_core,
     )
 
 
@@ -152,14 +172,16 @@ def precompute_tables(suite_traces):
 
 @pytest.fixture(scope="session")
 def table12_experiment(suite_traces, precompute_tables, exec_jobs,
-                       exec_cache, request, manifest_dir):
+                       exec_cache, exec_core, request, manifest_dir):
     """The enhanced-machine experiment (paper Table 12)."""
     return _instrumented_run(
         "table12", manifest_dir, exec_jobs,
         request.config.getoption("--cache-dir"),
         lambda telemetry: PBExperiment(
-            suite_traces, precompute_tables=precompute_tables
+            suite_traces, precompute_tables=precompute_tables,
+            core=exec_core,
         ).run(jobs=exec_jobs, cache=exec_cache, telemetry=telemetry),
+        core=exec_core,
     )
 
 

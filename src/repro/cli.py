@@ -12,6 +12,12 @@ Seven commands cover the paper's workflow end to end:
   statistics, footprints, miss-rate curves);
 * ``tables``   — print the paper's exact exhibits (Tables 1-4, 6-8,
   10, 11 from bundled data);
+* ``diffcore`` — differential-equivalence sweep of one simulator core
+  against the interpreted reference oracle (exit 1 on divergence);
+* ``bench``    — compare fresh ``BENCH_<label>.json`` manifests
+  against committed baselines (``check``: perf regression beyond a
+  tolerance, or any drift in the deterministic simulator totals,
+  fails);
 * ``lint``     — the determinism & fork-safety static analysis
   (``repro.analysis``) that gates changes to this tree in CI;
 * ``verify``   — offline integrity cross-check of a finished run
@@ -52,6 +58,18 @@ def _traces(args):
     if unknown:
         raise SystemExit(f"unknown benchmarks: {', '.join(unknown)}")
     return benchmark_suite(length=args.length, names=names)
+
+
+def _add_core_arg(parser):
+    from repro.cpu import SIMULATOR_CORES
+
+    parser.add_argument(
+        "--core", default="batched", choices=SIMULATOR_CORES,
+        help="simulator core (default %(default)s: the compiled "
+             "kernel, falling back to the batched Python core); all "
+             "cores are field-exact equivalent, so this is a speed "
+             "knob, never a results knob",
+    )
 
 
 def _add_exec_args(parser):
@@ -262,6 +280,7 @@ class _Obs:
                 "task_timeout": args.task_timeout,
                 "on_error": args.on_error,
                 "journal": args.journal,
+                "core": getattr(args, "core", "batched"),
             }
             workload = {
                 "benchmarks": args.benchmarks,
@@ -366,7 +385,8 @@ def cmd_screen(args) -> int:
     print(f"running 88 configurations x {len(traces)} benchmarks ...",
           file=sys.stderr)
     try:
-        result = PBExperiment(traces, progress=progress) \
+        result = PBExperiment(traces, core=args.core,
+                              progress=progress) \
             .run(**options.run_kwargs(telemetry=obs.telemetry))
     except KeyboardInterrupt:
         obs.finish(status="interrupted")
@@ -430,7 +450,8 @@ def cmd_classify(args) -> int:
         print(f"running 88 configurations x {len(traces)} benchmarks ...",
               file=sys.stderr)
         try:
-            result = PBExperiment(traces, progress=progress) \
+            result = PBExperiment(traces, core=args.core,
+                                  progress=progress) \
                 .run(**options.run_kwargs(telemetry=obs.telemetry))
         except KeyboardInterrupt:
             obs.finish(status="interrupted")
@@ -470,7 +491,8 @@ def cmd_enhance(args) -> int:
           file=sys.stderr)
     try:
         with obs.phase("enhance-before"):
-            before = PBExperiment(traces, progress=progress) \
+            before = PBExperiment(traces, core=args.core,
+                                  progress=progress) \
                 .run(**run_kwargs)
         if args.kind == "precompute":
             with obs.phase("precompute-tables",
@@ -484,13 +506,13 @@ def cmd_enhance(args) -> int:
             with obs.phase("enhance-after"):
                 after = PBExperiment(
                     traces, precompute_tables=tables,
-                    progress=progress,
+                    core=args.core, progress=progress,
                 ).run(**run_kwargs)
         else:
             with obs.phase("enhance-after"):
                 after = PBExperiment(
                     traces, prefetch_lines=args.lines,
-                    progress=progress,
+                    core=args.core, progress=progress,
                 ).run(**run_kwargs)
     except KeyboardInterrupt:
         obs.finish(status="interrupted")
@@ -535,7 +557,8 @@ def cmd_simulate(args) -> int:
     except (TypeError, ValueError) as exc:
         raise SystemExit(f"bad configuration: {exc}")
     trace = benchmark_trace(args.benchmark, args.length)
-    stats = simulate(config, trace, warmup=not args.cold)
+    stats = simulate(config, trace, warmup=not args.cold,
+                     core=args.core)
     print(stats.summary())
     return 0
 
@@ -602,6 +625,48 @@ def cmd_tables(args) -> int:
                             PAPER_SIMILARITY_THRESHOLD,
                             title="Table 11"), end="\n\n")
     return 0
+
+
+def cmd_diffcore(args) -> int:
+    from repro.cpu.equivalence import differential_sweep
+
+    def progress(done, total, div):
+        if div is not None:
+            print(f"[{done}/{total}] DIVERGED {div.describe()}",
+                  file=sys.stderr)
+        elif done == total or done % 25 == 0:
+            print(f"[{done}/{total}] ok", file=sys.stderr)
+
+    found = differential_sweep(
+        args.pairs, seed=args.seed,
+        core=args.core, oracle=args.oracle,
+        progress=progress if not args.quiet else None,
+    )
+    if found:
+        print(f"{len(found)} divergence(s) across {args.pairs} "
+              f"randomized pairs ({args.core} vs {args.oracle}):")
+        for div in found:
+            print(f"  {div.describe()}")
+        print("a divergence is either a core bug (fix it) or an "
+              "intentional timing change (bump SIMULATOR_VERSION "
+              "and re-pin the goldens) — never a tolerance")
+        return 1
+    print(f"{args.pairs} randomized (config, trace) pairs: "
+          f"{args.core} == {args.oracle} field-exact")
+    return 0
+
+
+def cmd_bench_check(args) -> int:
+    from repro.guard.bench import check_directory
+
+    report = check_directory(
+        args.baseline_dir, args.current,
+        tolerance=args.tolerance,
+        labels=[s.strip() for s in args.labels.split(",")
+                if s.strip()] if args.labels else None,
+    )
+    print(report.describe())
+    return report.status
 
 
 def cmd_lint(args) -> int:
@@ -683,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("screen", help="PB parameter screen (§4.1)")
     _add_workload_args(p)
+    _add_core_arg(p)
     _add_exec_args(p)
     _add_obs_args(p)
     p.add_argument("--lenth", action="store_true",
@@ -701,6 +767,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("classify", help="benchmark classification (§4.2)")
     _add_workload_args(p)
+    _add_core_arg(p)
     _add_exec_args(p)
     _add_obs_args(p)
     p.add_argument("--paper", action="store_true",
@@ -711,6 +778,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("enhance", help="enhancement analysis (§4.3)")
     _add_workload_args(p)
+    _add_core_arg(p)
     _add_exec_args(p)
     _add_obs_args(p)
     p.add_argument("--kind", choices=["precompute", "prefetch"],
@@ -726,6 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("simulate", help="run one benchmark once")
     p.add_argument("benchmark", help="benchmark name")
     p.add_argument("--length", "-n", type=int, default=10000)
+    _add_core_arg(p)
     p.add_argument("--set", action="append", metavar="FIELD=VALUE",
                    help="override a MachineConfig field (repeatable)")
     p.add_argument("--cold", action="store_true",
@@ -741,6 +810,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("which", nargs="*",
                    help="subset: 1 2 3 4 params 9 10 11 (default all)")
     p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser(
+        "diffcore",
+        help="differential-equivalence sweep between simulator cores",
+    )
+    from repro.cpu import SIMULATOR_CORES
+
+    p.add_argument("--pairs", "-p", type=int, default=25,
+                   help="randomized (config, trace) pairs to compare "
+                        "(default %(default)s)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="sweep seed; the pair sequence is a pure "
+                        "function of it (default %(default)s)")
+    p.add_argument("--core", default="batched",
+                   choices=SIMULATOR_CORES,
+                   help="core under test (default %(default)s)")
+    p.add_argument("--oracle", default="reference",
+                   choices=SIMULATOR_CORES,
+                   help="core treated as ground truth "
+                        "(default %(default)s)")
+    p.add_argument("--quiet", "-q", action="store_true",
+                   help="suppress per-pair progress on stderr")
+    p.set_defaults(func=cmd_diffcore)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark-manifest regression checks",
+    )
+    bsub = p.add_subparsers(dest="action", required=True)
+    pc = bsub.add_parser(
+        "check",
+        help="compare fresh BENCH_<label>.json manifests against "
+             "committed baselines (exit 0 ok / 1 regression / "
+             "2 incomparable)",
+    )
+    pc.add_argument("current", metavar="CURRENT_DIR",
+                    help="directory of freshly emitted BENCH manifests "
+                         "(pytest benchmarks/ --manifest-dir DIR)")
+    pc.add_argument("--baseline-dir", default="benchmarks/baselines",
+                    metavar="DIR",
+                    help="committed baselines (default %(default)s)")
+    pc.add_argument("--tolerance", type=float, default=0.5,
+                    metavar="FRACTION",
+                    help="allowed fractional slowdown of wall time "
+                         "before it counts as a perf regression "
+                         "(default %(default)s); deterministic "
+                         "simulator totals always compare exact")
+    pc.add_argument("--labels", default=None, metavar="L1,L2",
+                    help="check only these labels (default: every "
+                         "baseline present)")
+    pc.set_defaults(func=cmd_bench_check)
 
     p = sub.add_parser(
         "lint",

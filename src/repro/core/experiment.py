@@ -141,6 +141,11 @@ class PBExperiment:
         paper's choice).  ``repro.cpu.power.energy_response`` screens
         on energy instead — the extension the paper's introduction
         motivates.
+    core:
+        Simulator core to run every cell on
+        (:data:`repro.cpu.SIMULATOR_CORES`; default ``"batched"``).
+        All cores are field-exact equivalent, so this changes wall
+        time, never ranks.
     progress:
         Optional callback ``(done, total)`` for long runs.
     """
@@ -155,6 +160,7 @@ class PBExperiment:
         precompute_tables: Optional[Mapping[str, Set[int]]] = None,
         prefetch_lines: int = 0,
         response: Optional[Callable[..., float]] = None,
+        core: str = "batched",
         progress: Optional[Callable[[int, int], None]] = None,
     ):
         if not traces:
@@ -165,6 +171,7 @@ class PBExperiment:
         self.precompute_tables = dict(precompute_tables or {})
         self.prefetch_lines = prefetch_lines
         self.response = response
+        self.core = core
         self.progress = progress
 
     def configs(self) -> List[MachineConfig]:
@@ -224,6 +231,7 @@ class PBExperiment:
                 configs, self.traces,
                 precompute_tables=self.precompute_tables,
                 prefetch_lines=self.prefetch_lines,
+                core=self.core,
             )
         grid = run_grid(
             tasks, jobs=jobs, cache=cache,

@@ -37,6 +37,7 @@ from .params import (
 )
 from .pipeline import (
     HANG_CYCLES,
+    SIMULATOR_CORES,
     SIMULATOR_VERSION,
     Pipeline,
     SimulationError,
@@ -83,6 +84,7 @@ __all__ = [
     "PARAMETER_SPACE",
     "ParameterSpec",
     "Pipeline",
+    "SIMULATOR_CORES",
     "SIMULATOR_VERSION",
     "SimulationError",
     "build_precompute_table",

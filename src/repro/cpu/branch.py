@@ -230,11 +230,19 @@ class BranchTargetBuffer:
 
 
 class ReturnAddressStack:
-    """A fixed-depth return-address stack.
+    """A fixed-depth, circular return-address stack.
 
     Pushes beyond the capacity wrap around and overwrite the oldest
     entries — exactly the corruption that makes a 4-entry RAS worse
-    than a 64-entry one on call-heavy code.
+    than a 64-entry one on call-heavy code.  Pops always produce a
+    prediction, like the hardware structure (SimpleScalar's
+    ``retstack``): a pop past the live entries walks the ring into
+    stale slots, predicting whatever address last occupied them (zero
+    for never-written slots).  An underflowed RAS therefore degrades
+    into stale-but-occasionally-right predictions rather than a
+    guaranteed miss — the old always-``None`` behaviour silently
+    mispredicted every deep return even when the wrapped slot still
+    held the correct address.
     """
 
     def __init__(self, depth: int):
@@ -250,12 +258,11 @@ class ReturnAddressStack:
         self._top = (self._top + 1) % self._depth
         self._occupancy = min(self._occupancy + 1, self._depth)
 
-    def pop(self) -> Optional[int]:
-        """Pop the predicted return address, or None if empty."""
-        if self._occupancy == 0:
-            return None
+    def pop(self) -> int:
+        """Pop the predicted return address (possibly a stale slot)."""
         self._top = (self._top - 1) % self._depth
-        self._occupancy -= 1
+        if self._occupancy:
+            self._occupancy -= 1
         return self._entries[self._top]
 
     def __len__(self) -> int:

@@ -34,13 +34,20 @@ class UnitClass:
         """True if some unit can accept an operation this cycle."""
         return any(free <= cycle for free in self._next_free)
 
-    def issue(self, cycle: int, interval: int) -> None:
-        """Occupy one free unit for ``interval`` cycles."""
+    def issue(self, cycle: int, interval: int, count: bool = True) -> None:
+        """Occupy one free unit for ``interval`` cycles.
+
+        ``count=False`` busies the unit without tallying a new
+        operation — used when one instruction occupies a unit twice
+        (a store's commit-time cache write reuses the memory port its
+        issue already counted).
+        """
         free = self._next_free
         for i, t in enumerate(free):
             if t <= cycle:
                 free[i] = cycle + interval
-                self.issued += 1
+                if count:
+                    self.issued += 1
                 return
         raise RuntimeError(f"{self.name}: no free unit at cycle {cycle}")
 
@@ -98,10 +105,10 @@ class FunctionalUnitPool:
         unit, _, _ = self._dispatch[op]
         return unit.can_issue(cycle)
 
-    def issue(self, op: int, cycle: int) -> int:
+    def issue(self, op: int, cycle: int, count: bool = True) -> int:
         """Issue an op; returns its execution latency (cycles to result)."""
         unit, latency, interval = self._dispatch[op]
-        unit.issue(cycle, interval)
+        unit.issue(cycle, interval, count)
         return latency
 
     def utilization(self) -> Dict[str, int]:

@@ -49,7 +49,18 @@ from .stats import CacheSnapshot, CoreStats
 #: cycle counts produced for an identical (config, trace) pair — the
 #: execution engine's result cache keys on it, so stale measurements
 #: from an older model are never reused.
-SIMULATOR_VERSION = "1"
+#:
+#: * ``"2"`` — differential-equivalence bugfix sweep (see
+#:   CHANGELOG.md): circular RAS pops instead of ``None`` on
+#:   underflow, the BTB misfetch bubble stalls the documented
+#:   ``_MISFETCH_BUBBLE`` cycles (was one short), committing stores
+#:   acquire a memory port (commit stops when none is free), and
+#:   predictor history is repaired after mispredictions during
+#:   functional warm-up.  Stall *attribution* also changed (front-end
+#:   stalls only count when the IFQ has room), which alters
+#:   ``stall_cycles`` but not timing.
+#: * ``"1"`` — original timing model.
+SIMULATOR_VERSION = "2"
 
 _WAITING = 0
 _ISSUED = 1
@@ -184,8 +195,14 @@ class Pipeline:
                 taken = bool(taken_arr[i])
                 if predictor is not None:
                     history = predictor.history
-                    predictor.predict(pc)
+                    predicted = predictor.predict(pc)
                     predictor.update(pc, taken, history)
+                    if predicted != taken:
+                        # Mirror the timed pipeline: a speculative
+                        # history update is repaired on misprediction,
+                        # otherwise warm-up leaves the history register
+                        # corrupted under speculative_update="decode".
+                        predictor.repair(history, taken)
                 if taken:
                     self.btb.insert(pc, int(target_arr[i]))
         hierarchy.reset_stats()
@@ -312,11 +329,19 @@ class Pipeline:
             # ---- commit ------------------------------------------------------
             budget = width
             while budget and rob and rob[0].state == _DONE:
-                entry = rob.popleft()
+                entry = rob[0]
+                if entry.op == _STORE \
+                        and not funits.can_issue(_STORE, cycle):
+                    # The store's cache write needs a memory port at
+                    # commit; none free means commit stops here this
+                    # cycle (sim-outorder's ruu_commit discipline).
+                    break
+                rob.popleft()
                 budget -= 1
                 committed += 1
                 last_commit_cycle = cycle
                 if entry.op == _STORE:
+                    funits.issue(_STORE, cycle, count=False)
                     hierarchy.data_access(entry.mem_addr, write=True)
                     if store_for_addr.get(entry.mem_addr) is entry:
                         del store_for_addr[entry.mem_addr]
@@ -452,11 +477,15 @@ class Pipeline:
 
             # ---- fetch -------------------------------------------------------
             if fetch_index < n and fetch_stall_until > cycle:
-                # Front end stalled this whole cycle; attribute it.
-                if fetch_block_mispredict:
-                    stall_mispredict += 1
-                else:
-                    stall_fetch += 1
+                # Front end stalled this whole cycle; attribute it —
+                # but only when fetch could otherwise have progressed
+                # (a full IFQ means the stall is hidden behind a
+                # back-end bottleneck, not a front-end one).
+                if len(ifq) < ifq_capacity:
+                    if fetch_block_mispredict:
+                        stall_mispredict += 1
+                    else:
+                        stall_fetch += 1
             elif fetch_index < n:
                 budget = width
                 while budget and len(ifq) < ifq_capacity and fetch_index < n:
@@ -485,7 +514,11 @@ class Pipeline:
                             fetch_block_mispredict = True
                             break
                         if stop == 3:  # BTB misfetch: decode redirect
-                            fetch_stall_until = cycle + _MISFETCH_BUBBLE
+                            # Stall the *next* _MISFETCH_BUBBLE whole
+                            # cycles (the stall test is strict, so the
+                            # +1 is what makes the bubble full-width).
+                            fetch_stall_until = \
+                                cycle + _MISFETCH_BUBBLE + 1
                             fetch_block_mispredict = False
                             break
                         if stop == 1:  # predicted taken: fetch group ends
@@ -592,7 +625,7 @@ class Pipeline:
             return 1
         if kind == _KIND_RETURN:
             predicted = self.ras.pop()
-            if predicted is None or predicted != target:
+            if predicted != target:
                 stats.mispredictions += 1
                 stats.ras_mispredictions += 1
                 fetch_info[index] = (True, 0)
@@ -616,6 +649,20 @@ class Pipeline:
             ))
 
 
+#: The selectable simulator cores.  ``"batched"`` (the default) is the
+#: structure-of-arrays core of :mod:`repro.cpu.batched`, running the
+#: compiled kernel (:mod:`repro.cpu.native`) when a C toolchain is
+#: available and the portable batched Python loop otherwise;
+#: ``"batched-native"`` / ``"batched-python"`` force one or the other;
+#: ``"reference"`` is the interpreted per-instruction model above —
+#: the equivalence oracle.  All cores produce bit-identical
+#: :class:`CoreStats` (enforced by :mod:`repro.cpu.equivalence`), so
+#: the choice never enters a result-cache key beyond the normalized
+#: family (see :func:`repro.exec.cache.task_key`).
+SIMULATOR_CORES = ("batched", "batched-native", "batched-python",
+                   "reference")
+
+
 def simulate(
     config: MachineConfig,
     trace,
@@ -625,6 +672,7 @@ def simulate(
     prefetch_lines: int = 0,
     hang_cycles: Optional[int] = HANG_CYCLES,
     max_instructions: Optional[int] = None,
+    core: str = "batched",
 ) -> CoreStats:
     """Run one trace on a freshly-built machine; the main entry point.
 
@@ -635,6 +683,10 @@ def simulate(
     behaviour rather than compulsory misses — the discipline the
     experiment layer uses for every Plackett-Burman run.
 
+    ``core`` picks the implementation (:data:`SIMULATOR_CORES`); every
+    core is required to produce identical statistics, so this is a
+    speed knob, not a model knob.
+
     ``hang_cycles`` and ``max_instructions`` are the watchdog knobs of
     :meth:`Pipeline.run`: a run that stops retiring raises
     :class:`~repro.guard.errors.SimulationHang` with a state dump, an
@@ -642,10 +694,34 @@ def simulate(
     result raises :class:`~repro.guard.errors.StatsInvalid` instead of
     polluting downstream rank sums.
     """
+    if core not in SIMULATOR_CORES:
+        raise ValueError(
+            f"unknown simulator core {core!r}; pick one of "
+            f"{', '.join(SIMULATOR_CORES)}"
+        )
+    if core in ("batched", "batched-native"):
+        from .native import simulate_native
+
+        stats = simulate_native(
+            config, trace, precompute_table, max_cycles, warmup,
+            prefetch_lines, hang_cycles, max_instructions,
+            required=core == "batched-native",
+        )
+        if stats is not None:
+            return stats
+        # No toolchain (or disabled): fall through to the batched
+        # Python loop, which is exactly equivalent.
     pipeline = Pipeline(config, precompute_table, prefetch_lines)
     if warmup:
         pipeline.warm(trace)
-    return pipeline.run(
-        trace, max_cycles,
+    if core == "reference":
+        return pipeline.run(
+            trace, max_cycles,
+            hang_cycles=hang_cycles, max_instructions=max_instructions,
+        )
+    from .batched import run_batched
+
+    return run_batched(
+        pipeline, trace, max_cycles,
         hang_cycles=hang_cycles, max_instructions=max_instructions,
     )

@@ -136,6 +136,23 @@ class CoreStats:
                         f"{label}[{key!r}]={value!r} (negative or "
                         "non-integral)"
                     )
+        if self.stall_cycles:
+            # Attribution invariants: each cause is a per-cycle flag,
+            # so no bucket can exceed the run length, and the ROB-full
+            # dispatch counter is the same event counted two ways.
+            for key, value in self.stall_cycles.items():
+                if isinstance(value, int) and value > self.cycles:
+                    failures.append(
+                        f"stall_cycles[{key!r}]={value} exceeds "
+                        f"cycles={self.cycles}"
+                    )
+            rob_full = self.stall_cycles.get("rob_full")
+            if rob_full is not None \
+                    and rob_full != self.dispatch_stall_rob:
+                failures.append(
+                    f"stall_cycles['rob_full']={rob_full} disagrees "
+                    f"with dispatch_stall_rob={self.dispatch_stall_rob}"
+                )
         for name in ("ipc", "misprediction_rate",
                      "average_rob_occupancy"):
             value = getattr(self, name)

@@ -15,7 +15,13 @@ guaranteeing results identical to the serial path.  See
 harness the fault paths are tested with.
 """
 
-from .cache import ResultCache, canonical_blob, canonicalize, task_key
+from .cache import (
+    ResultCache,
+    canonical_blob,
+    canonicalize,
+    core_family,
+    task_key,
+)
 from .engine import SimTask, grid_tasks, run_grid
 from .fault import (
     FailureRecord,
@@ -46,6 +52,7 @@ __all__ = [
     "RetryPolicy",
     "SimTask",
     "canonical_blob",
+    "core_family",
     "canonicalize",
     "grid_tasks",
     "repair_journal",

@@ -107,17 +107,40 @@ def canonical_blob(payload) -> bytes:
     ).encode("utf-8")
 
 
+def core_family(core: str) -> str:
+    """The cache-key family of a simulator core.
+
+    The batched implementations (``batched``, ``batched-native``,
+    ``batched-python``) are interchangeable by contract — field-exact
+    equivalent, enforced by :mod:`repro.cpu.equivalence` — so they
+    share one family and therefore one set of cache entries: a grid
+    run with the compiled kernel reuses results measured by the Python
+    fallback and vice versa.  The interpreted ``reference`` oracle is
+    its own family: it is the arbiter the batched cores are checked
+    *against*, so its measurements must never be satisfied from (or
+    leak into) batched-core entries — otherwise a batched-core bug
+    could silently poison the oracle's results through the cache, and
+    a differential run would compare a core against itself.
+    """
+    return "reference" if core == "reference" else "batched"
+
+
 def task_key(task, *, version: str = SIMULATOR_VERSION) -> str:
     """Content hash of one :class:`~repro.exec.engine.SimTask`.
 
     The key covers every input the simulator's output depends on: all
     :class:`~repro.cpu.MachineConfig` field values, the trace's content
     fingerprint (arrays + name), the enhancement settings (precompute
-    table contents, prefetch lines), the warmup discipline, and the
-    simulator ``version`` tag.  Changing any of them — including
-    bumping :data:`~repro.cpu.SIMULATOR_VERSION` after a timing-model
-    change — yields a different key, so stale entries are simply never
-    found rather than needing explicit invalidation.
+    table contents, prefetch lines), the warmup discipline, the
+    simulator ``version`` tag, and the :func:`core_family` of the
+    task's simulator core.  Changing any of them — including bumping
+    :data:`~repro.cpu.SIMULATOR_VERSION` after a timing-model change —
+    yields a different key, so stale entries are simply never found
+    rather than needing explicit invalidation.  The core enters only
+    as its normalized family: equivalent batched variants share
+    entries, while the reference oracle's entries stay segregated
+    (cache-level cross-contamination would defeat differential
+    testing).
 
     Results are stored as full :class:`CoreStats`, so the response
     function an experiment applies (cycles, energy, ...) does not enter
@@ -133,6 +156,7 @@ def task_key(task, *, version: str = SIMULATOR_VERSION) -> str:
         ),
         "prefetch_lines": task.prefetch_lines,
         "warmup": task.warmup,
+        "core": core_family(getattr(task, "core", "batched")),
     }
     return hashlib.sha256(canonical_blob(payload)).hexdigest()
 

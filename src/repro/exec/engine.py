@@ -95,6 +95,11 @@ class SimTask:
 
     Fields mirror :func:`repro.cpu.simulate`'s inputs; the precompute
     table is a ``frozenset`` so tasks stay hashable and immutable.
+    ``core`` picks the simulator implementation
+    (:data:`repro.cpu.SIMULATOR_CORES`) — a speed knob, not a model
+    knob, since all cores are field-exact equivalent; only its
+    normalized family enters the cache key (see
+    :func:`repro.exec.cache.task_key`).
     """
 
     config: MachineConfig
@@ -102,6 +107,7 @@ class SimTask:
     precompute_table: Optional[FrozenSet[int]] = None
     prefetch_lines: int = 0
     warmup: bool = True
+    core: str = "batched"
 
 
 def grid_tasks(
@@ -111,6 +117,7 @@ def grid_tasks(
     precompute_tables=None,
     prefetch_lines: int = 0,
     warmup: bool = True,
+    core: str = "batched",
 ) -> List[SimTask]:
     """The row-major (config, benchmark) task list for a full grid.
 
@@ -131,6 +138,7 @@ def grid_tasks(
                 ),
                 prefetch_lines=prefetch_lines,
                 warmup=warmup,
+                core=core,
             ))
     return tasks
 
@@ -145,6 +153,7 @@ def _execute(task: SimTask) -> CoreStats:
         precompute_table=table,
         warmup=task.warmup,
         prefetch_lines=task.prefetch_lines,
+        core=task.core,
     )
 
 

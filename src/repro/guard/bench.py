@@ -1,0 +1,256 @@
+"""Benchmark-manifest regression gate: ``repro bench check``.
+
+The benchmark harness (``benchmarks/conftest.py``) emits one
+``BENCH_<label>.json`` run manifest per session experiment.  A
+baseline set of those manifests — measured on the interpreted
+reference core and committed under ``benchmarks/baselines/`` — turns
+every later session into a regression check along two axes:
+
+* **Determinism** — the ``sim.*`` counters (total cycles,
+  instructions, precompute hits, per-cause stall totals) and the grid
+  shape (``grid.tasks`` / ``tasks.completed``) are pure functions of
+  the experiment inputs and the simulator version.  Any drift is a
+  correctness bug or an undeclared timing-model change, so these
+  compare **bit-exact**, never within a tolerance.  Because the
+  committed baselines come from the reference core, a fresh run on the
+  batched core re-proves the equivalence contract end to end on every
+  check.
+* **Performance** — wall time (``outcome.elapsed_seconds``) may drift
+  with the host, so it compares within a fractional ``tolerance``;
+  only slowdowns beyond it fail (a faster run is never a regression).
+
+Both manifests must describe the *same experiment* (equal input
+fingerprints, equal simulator versions) to be comparable at all; a
+mismatch there is reported as *incomparable* rather than as a
+regression — after an intentional ``SIMULATOR_VERSION`` bump the
+baselines must be regenerated and recommitted, which is exactly the
+paper trail the version-bump rule wants (see ``docs/simulator.md``).
+
+Exit-status contract (mirrors ``repro verify``): 0 = every label
+passed, 1 = at least one regression or determinism divergence, 2 = at
+least one pair was incomparable (missing/corrupt manifest, fingerprint
+or simulator-version drift).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.guard.errors import SealError
+
+__all__ = ["BenchCheck", "BenchReport", "check_directory",
+           "compare_manifests"]
+
+#: Metric-name prefixes whose counter values must match bit-exact.
+EXACT_PREFIXES = ("sim.",)
+
+#: Individual counters that must match bit-exact (grid shape).
+EXACT_COUNTERS = ("grid.tasks", "tasks.completed")
+
+
+@dataclass
+class BenchCheck:
+    """One comparison outcome for one label."""
+
+    label: str
+    name: str                 # metric name, or "elapsed_seconds"
+    verdict: str              # "ok" | "regressed" | "diverged"
+    baseline: object = None
+    current: object = None
+
+    def describe(self) -> str:
+        if self.verdict == "ok":
+            return f"  ok         {self.name}"
+        if self.verdict == "regressed":
+            return (f"  REGRESSED  {self.name}: "
+                    f"{self.baseline} -> {self.current}")
+        return (f"  DIVERGED   {self.name}: baseline {self.baseline}, "
+                f"current {self.current}")
+
+
+@dataclass
+class BenchReport:
+    """Every check across every label, plus incomparability problems."""
+
+    checks: List[BenchCheck] = field(default_factory=list)
+    #: label -> reason this pair could not be compared at all.
+    incomparable: Dict[str, str] = field(default_factory=dict)
+    labels: List[str] = field(default_factory=list)
+
+    @property
+    def failures(self) -> List[BenchCheck]:
+        return [c for c in self.checks if c.verdict != "ok"]
+
+    @property
+    def status(self) -> int:
+        if self.incomparable:
+            return 2
+        return 1 if self.failures else 0
+
+    def describe(self) -> str:
+        lines = []
+        for label in self.labels:
+            if label in self.incomparable:
+                lines.append(f"{label}: INCOMPARABLE — "
+                             f"{self.incomparable[label]}")
+                continue
+            mine = [c for c in self.checks if c.label == label]
+            bad = [c for c in mine if c.verdict != "ok"]
+            lines.append(f"{label}: {len(mine) - len(bad)}/{len(mine)} "
+                         "checks passed")
+            for check in mine:
+                if check.verdict != "ok":
+                    lines.append(check.describe())
+        verdict = {0: "PASS", 1: "FAIL (regression)",
+                   2: "FAIL (incomparable)"}[self.status]
+        lines.append(f"bench check: {verdict}")
+        return "\n".join(lines)
+
+
+def _counter_values(doc: dict) -> Dict[str, object]:
+    """name -> value for every counter instrument in a manifest's
+    final metrics snapshot."""
+    metrics = (doc.get("outcome") or {}).get("metrics") or {}
+    out: Dict[str, object] = {}
+    for name, snap in metrics.items():
+        if isinstance(snap, dict) and snap.get("type") == "counter":
+            out[name] = snap.get("value")
+    return out
+
+
+def _is_exact(name: str) -> bool:
+    return name in EXACT_COUNTERS or \
+        any(name.startswith(p) for p in EXACT_PREFIXES)
+
+
+def compare_manifests(
+    baseline: dict,
+    current: dict,
+    *,
+    label: str,
+    tolerance: float = 0.5,
+) -> Union[List[BenchCheck], str]:
+    """Compare two loaded manifest documents for one label.
+
+    Returns the list of checks, or a string naming why the pair is
+    incomparable (different experiment or simulator version).
+    """
+    b_run = baseline.get("run") or {}
+    c_run = current.get("run") or {}
+    if b_run.get("fingerprint") != c_run.get("fingerprint"):
+        return ("input fingerprints differ — the manifests describe "
+                "different experiments (check REPRO_BENCH_SCALE and "
+                "the benchmark set)")
+    b_sim = (baseline.get("integrity") or {}).get("sim")
+    c_sim = (current.get("integrity") or {}).get("sim")
+    if b_sim != c_sim:
+        return (f"simulator version drift (baseline {b_sim!r}, "
+                f"current {c_sim!r}) — regenerate and recommit the "
+                "baselines for the new version")
+
+    checks: List[BenchCheck] = []
+    b_counters = _counter_values(baseline)
+    c_counters = _counter_values(current)
+    for name in sorted(b_counters):
+        if not _is_exact(name):
+            continue
+        expected = b_counters[name]
+        actual = c_counters.get(name)
+        checks.append(BenchCheck(
+            label=label, name=name,
+            verdict="ok" if actual == expected else "diverged",
+            baseline=expected, current=actual,
+        ))
+
+    b_elapsed = (baseline.get("outcome") or {}).get("elapsed_seconds")
+    c_elapsed = (current.get("outcome") or {}).get("elapsed_seconds")
+    if isinstance(b_elapsed, (int, float)) \
+            and isinstance(c_elapsed, (int, float)):
+        budget = b_elapsed * (1.0 + tolerance)
+        checks.append(BenchCheck(
+            label=label, name="elapsed_seconds",
+            verdict="ok" if c_elapsed <= budget else "regressed",
+            baseline=round(float(b_elapsed), 3),
+            current=round(float(c_elapsed), 3),
+        ))
+    return checks
+
+
+def _manifests_in(directory: Path) -> Dict[str, Path]:
+    """label -> path for every ``BENCH_<label>.json`` in a directory."""
+    out: Dict[str, Path] = {}
+    for file in sorted(directory.glob("BENCH_*.json")):
+        label = file.stem[len("BENCH_"):]
+        if label:
+            out[label] = file
+    return out
+
+
+def check_directory(
+    baseline_dir,
+    current_dir,
+    *,
+    tolerance: float = 0.5,
+    labels: Optional[Sequence[str]] = None,
+) -> BenchReport:
+    """Compare every baseline label against its fresh counterpart.
+
+    ``labels`` restricts the comparison to a subset; by default every
+    ``BENCH_<label>.json`` committed under ``baseline_dir`` must have
+    a fresh, comparable, non-regressed counterpart in ``current_dir``.
+    Manifests are loaded through the checking loader
+    (:func:`repro.obs.manifest.load_manifest`), so a tampered or torn
+    manifest on either side is *incomparable*, never silently trusted.
+    """
+    from repro.obs.manifest import load_manifest
+
+    report = BenchReport()
+    baseline_dir = Path(baseline_dir)
+    current_dir = Path(current_dir)
+    if not baseline_dir.is_dir():
+        report.labels.append("(baselines)")
+        report.incomparable["(baselines)"] = \
+            f"no baseline directory {baseline_dir}"
+        return report
+    baselines = _manifests_in(baseline_dir)
+    if labels is not None:
+        missing = sorted(set(labels) - set(baselines))
+        for label in missing:
+            report.labels.append(label)
+            report.incomparable[label] = \
+                f"no committed baseline in {baseline_dir}"
+        baselines = {k: v for k, v in baselines.items() if k in labels}
+    if not baselines and not report.incomparable:
+        report.labels.append("(baselines)")
+        report.incomparable["(baselines)"] = \
+            f"no BENCH_<label>.json baselines in {baseline_dir}"
+        return report
+    currents = _manifests_in(current_dir) if current_dir.is_dir() else {}
+
+    for label, base_path in sorted(baselines.items()):
+        report.labels.append(label)
+        cur_path = currents.get(label)
+        if cur_path is None:
+            report.incomparable[label] = \
+                f"no fresh BENCH_{label}.json in {current_dir}"
+            continue
+        try:
+            base_doc = load_manifest(base_path)
+        except SealError as exc:
+            report.incomparable[label] = f"baseline unusable: {exc}"
+            continue
+        try:
+            cur_doc = load_manifest(cur_path)
+        except SealError as exc:
+            report.incomparable[label] = f"current unusable: {exc}"
+            continue
+        outcome = compare_manifests(
+            base_doc, cur_doc, label=label, tolerance=tolerance,
+        )
+        if isinstance(outcome, str):
+            report.incomparable[label] = outcome
+        else:
+            report.checks.extend(outcome)
+    return report

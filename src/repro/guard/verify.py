@@ -290,9 +290,13 @@ def verify_run(run_dir: Union[str, os.PathLike], *,
     except (KeyError, ValueError) as exc:
         report.add("workload", None, f"cannot rebuild traces: {exc}")
         return report
-    experiment = PBExperiment(traces)
+    # The core only enters keys as its normalized family, but the
+    # reference oracle's family is distinct — rebuild with the core
+    # the manifest says the run used.
+    core = str(run_info.get("settings", {}).get("core", "batched"))
+    experiment = PBExperiment(traces, core=core)
     configs = experiment.configs()
-    tasks = grid_tasks(configs, traces)
+    tasks = grid_tasks(configs, traces, core=core)
     keys = [task_key(t, version=sim_version) for t in tasks]
     report.add(
         "workload", True,

@@ -28,7 +28,7 @@ class Trace:
     __slots__ = (
         "pc", "op", "src1", "src2", "dst", "mem_addr",
         "branch_kind", "taken", "target", "redundancy_key", "name",
-        "_fingerprint",
+        "_fingerprint", "_decoded",
     )
 
     def __init__(
@@ -68,9 +68,36 @@ class Trace:
         )
         self.name = name
         self._fingerprint = None
+        self._decoded = None
 
     def __len__(self) -> int:
         return len(self.pc)
+
+    def __getstate__(self):
+        # Drop the decode cache when pickling (it is derived data and
+        # can be large); keep the memoised fingerprint, which is tiny
+        # and saves rehashing in forked workers.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__ if slot != "_decoded"
+        }
+
+    def __setstate__(self, state):
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+        self._decoded = None
+
+    def decoded(self) -> "DecodedTrace":
+        """The batched simulator core's static decode of this trace.
+
+        Computed lazily on first use and memoised (instances are
+        treated as immutable); dropped when pickling.  See
+        :class:`DecodedTrace` for what the decode contains and why it
+        is exact.
+        """
+        if self._decoded is None:
+            self._decoded = DecodedTrace(self)
+        return self._decoded
 
     def fingerprint(self) -> str:
         """Content hash identifying this trace (arrays + name).
@@ -177,6 +204,14 @@ class Trace:
         unique, counts = np.unique(keys, return_counts=True)
         return {int(k): int(c) for k, c in zip(unique, counts)}
 
+    def validate_decode(self) -> None:  # pragma: no cover - debug aid
+        """Force and sanity-check the decode (debugging helper)."""
+        d = self.decoded()
+        n = len(self)
+        for arr in (d.prod1, d.prod2, d.store_prod):
+            if len(arr) != n or (arr >= np.arange(n)).any():
+                raise ValueError("decode produced a non-causal producer")
+
     def validate(self) -> None:
         """Check internal consistency; raises ValueError on corruption."""
         is_mem = np.isin(self.op, (int(OpClass.LOAD), int(OpClass.STORE)))
@@ -190,3 +225,74 @@ class Trace:
         taken_branches = is_branch & self.taken
         if (self.target[taken_branches] < 0).any():
             raise ValueError("taken branch without target")
+
+
+class DecodedTrace:
+    """Static dependence decode of one :class:`Trace`.
+
+    The batched simulator core replaces the reference model's dynamic
+    ``reg_producer`` / ``store_for_addr`` dictionaries with arrays
+    computed once per trace:
+
+    ``prod1[i]`` / ``prod2[i]``
+        Index of the instruction producing ``src1``/``src2`` of
+        instruction ``i`` (the last earlier writer of that register),
+        or -1.  Exact because dispatch is in trace order: when ``i``
+        dispatches, the reference dictionary necessarily maps the
+        register to its last earlier writer.  Duplicate operands
+        (``src1 == src2``) keep *two* edges, matching the reference's
+        per-operand loop.
+
+    ``store_prod[i]``
+        For loads: index of the latest earlier store to the same
+        address, or -1.  Exact for the same in-order reason; the
+        reference's commit-time deletion (a committed store removes
+        itself only while still newest for its address) is subsumed
+        by the dynamic ``state != DONE`` check both cores apply at
+        dispatch, because in-order commit means a deleted store is
+        always DONE by the time any later load dispatches.
+
+    Everything here is configuration-independent — per-configuration
+    arrays (cache block ids, unit latencies, precompute-table flags)
+    are derived by the core at run start.
+    """
+
+    __slots__ = ("n", "prod1", "prod2", "store_prod")
+
+    def __init__(self, trace: "Trace"):
+        from repro.cpu.isa import OpClass
+
+        n = len(trace)
+        self.n = n
+        prod1 = np.full(n, -1, np.int32)
+        prod2 = np.full(n, -1, np.int32)
+        store_prod = np.full(n, -1, np.int32)
+        src1 = trace.src1.tolist()
+        src2 = trace.src2.tolist()
+        dst = trace.dst.tolist()
+        op = trace.op.tolist()
+        addr = trace.mem_addr.tolist()
+        load_op = int(OpClass.LOAD)
+        store_op = int(OpClass.STORE)
+        last_writer: dict = {}
+        last_store: dict = {}
+        p1 = prod1.tolist()
+        p2 = prod2.tolist()
+        sp = store_prod.tolist()
+        for i in range(n):
+            reg = src1[i]
+            if reg >= 0:
+                p1[i] = last_writer.get(reg, -1)
+            reg = src2[i]
+            if reg >= 0:
+                p2[i] = last_writer.get(reg, -1)
+            o = op[i]
+            if o == load_op:
+                sp[i] = last_store.get(addr[i], -1)
+            elif o == store_op:
+                last_store[addr[i]] = i
+            if dst[i] >= 0:
+                last_writer[dst[i]] = i
+        self.prod1 = np.asarray(p1, np.int32)
+        self.prod2 = np.asarray(p2, np.int32)
+        self.store_prod = np.asarray(sp, np.int32)

@@ -108,3 +108,41 @@ class TestTaskKeyIntegration:
         b = SimTask(config=MachineConfig(), trace=trace,
                     precompute_table=frozenset([2, 3, 1]))
         assert task_key(a) == task_key(b)
+
+
+class TestCoreFamily:
+    """Only the normalized core *family* enters a cache key: the
+    equivalent batched variants share entries, while the reference
+    oracle's measurements never mix with the cores it arbitrates."""
+
+    def test_batched_variants_share_keys(self):
+        from repro.cpu import MachineConfig
+        from repro.exec import SimTask, task_key
+        from repro.workloads import benchmark_trace
+
+        trace = benchmark_trace("gzip", 600)
+        keys = {
+            task_key(SimTask(config=MachineConfig(), trace=trace,
+                             core=core))
+            for core in ("batched", "batched-native", "batched-python")
+        }
+        assert len(keys) == 1
+
+    def test_reference_is_segregated(self):
+        from repro.cpu import MachineConfig
+        from repro.exec import SimTask, task_key
+        from repro.workloads import benchmark_trace
+
+        trace = benchmark_trace("gzip", 600)
+        batched = task_key(SimTask(config=MachineConfig(),
+                                   trace=trace, core="batched"))
+        reference = task_key(SimTask(config=MachineConfig(),
+                                     trace=trace, core="reference"))
+        assert batched != reference
+
+    def test_family_normalization(self):
+        from repro.exec import core_family
+
+        assert core_family("reference") == "reference"
+        for core in ("batched", "batched-native", "batched-python"):
+            assert core_family(core) == "batched"

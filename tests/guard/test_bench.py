@@ -1,0 +1,195 @@
+"""The benchmark-manifest regression gate (repro.guard.bench).
+
+``repro bench check`` compares fresh ``BENCH_<label>.json`` manifests
+against committed baselines: deterministic simulator totals bit-exact,
+wall time within a tolerance, and everything else — different
+experiment, version drift, tampering, missing files — *incomparable*
+rather than silently passed or failed.
+"""
+
+import json
+
+import pytest
+
+from repro.guard.bench import check_directory, compare_manifests
+from repro.obs import RunManifest
+
+
+def _metrics(cycles=1000, instructions=500):
+    return {
+        "sim.cycles": {"type": "counter", "value": cycles},
+        "sim.instructions": {"type": "counter", "value": instructions},
+        "grid.tasks": {"type": "counter", "value": 88},
+        "tasks.completed": {"type": "counter", "value": 88},
+        "task.seconds": {"type": "histogram", "count": 88,
+                         "sum": 1.0, "min": 0.0, "max": 0.1,
+                         "mean": 0.01},
+        "queue.depth": {"type": "gauge", "value": 0, "peak": 3,
+                        "samples": 9},
+    }
+
+
+def _write(path, label, *, fingerprint="abc123", metrics=None,
+           elapsed=10.0, core="reference"):
+    manifest = RunManifest(
+        command=f"bench:{label}",
+        fingerprint=fingerprint,
+        settings={"core": core, "scale": 5.0},
+    )
+    manifest.finalize(metrics=_metrics() if metrics is None
+                      else metrics)
+    manifest.elapsed_seconds = elapsed
+    return manifest.write(path)
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    baseline = tmp_path / "baselines"
+    current = tmp_path / "fresh"
+    baseline.mkdir()
+    current.mkdir()
+    return baseline, current
+
+
+class TestCompare:
+    def test_identical_manifests_pass(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9")
+        _write(current / "BENCH_table9.json", "table9",
+               core="batched")
+        report = check_directory(baseline, current)
+        assert report.status == 0
+        assert not report.failures
+        assert "PASS" in report.describe()
+
+    def test_sim_counter_drift_fails_exact(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9")
+        _write(current / "BENCH_table9.json", "table9",
+               metrics=_metrics(cycles=1001))
+        report = check_directory(baseline, current)
+        assert report.status == 1
+        bad = [c for c in report.failures if c.name == "sim.cycles"]
+        assert bad and bad[0].verdict == "diverged"
+        assert "DIVERGED" in report.describe()
+
+    def test_wall_time_regression_beyond_tolerance(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9", elapsed=10.0)
+        _write(current / "BENCH_table9.json", "table9", elapsed=16.0)
+        report = check_directory(baseline, current, tolerance=0.5)
+        assert report.status == 1
+        assert report.failures[0].name == "elapsed_seconds"
+        assert report.failures[0].verdict == "regressed"
+
+    def test_wall_time_within_tolerance_passes(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9", elapsed=10.0)
+        _write(current / "BENCH_table9.json", "table9", elapsed=14.9)
+        assert check_directory(baseline, current,
+                               tolerance=0.5).status == 0
+
+    def test_faster_run_is_never_a_regression(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9", elapsed=100.0)
+        _write(current / "BENCH_table9.json", "table9", elapsed=1.0)
+        assert check_directory(baseline, current).status == 0
+
+
+class TestIncomparable:
+    def test_fingerprint_mismatch(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9",
+               fingerprint="aaa")
+        _write(current / "BENCH_table9.json", "table9",
+               fingerprint="bbb")
+        report = check_directory(baseline, current)
+        assert report.status == 2
+        assert "different experiments" in report.incomparable["table9"]
+
+    def test_simulator_version_drift(self, dirs):
+        baseline, current = dirs
+        path = _write(baseline / "BENCH_table9.json", "table9")
+        _write(current / "BENCH_table9.json", "table9")
+        # Rewrite the baseline as if measured under an older simulator.
+        doc = json.loads(path.read_text())
+        base = RunManifest(command="bench:table9",
+                           fingerprint="abc123")
+        base.finalize(metrics=_metrics())
+        base.simulator_version = "0"
+        base.write(path)
+        report = check_directory(baseline, current)
+        assert report.status == 2
+        assert "regenerate" in report.incomparable["table9"]
+        assert doc["integrity"]["sim"] != "0"
+
+    def test_missing_current_manifest(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9")
+        report = check_directory(baseline, current)
+        assert report.status == 2
+        assert "no fresh" in report.incomparable["table9"]
+
+    def test_tampered_current_manifest(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9")
+        path = _write(current / "BENCH_table9.json", "table9")
+        doc = json.loads(path.read_text())
+        doc["outcome"]["metrics"]["sim.cycles"]["value"] = 1
+        path.write_text(json.dumps(doc))
+        report = check_directory(baseline, current)
+        assert report.status == 2
+        assert "current unusable" in report.incomparable["table9"]
+
+    def test_empty_baseline_directory(self, dirs):
+        baseline, current = dirs
+        report = check_directory(baseline, current)
+        assert report.status == 2
+
+    def test_labels_subset_missing_baseline(self, dirs):
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9")
+        _write(current / "BENCH_table9.json", "table9")
+        report = check_directory(baseline, current,
+                                 labels=["table9", "table12"])
+        assert report.status == 2
+        assert "no committed baseline" in report.incomparable["table12"]
+
+
+class TestDirectComparison:
+    def test_compare_manifests_returns_checks(self, dirs):
+        from repro.obs.manifest import load_manifest
+
+        baseline, current = dirs
+        a = load_manifest(_write(baseline / "BENCH_x.json", "x"))
+        b = load_manifest(_write(current / "BENCH_x.json", "x"))
+        checks = compare_manifests(a, b, label="x")
+        names = {c.name for c in checks}
+        assert "sim.cycles" in names
+        assert "elapsed_seconds" in names
+        # non-deterministic instruments are not compared
+        assert "task.seconds" not in names
+        assert "queue.depth" not in names
+
+
+class TestCLI:
+    def test_bench_check_cli(self, dirs, capsys):
+        from repro.cli import main
+
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9")
+        _write(current / "BENCH_table9.json", "table9")
+        assert main(["bench", "check", str(current),
+                     "--baseline-dir", str(baseline)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bench_check_cli_regression(self, dirs, capsys):
+        from repro.cli import main
+
+        baseline, current = dirs
+        _write(baseline / "BENCH_table9.json", "table9", elapsed=1.0)
+        _write(current / "BENCH_table9.json", "table9", elapsed=100.0)
+        assert main(["bench", "check", str(current),
+                     "--baseline-dir", str(baseline)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out

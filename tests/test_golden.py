@@ -19,9 +19,9 @@ from repro.workloads import benchmark_trace
 #: (cycles, L1D misses, mispredictions) of the default machine on
 #: 2000-instruction canonical traces, with warmup.
 GOLDEN_RUNS = {
-    "gzip": (1199, 15, 32),
-    "mcf": (1867, 77, 71),
-    "mesa": (1727, 9, 98),
+    "gzip": (1214, 15, 32),
+    "mcf": (1860, 77, 67),
+    "mesa": (1715, 9, 95),
 }
 
 #: SHA-256 prefix of the X = 44 design matrix bytes.
