@@ -121,13 +121,38 @@ def _add_exec_args(parser):
         help="seed of the deterministic audit sample "
              "(default %(default)s)",
     )
+    parser.add_argument(
+        "--dist", default=None, metavar="SPOOL_DIR",
+        help="run the grid through the distributed broker/worker "
+             "runtime, coordinating through this shared spool "
+             "directory; attach workers with 'repro worker SPOOL_DIR'",
+    )
+    parser.add_argument(
+        "--dist-attach-grace", type=float, default=10.0,
+        metavar="SECONDS",
+        help="how long the broker waits for the first worker "
+             "heartbeat before degrading to local execution "
+             "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--dist-heartbeat-grace", type=float, default=2.5,
+        metavar="SECONDS",
+        help="seconds without a heartbeat before a worker is presumed "
+             "dead and its leases reclaimed (default %(default)s)",
+    )
+    parser.add_argument(
+        "--dist-chaos-exit-after", type=int, default=None, metavar="N",
+        help="chaos-test hook: hard-crash the broker after N "
+             "harvested results (the spool survives; a restarted "
+             "broker resumes from it)",
+    )
 
 
 class _ExecOptions:
     """The engine-facing keyword set parsed from CLI flags."""
 
     def __init__(self, jobs, cache, retry, timeout, on_error, journal,
-                 audit=None):
+                 audit=None, dist=None):
         self.jobs = jobs
         self.cache = cache
         self.retry = retry
@@ -135,13 +160,14 @@ class _ExecOptions:
         self.on_error = on_error
         self.journal = journal
         self.audit = audit
+        self.dist = dist
 
     def run_kwargs(self, telemetry=None):
         return dict(
             jobs=self.jobs, cache=self.cache, retry=self.retry,
             timeout=self.timeout, on_error=self.on_error,
             journal=self.journal, telemetry=telemetry,
-            audit=self.audit,
+            audit=self.audit, dist=self.dist,
         )
 
 
@@ -186,9 +212,22 @@ def _exec_options(args):
         from repro.guard import AuditPolicy
 
         audit = AuditPolicy(fraction=args.audit, seed=args.audit_seed)
+    dist = None
+    if getattr(args, "dist", None):
+        from repro.dist import DistOptions
+
+        try:
+            dist = DistOptions(
+                spool=args.dist,
+                attach_grace=args.dist_attach_grace,
+                heartbeat_grace=args.dist_heartbeat_grace,
+                chaos_exit_after=args.dist_chaos_exit_after,
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad --dist options: {exc}")
     return _ExecOptions(
         args.jobs, cache, retry, args.task_timeout, args.on_error,
-        journal, audit,
+        journal, audit, dist,
     )
 
 
@@ -281,6 +320,7 @@ class _Obs:
                 "on_error": args.on_error,
                 "journal": args.journal,
                 "core": getattr(args, "core", "batched"),
+                "dist": getattr(args, "dist", None),
             }
             workload = {
                 "benchmarks": args.benchmarks,
@@ -684,9 +724,36 @@ def cmd_verify(args) -> int:
         journal_path=args.journal,
         results_path=args.results,
         cache_dir=args.cache_dir,
+        spool_dir=args.spool,
     )
     print(report.describe())
     return report.status
+
+
+def cmd_worker(args) -> int:
+    from repro.dist.worker import DistWorker
+
+    worker = DistWorker(
+        args.spool,
+        worker_id=args.worker_id,
+        poll=args.poll,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        max_idle=args.max_idle,
+        max_tasks=args.max_tasks,
+    )
+    print(f"worker {worker.worker_id} attaching to {args.spool}",
+          file=sys.stderr)
+    try:
+        executed = worker.run()
+    except KeyboardInterrupt:
+        print(f"worker {worker.worker_id} interrupted after "
+              f"{worker.executed} task(s); the broker reclaims any "
+              "leased work", file=sys.stderr)
+        return EXIT_INTERRUPTED
+    print(f"worker {worker.worker_id} done: {executed} task(s) "
+          "executed", file=sys.stderr)
+    return 0
 
 
 def cmd_journal_scan(args) -> int:
@@ -885,7 +952,39 @@ def build_parser() -> argparse.ArgumentParser:
                    help="results path (default RUN_DIR/results.json)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="cache directory (default RUN_DIR/cache)")
+    p.add_argument("--spool", default=None, metavar="DIR",
+                   help="distributed spool directory "
+                        "(default RUN_DIR/spool, checked if present)")
     p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser(
+        "worker",
+        help="attach a distributed grid worker to a spool directory",
+    )
+    p.add_argument("spool", metavar="SPOOL_DIR",
+                   help="shared spool directory (the broker side is "
+                        "'repro screen --dist SPOOL_DIR')")
+    p.add_argument("--worker-id", default=None, metavar="ID",
+                   help="stable worker identity (default w<pid>)")
+    p.add_argument("--poll", type=float, default=0.05,
+                   metavar="SECONDS",
+                   help="sleep between empty spool scans "
+                        "(default %(default)s)")
+    p.add_argument("--lease-ttl", type=float, default=15.0,
+                   metavar="SECONDS",
+                   help="wall-clock budget written into each claimed "
+                        "ticket's lease (default %(default)s)")
+    p.add_argument("--heartbeat-interval", type=float, default=0.5,
+                   metavar="SECONDS",
+                   help="heartbeat period (default %(default)s)")
+    p.add_argument("--max-idle", type=float, default=None,
+                   metavar="SECONDS",
+                   help="exit after this long without work (default: "
+                        "wait for the broker's drain marker)")
+    p.add_argument("--max-tasks", type=int, default=None, metavar="N",
+                   help="exit after executing N tickets (chaos "
+                        "harness; default unbounded)")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "journal",

@@ -192,6 +192,7 @@ class PBExperiment:
         journal=None,
         telemetry=None,
         audit=None,
+        dist=None,
     ) -> PBExperimentResult:
         """Simulate every (row, benchmark) pair; return all results.
 
@@ -222,6 +223,11 @@ class PBExperiment:
         ``audit`` (an :class:`~repro.guard.audit.AuditPolicy` or a
         fraction) re-executes a deterministic sample of cache/journal
         hits and compares bit-exact; see :func:`repro.exec.run_grid`.
+
+        ``dist`` (a :class:`repro.dist.DistOptions` or a spool
+        directory) runs the grid through the distributed
+        broker/worker runtime instead of a local pool; see
+        :func:`repro.exec.run_grid` and :mod:`repro.dist`.
         """
         with phase_of(telemetry, "pb-design",
                       rows=self.design.n_runs,
@@ -240,6 +246,7 @@ class PBExperiment:
             progress=self.progress,  # repro: noqa[REP004] -- parent-side callback
             retry=retry, timeout=timeout, on_error=on_error,
             journal=journal, telemetry=telemetry, audit=audit,
+            dist=dist,
         )
         with phase_of(telemetry, "pb-analyze"):
             benches = list(self.traces)

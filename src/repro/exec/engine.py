@@ -385,6 +385,7 @@ def run_grid(
     max_worker_deaths: Optional[int] = None,
     telemetry=None,
     audit: Union[AuditPolicy, float, None] = None,
+    dist=None,
 ) -> GridResult:
     """Simulate every task; return stats in task order.
 
@@ -461,6 +462,18 @@ def run_grid(
         Audited cells take the normal (possibly parallel) execution
         path, so a clean audit changes nothing but wall time; counters
         land under ``audit.*``.
+    dist:
+        A :class:`repro.dist.DistOptions` (or a spool directory path)
+        selecting the distributed execution path: pending cells are
+        published as sealed tickets into the shared spool, claimed by
+        independent ``repro worker`` processes under atomic-rename
+        leases, and harvested back through the same ``_store`` /
+        retry machinery as every other path — so caching, journaling,
+        auditing, telemetry and failure semantics are unchanged.  When
+        no worker ever attaches the broker degrades to the local path
+        (pool or in-process per ``jobs``), and any cells left behind
+        by a degrading broker are finished locally; results stay
+        bit-identical either way.  See :mod:`repro.dist`.
     """
     tasks = list(tasks)
     total = len(tasks)
@@ -584,7 +597,7 @@ def run_grid(
                 obs.count("tasks.retried")
                 obs.event("retry", "fault", index=i, kind=kind,
                           attempt=_attempt_number(i))
-                policy.pause(error_counts[i])
+                policy.pause(error_counts[i], token=i)
                 return True
         _give_up(i, kind, error_type, message)
         return False
@@ -661,7 +674,7 @@ def run_grid(
                         obs.event("retry", "fault", index=i,
                                   kind="error",
                                   attempt=_attempt_number(i))
-                        policy.pause(error_counts[i])
+                        policy.pause(error_counts[i], token=i)
                         continue
                     try:
                         _give_up(i, "error", type(exc).__name__, str(exc))
@@ -677,6 +690,22 @@ def run_grid(
                     break
 
     try:
+        if dist is not None and pending:
+            # Imported lazily: the distributed runtime is optional
+            # machinery and single-host grids must not pay for it.
+            from repro.dist import coerce_dist_options
+            from repro.dist.broker import run_dist
+            for i in pending:
+                if keys[i] is None:
+                    keys[i] = task_key(tasks[i], version=version)
+            pending = run_dist(
+                tasks, pending,
+                options=coerce_dist_options(dist),
+                keys=keys, version=version,
+                store=_store, task_failed=_task_failed,
+                attempt_number=_attempt_number, resolved=resolved,
+                obs=obs, policy=policy,
+            )
         if jobs > 1 and len(pending) > 1 and _fork_available():
             remaining = _run_pool(
                 tasks, pending,

@@ -28,6 +28,7 @@ without cooperation from the failing code.
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional
@@ -46,7 +47,7 @@ ON_ERROR_MODES = ("raise", "retry", "skip")
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Bounded retry with exponential backoff.
+    """Bounded retry with exponential backoff and seeded jitter.
 
     Parameters
     ----------
@@ -62,6 +63,19 @@ class RetryPolicy:
         Multiplier applied for each further retry.
     max_backoff:
         Ceiling on any single delay.
+    jitter:
+        Fraction of each delay to spread deterministically, in
+        ``[0, 1]``.  After a correlated failure burst — a mass lease
+        expiry in :mod:`repro.dist`, a worker pool losing several
+        cells to one dead host — every affected task computes the
+        same backoff and would otherwise resubmit in lockstep (a
+        retry stampede).  With jitter ``j``, the delay for a task is
+        scaled into ``[delay * (1 - j), delay]`` by a value that is a
+        pure function of ``(jitter_seed, token, failures)`` — no
+        wall-clock or OS entropy, so replays stay bit-identical.
+    jitter_seed:
+        Seed of the jitter hash; two policies with different seeds
+        spread the same tokens differently.
     sleep:
         The function that actually waits; injectable so tests and
         deterministic replays can record delays instead of sleeping.
@@ -71,6 +85,8 @@ class RetryPolicy:
     backoff: float = 0.0
     backoff_factor: float = 2.0
     max_backoff: float = 30.0
+    jitter: float = 0.0
+    jitter_seed: int = 0
     sleep: Callable[[float], None] = field(
         default=time.sleep, repr=False, compare=False
     )
@@ -82,17 +98,41 @@ class RetryPolicy:
             )
         if self.backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
 
-    def delay(self, failures: int) -> float:
-        """Seconds to wait after the ``failures``-th failure (1-based)."""
+    def jitter_unit(self, failures: int, token=None) -> float:
+        """The deterministic jitter draw in ``[0, 1)`` for one retry.
+
+        A pure function of ``(jitter_seed, token, failures)`` — the
+        sha-256 of the triple, scaled — so the same task backs off by
+        the same amount in every replay, while distinct tokens (task
+        indices, task keys) de-correlate from each other.
+        """
+        blob = f"{self.jitter_seed}:{token}:{failures}".encode("utf-8")
+        digest = hashlib.sha256(blob).digest()
+        return int.from_bytes(digest[:8], "big") / 2 ** 64
+
+    def delay(self, failures: int, token=None) -> float:
+        """Seconds to wait after the ``failures``-th failure (1-based).
+
+        ``token`` identifies the retrying task (its grid index or task
+        key) for jitter de-correlation; irrelevant when ``jitter`` is
+        0.
+        """
         if self.backoff <= 0 or failures < 1:
             return 0.0
         raw = self.backoff * self.backoff_factor ** (failures - 1)
-        return min(raw, self.max_backoff)
+        raw = min(raw, self.max_backoff)
+        if self.jitter > 0:
+            raw *= 1.0 - self.jitter * self.jitter_unit(failures, token)
+        return raw
 
-    def pause(self, failures: int) -> None:
+    def pause(self, failures: int, token=None) -> None:
         """Sleep the backoff delay for the ``failures``-th failure."""
-        delay = self.delay(failures)
+        delay = self.delay(failures, token)
         if delay > 0:
             self.sleep(delay)
 

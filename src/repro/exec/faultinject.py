@@ -1,10 +1,11 @@
 """Deterministic fault injection for the execution engine.
 
-The fault-tolerance machinery in :mod:`repro.exec.engine` — retries,
-per-task timeouts, dead-worker resubmission, journal resume — is only
-trustworthy if it can be *demonstrated*, repeatedly and bit-for-bit,
-against real failures.  This module is that test substrate: an
-injector that raises, delays, kills the executing worker process, or
+The fault-tolerance machinery in :mod:`repro.exec.engine` and
+:mod:`repro.dist` — retries, per-task timeouts, dead-worker
+resubmission, lease reclamation, journal resume — is only trustworthy
+if it can be *demonstrated*, repeatedly and bit-for-bit, against real
+failures.  This module is that test substrate: an injector that
+raises, delays, stalls, kills the executing worker process, or
 simulates a Ctrl-C at scheduled task indices, deterministically.
 
 Determinism comes from scheduling faults by **(task index, attempt
@@ -52,7 +53,7 @@ ALWAYS = 10 ** 9
 #: the supervisor's logs and distinct from normal termination.
 KILL_EXIT_CODE = 87
 
-_ACTIONS = ("raise", "delay", "kill", "interrupt")
+_ACTIONS = ("raise", "delay", "kill", "interrupt", "stall")
 
 
 class InjectedFault(RuntimeError):
@@ -73,7 +74,15 @@ class Fault:
         in-process run, where exiting would kill the experiment
         itself, it degrades to :class:`InjectedFault`);
         ``"interrupt"`` — raise :class:`KeyboardInterrupt`, the
-        scripted stand-in for Ctrl-C in resume tests.
+        scripted stand-in for Ctrl-C in resume tests;
+        ``"stall"`` — sleep ``seconds`` through the injector's
+        *uninstrumented* :attr:`FaultInjector.stall_sleep` clock.  In
+        a distributed worker this simulates a hang: the worker stops
+        heartbeating without dying (the worker routes ``stall_sleep``
+        through its heartbeat-suppressing sleeper), so the broker's
+        missed-heartbeat detection — not mere lease expiry — is what
+        has to recover the task.  A plain ``delay`` keeps heartbeats
+        flowing and exercises lease expiry instead.
     attempts:
         Fire while the task's attempt number is below this; ``1``
         (default) makes the fault transient, :data:`ALWAYS` permanent.
@@ -104,6 +113,12 @@ class FaultInjector:
         task index -> :class:`Fault`.
     sleep:
         Clock used by ``delay`` faults; injectable for fast tests.
+    stall_sleep:
+        Clock used by ``stall`` faults.  Kept separate from ``sleep``
+        so a distributed worker can leave it *un*-instrumented (no
+        heartbeat pumping) while its ``delay`` sleeps stay observable
+        — the difference between a worker that looks hung and one
+        that is merely slow.
 
     Attributes
     ----------
@@ -114,23 +129,26 @@ class FaultInjector:
     """
 
     def __init__(self, schedule: Mapping[int, Fault], *,
-                 sleep: Callable[[float], None] = time.sleep):
+                 sleep: Callable[[float], None] = time.sleep,
+                 stall_sleep: Callable[[float], None] = time.sleep):
         self.schedule: Dict[int, Fault] = dict(schedule)
         self.sleep = sleep
+        self.stall_sleep = stall_sleep
         self.fired: List[Tuple[int, int, str]] = []
 
     @classmethod
     def seeded(cls, seed: int, n_tasks: int, *, raises: int = 0,
-               kills: int = 0, delays: int = 0,
+               kills: int = 0, delays: int = 0, stalls: int = 0,
                raise_attempts: int = 1, delay_seconds: float = 0.05,
+               stall_seconds: float = 0.25,
                ) -> "FaultInjector":
         """A reproducible random schedule over ``n_tasks`` cells.
 
-        Picks ``raises + kills + delays`` distinct task indices with
-        ``random.Random(seed)`` and assigns the actions in that order
-        — the same seed always yields the same schedule.
+        Picks ``raises + kills + delays + stalls`` distinct task
+        indices with ``random.Random(seed)`` and assigns the actions
+        in that order — the same seed always yields the same schedule.
         """
-        wanted = raises + kills + delays
+        wanted = raises + kills + delays + stalls
         if wanted > n_tasks:
             raise ValueError(
                 f"cannot schedule {wanted} faults over {n_tasks} tasks"
@@ -148,6 +166,11 @@ class FaultInjector:
         for _ in range(delays):
             schedule[indices[cursor]] = Fault(
                 "delay", seconds=delay_seconds
+            )
+            cursor += 1
+        for _ in range(stalls):
+            schedule[indices[cursor]] = Fault(
+                "stall", seconds=stall_seconds
             )
             cursor += 1
         return cls(schedule)
@@ -195,6 +218,8 @@ class FaultInjector:
         self.fired.append((index, attempt, fault.action))
         if fault.action == "delay":
             self.sleep(fault.seconds)
+        elif fault.action == "stall":
+            self.stall_sleep(fault.seconds)
         elif fault.action == "kill":
             if in_worker:
                 os._exit(KILL_EXIT_CODE)

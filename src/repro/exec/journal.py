@@ -48,6 +48,11 @@ import json
 import os
 import pickle
 import warnings
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
@@ -205,6 +210,15 @@ class Journal:
 
         The line is flushed immediately so the entry survives the
         process dying right after the call.
+
+        Safe under *interleaved writers*: the file is opened in append
+        mode (every write lands at the current end of file) and the
+        write+flush is wrapped in an exclusive ``flock``, so two
+        processes — a broker and a straggling worker, two resumed
+        runs racing on one run-dir — can append to the same journal
+        without ever tearing each other's lines.  Lines are
+        content-keyed and self-checking, so concurrent appends of the
+        same cell are merely redundant, never conflicting.
         """
         if key in self._entries:
             return
@@ -219,10 +233,16 @@ class Journal:
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(line + "\n")
-        self._handle.flush()
-        if self.sync:
-            os.fsync(self._handle.fileno())
+        if fcntl is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        try:
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if self.sync:
+                os.fsync(self._handle.fileno())
+        finally:
+            if fcntl is not None:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
         self._entries[key] = stats
 
     def close(self) -> None:

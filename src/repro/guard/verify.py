@@ -238,14 +238,16 @@ def _load_manifest_checked(report: VerifyReport,
 
 def verify_run(run_dir: Union[str, os.PathLike], *,
                manifest_path=None, journal_path=None,
-               results_path=None, cache_dir=None) -> VerifyReport:
+               results_path=None, cache_dir=None,
+               spool_dir=None) -> VerifyReport:
     """Cross-check every artifact of one screen run directory.
 
     The directory layout is what ``repro screen --run-dir`` writes:
     ``manifest.json``, ``journal.jsonl``, ``results.json`` and
-    (optionally) ``cache/``; the keyword overrides point at artifacts
-    living elsewhere.  Returns a :class:`VerifyReport`; its
-    ``status`` property implements the 0/1/2 exit-code contract.
+    (optionally) ``cache/`` and a distributed ``spool/``; the keyword
+    overrides point at artifacts living elsewhere.  Returns a
+    :class:`VerifyReport`; its ``status`` property implements the
+    0/1/2 exit-code contract.
     """
     import warnings as warnings_module
 
@@ -256,6 +258,8 @@ def verify_run(run_dir: Union[str, os.PathLike], *,
     results_path = Path(results_path or run_dir / "results.json")
     cache_dir = Path(cache_dir) if cache_dir is not None \
         else run_dir / "cache"
+    spool_dir = Path(spool_dir) if spool_dir is not None \
+        else run_dir / "spool"
 
     # 1. Manifest: self-integrity, then the workload description.
     manifest = _load_manifest_checked(report, manifest_path)
@@ -357,6 +361,51 @@ def verify_run(run_dir: Union[str, os.PathLike], *,
             report.add("cache", True,
                        f"{compared} shared entries agree with the "
                        "journal bit-exact")
+
+    # 4b. Distributed spool (optional): every sealed worker result
+    #     must agree bit-exact with the journal, no file may be torn,
+    #     and a drained spool must hold no in-flight tickets.  Error
+    #     outcomes awaiting republish are not violations — the
+    #     journal-coverage check below judges completeness.
+    if spool_dir.exists():
+        from repro.dist.spool import Spool
+
+        spool = Spool(spool_dir, version=sim_version)
+        agreed = spool_bad = 0
+        for key in spool.result_keys():
+            try:
+                record = spool.read_result(key)
+            except SealError as exc:
+                spool_bad += 1
+                report.add("spool", False,
+                           f"result {key[:12]}...: [{exc.reason}] {exc}")
+                continue
+            if not record.get("ok"):
+                continue
+            journaled = journal.get(key)
+            if journaled is None:
+                continue
+            diff = differing_fields(journaled, record["stats"])
+            if diff:
+                spool_bad += 1
+                report.add(
+                    "spool-agreement", False,
+                    f"result {key[:12]}... disagrees with the journal "
+                    f"on {', '.join(diff)}",
+                )
+            else:
+                agreed += 1
+        if not spool_bad:
+            report.add("spool", True,
+                       f"{agreed} sealed worker results agree with "
+                       "the journal bit-exact")
+        in_flight = len(spool.pending_keys()) + len(spool.leased_keys())
+        if in_flight:
+            report.add("spool-drained", None,
+                       f"{in_flight} ticket(s) still pending/leased "
+                       "— the distributed run did not finish")
+        else:
+            report.add("spool-drained", True, "no tickets in flight")
 
     # 5. Results document seal — checked before the coverage bailout
     #    so a report names every damaged artifact, not just the first.

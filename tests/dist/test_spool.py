@@ -1,0 +1,257 @@
+"""Tests for the shared spool (repro.dist.spool).
+
+The spool's contract is the whole distributed runtime's safety
+argument: every durable record is sealed and published by atomic
+rename (readers never see a partial file), claims are exclusive (one
+winner per ticket), corruption is quarantined instead of trusted, and
+a worker that lost its lease cannot destroy its successor's state.
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.dist.spool import (
+    LEASE_KIND,
+    RESULT_KIND,
+    SPOOL_SCHEMA,
+    TASK_KIND,
+    Spool,
+    pack_obj,
+    unpack_obj,
+)
+from repro.guard.errors import SealCorrupt, SealError
+
+fork_available = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(not fork_available, reason="needs fork")
+
+KEY = "a" * 16
+
+
+@pytest.fixture()
+def spool(tmp_path):
+    spool = Spool(tmp_path / "spool", version="test-sim")
+    spool.ensure()
+    return spool
+
+
+class TestPackObj:
+    def test_roundtrip(self):
+        payload = {"cycles": 123, "names": ("gzip", "mcf")}
+        assert unpack_obj(pack_obj(payload)) == payload
+
+    def test_corruption_is_seal_corrupt(self):
+        with pytest.raises(SealCorrupt) as info:
+            unpack_obj("definitely?not!base64")
+        assert info.value.reason == "unpicklable"
+
+    def test_truncated_pickle_is_seal_corrupt(self):
+        blob = pack_obj({"cycles": 123})
+        with pytest.raises(SealCorrupt):
+            unpack_obj(blob[: len(blob) // 2])
+
+
+class TestTickets:
+    def test_publish_then_claim_then_read(self, spool):
+        spool.publish_task(KEY, 3, 1, {"cell": "payload"})
+        assert spool.pending_keys() == [KEY]
+        assert spool.claim(KEY)
+        assert spool.pending_keys() == []
+        assert spool.leased_keys() == [KEY]
+        ticket = spool.read_task(KEY)
+        assert ticket["index"] == 3
+        assert ticket["attempt"] == 1
+        assert ticket["task"] == {"cell": "payload"}
+
+    def test_claim_is_exclusive(self, spool):
+        spool.publish_task(KEY, 0, 0, None)
+        assert spool.claim(KEY)
+        assert not spool.claim(KEY)
+
+    def test_claim_missing_key_loses_quietly(self, spool):
+        assert not spool.claim("nothing-here")
+
+    @needs_fork
+    def test_claim_race_has_one_winner(self, spool):
+        spool.publish_task(KEY, 0, 0, None)
+        with multiprocessing.get_context("fork").Pool(4) as pool:
+            wins = pool.map(spool.claim, [KEY] * 8)
+        assert sum(wins) == 1
+        assert spool.leased_keys() == [KEY]
+
+    def test_no_temp_file_is_ever_claimable(self, spool):
+        # The atomic-write temp marker must go at the END of the name:
+        # glob("*.task") matches dot-prefixed files, so a prefix
+        # marker would let a worker claim a half-written ticket.
+        seen = []
+        original = spool._write_atomic
+
+        def spying(path, blob):
+            tmp = path.parent / f"{path.name}.tmp-0"
+            tmp.write_bytes(b"half-written")
+            seen.extend(spool.pending_keys())
+            tmp.unlink()
+            original(path, blob)
+
+        spool._write_atomic = spying
+        spool.publish_task(KEY, 0, 0, None)
+        assert seen == []  # in-progress writes are invisible to scans
+        assert spool.pending_keys() == [KEY]
+
+    def test_corrupt_ticket_raises_seal_error(self, spool):
+        spool.publish_task(KEY, 0, 0, None)
+        path = spool.task_path(KEY)
+        blob = bytearray(path.read_bytes())
+        blob[-2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        spool.claim(KEY)
+        with pytest.raises(SealError):
+            spool.read_task(KEY)
+
+    def test_wrong_simulator_version_rejected(self, spool, tmp_path):
+        spool.publish_task(KEY, 0, 0, None)
+        other = Spool(spool.root, version="other-sim")
+        other.claim(KEY)
+        with pytest.raises(SealError):
+            other.read_task(KEY)
+
+    def test_unpublish_is_idempotent(self, spool):
+        spool.publish_task(KEY, 0, 0, None)
+        spool.unpublish(KEY)
+        spool.unpublish(KEY)
+        assert spool.pending_keys() == []
+
+
+class TestLeases:
+    def test_write_then_read(self, spool):
+        deadline = spool.write_lease(KEY, "w1", 2, ttl=30.0)
+        lease = spool.read_lease(KEY)
+        assert lease["worker"] == "w1"
+        assert lease["attempt"] == 2
+        assert lease["deadline"] == pytest.approx(deadline)
+
+    def test_missing_lease_is_none(self, spool):
+        assert spool.read_lease(KEY) is None
+
+    def test_release_unconditional(self, spool):
+        spool.publish_task(KEY, 0, 0, None)
+        spool.claim(KEY)
+        spool.write_lease(KEY, "w1", 0, ttl=30.0)
+        spool.release(KEY)
+        assert spool.leased_keys() == []
+        assert spool.read_lease(KEY) is None
+
+    def test_release_guards_successor_lease(self, spool):
+        # w1 was reclaimed while stalled; w2 now holds the lease.  A
+        # late release from w1 must not destroy w2's claim.
+        spool.publish_task(KEY, 0, 1, None)
+        spool.claim(KEY)
+        spool.write_lease(KEY, "w2", 1, ttl=30.0)
+        spool.release(KEY, "w1")
+        assert spool.leased_keys() == [KEY]
+        assert spool.read_lease(KEY)["worker"] == "w2"
+        spool.release(KEY, "w2")
+        assert spool.leased_keys() == []
+
+    def test_release_leaves_torn_lease_as_evidence(self, spool):
+        spool.publish_task(KEY, 0, 0, None)
+        spool.claim(KEY)
+        spool.lease_path(KEY).write_bytes(b"torn garbage")
+        spool.release(KEY, "w1")  # worker-guarded: must not decide
+        assert spool.lease_path(KEY).exists()
+        spool.release(KEY)  # the broker may release unconditionally
+        assert not spool.lease_path(KEY).exists()
+
+
+class TestResults:
+    def test_ok_result_roundtrip(self, spool):
+        stats = {"cycles": 424242}
+        spool.write_result(KEY, index=5, attempt=1, worker="w9",
+                           ok=True, stats=stats)
+        assert spool.result_keys() == [KEY]
+        record = spool.read_result(KEY)
+        assert record["ok"] is True
+        assert record["stats"] == stats
+        assert record["worker"] == "w9"
+        assert record["index"] == 5
+
+    def test_error_result_roundtrip(self, spool):
+        spool.write_result(KEY, index=2, attempt=0, worker="w1",
+                           ok=False, error_type="InjectedFault",
+                           message="injected failure at task 2")
+        record = spool.read_result(KEY)
+        assert record["ok"] is False
+        assert record["stats"] is None
+        assert record["error_type"] == "InjectedFault"
+
+    def test_torn_result_raises_seal_error(self, spool):
+        spool.write_result(KEY, index=0, attempt=0, worker="w1",
+                           ok=True, stats={"cycles": 1})
+        path = spool.result_path(KEY)
+        path.write_bytes(path.read_bytes()[:-7])
+        with pytest.raises(SealError):
+            spool.read_result(KEY)
+
+    def test_remove_result_is_idempotent(self, spool):
+        spool.write_result(KEY, index=0, attempt=0, worker="w1",
+                           ok=True, stats=None)
+        spool.remove_result(KEY)
+        spool.remove_result(KEY)
+        assert spool.result_keys() == []
+
+
+class TestManifest:
+    def test_roundtrip(self, spool):
+        spool.write_manifest(n_tasks=176)
+        manifest = spool.read_manifest()
+        assert manifest["n_tasks"] == 176
+        assert manifest["sim"] == "test-sim"
+        assert manifest["schema"] == SPOOL_SCHEMA
+
+    def test_missing_manifest_is_none(self, spool):
+        assert spool.read_manifest() is None
+
+
+class TestHeartbeats:
+    def test_beat_then_read(self, spool):
+        spool.heartbeat("w1")
+        spool.heartbeat("w2")
+        beats = spool.read_heartbeats()
+        assert sorted(beats) == ["w1", "w2"]
+        assert all(at > 0 for at in beats.values())
+
+    def test_rebeat_moves_forward(self, spool):
+        spool.heartbeat("w1")
+        first = spool.read_heartbeats()["w1"]
+        spool.heartbeat("w1")
+        assert spool.read_heartbeats()["w1"] >= first
+
+    def test_unreadable_beat_is_skipped(self, spool):
+        spool.heartbeat("w1")
+        (spool.hb_dir / "wbad.hb").write_bytes(b"not-a-float\n")
+        assert sorted(spool.read_heartbeats()) == ["w1"]
+
+
+class TestDrainAndQuarantine:
+    def test_drain_cycle(self, spool):
+        assert not spool.draining()
+        spool.drain()
+        assert spool.draining()
+        spool.clear_drain()
+        assert not spool.draining()
+
+    def test_quarantine_moves_file_aside(self, spool):
+        spool.publish_task(KEY, 0, 0, None)
+        dest = spool.quarantine(spool.task_path(KEY), "bad-digest")
+        assert dest is not None
+        assert dest.parent == spool.quarantine_dir
+        assert dest.name == f"{KEY}.task.bad-digest"
+        assert spool.pending_keys() == []
+
+    def test_quarantine_of_missing_file_is_none(self, spool):
+        assert spool.quarantine(spool.task_path(KEY), "gone") is None
+
+
+class TestKinds:
+    def test_record_kinds_are_distinct(self):
+        assert len({TASK_KIND, RESULT_KIND, LEASE_KIND}) == 3

@@ -102,6 +102,61 @@ class TestRetryPolicy:
         policy.pause(2)
         assert slept == [0.5, 1.0]
 
+    def test_jitter_fraction_validated(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+
+    def test_jitter_is_deterministic(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff=1.0, jitter=0.5, jitter_seed=7,
+        )
+        again = RetryPolicy(
+            max_attempts=5, backoff=1.0, jitter=0.5, jitter_seed=7,
+        )
+        schedule = [policy.delay(n, token="cell") for n in range(1, 5)]
+        assert schedule == \
+            [again.delay(n, token="cell") for n in range(1, 5)]
+
+    def test_jitter_stays_inside_the_band(self):
+        plain = RetryPolicy(
+            max_attempts=9, backoff=1.0, backoff_factor=2.0,
+            max_backoff=8.0,
+        )
+        jittered = RetryPolicy(
+            max_attempts=9, backoff=1.0, backoff_factor=2.0,
+            max_backoff=8.0, jitter=0.25, jitter_seed=3,
+        )
+        for failures in range(1, 6):
+            for token in (None, "a-key", "b-key", 17):
+                raw = plain.delay(failures)
+                spread = jittered.delay(failures, token=token)
+                assert raw * 0.75 <= spread <= raw
+
+    def test_jitter_decorrelates_tokens(self):
+        # The point of the token: tasks reclaimed in one sweep must
+        # not republish in lockstep.
+        policy = RetryPolicy(
+            max_attempts=3, backoff=1.0, jitter=1.0, jitter_seed=0,
+        )
+        delays = {policy.delay(1, token=t) for t in range(16)}
+        assert len(delays) == 16
+
+    def test_jitter_seed_changes_the_schedule(self):
+        one = RetryPolicy(
+            max_attempts=3, backoff=1.0, jitter=1.0, jitter_seed=1,
+        )
+        two = RetryPolicy(
+            max_attempts=3, backoff=1.0, jitter=1.0, jitter_seed=2,
+        )
+        assert one.delay(1, token="k") != two.delay(1, token="k")
+
+    def test_jitter_unit_is_a_unit(self):
+        policy = RetryPolicy(max_attempts=3, jitter=1.0, jitter_seed=9)
+        for failures in range(1, 8):
+            assert 0.0 <= policy.jitter_unit(failures, "t") < 1.0
+
 
 class TestFaultInjector:
     def test_from_spec(self):
@@ -140,6 +195,36 @@ class TestFaultInjector:
         injector.fire(4, 2)          # attempt budget spent: no fault
         injector.fire(5, 0)          # unscheduled index: no fault
         assert injector.fired == [(4, 0, "raise"), (4, 1, "raise")]
+
+    def test_stall_uses_the_separate_stall_clock(self):
+        # stall_sleep is deliberately not the instrumented sleep: a
+        # distributed worker rebinds it to its heartbeat-suppressing
+        # sleeper, so a stall looks hung while a delay looks slow.
+        slept, stalled = [], []
+        injector = FaultInjector(
+            {1: Fault("stall", seconds=0.5),
+             2: Fault("delay", seconds=0.25)},
+            sleep=slept.append, stall_sleep=stalled.append,
+        )
+        injector.fire(1, 0)
+        injector.fire(2, 0)
+        assert stalled == [0.5]
+        assert slept == [0.25]
+        assert injector.fired == [(1, 0, "stall"), (2, 0, "delay")]
+
+    def test_seeded_schedules_stalls(self):
+        injector = FaultInjector.seeded(
+            3, 40, stalls=2, stall_seconds=0.1,
+        )
+        stalls = [f for f in injector.schedule.values()
+                  if f.action == "stall"]
+        assert len(stalls) == 2
+        assert all(f.seconds == 0.1 for f in stalls)
+
+    def test_from_spec_parses_stall(self):
+        injector = FaultInjector.from_spec("stall:9:1:2.0")
+        fault = injector.schedule[9]
+        assert fault == Fault("stall", 1, 2.0)
 
     def test_unknown_action_rejected(self):
         with pytest.raises(ValueError, match="action"):
@@ -211,6 +296,16 @@ class TestSerialFaults:
         ):
             with pytest.raises(KeyboardInterrupt):
                 run_grid(tasks)
+
+    def test_stall_is_invisible_to_results(self, tasks, clean):
+        injector = FaultInjector(
+            {2: Fault("stall", seconds=30.0)},
+            stall_sleep=lambda s: None,
+        )
+        with faultinject.injected(injector):
+            grid = run_grid(tasks)
+        assert cycles(grid) == clean
+        assert injector.fired == [(2, 0, "stall")]
 
     def test_invalid_on_error_rejected(self, tasks):
         with pytest.raises(ValueError, match="on_error"):

@@ -184,3 +184,67 @@ class TestExperimentResume:
         clean_ranking = rank_parameters_from_result(reference)
         assert ranking.factors == clean_ranking.factors
         assert ranking.sums == clean_ranking.sums
+
+
+class TestInterleavedWriters:
+    """Concurrent appenders must never tear each other's lines.
+
+    The distributed broker and a straggling worker — or two resumed
+    runs racing on one run directory — may append to the same journal
+    file simultaneously.  ``Journal.record`` serialises the write
+    with an exclusive ``flock``; this test runs real concurrent
+    processes against one file and then proves every line parses.
+    """
+
+    WRITER = (
+        "import sys\n"
+        "from repro.exec import Journal\n"
+        "tag, count, path = sys.argv[1], int(sys.argv[2]), sys.argv[3]\n"
+        "with Journal(path) as journal:\n"
+        "    for n in range(count):\n"
+        "        journal.record(\n"
+        "            f'{tag}-{n:04d}',\n"
+        "            {'tag': tag, 'n': n, 'pad': 'x' * 512},\n"
+        "        )\n"
+    )
+
+    def test_concurrent_appends_never_tear(self, tmp_path):
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+        from repro.exec import scan_journal
+
+        path = tmp_path / "shared.journal"
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src] + [p for p in
+                     env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        )
+        tags = ("alpha", "beta", "gamma")
+        count = 200
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", self.WRITER,
+                 tag, str(count), str(path)],
+                env=env,
+            )
+            for tag in tags
+        ]
+        assert [proc.wait(timeout=120) for proc in procs] == [0, 0, 0]
+
+        scan = scan_journal(path)
+        assert scan.total == len(tags) * count
+        assert scan.valid == scan.total
+        assert scan.invalid == ()
+        assert not scan.torn_tail
+
+        journal = Journal(path)
+        assert len(journal) == len(tags) * count
+        assert journal.corrupt == 0
+        for tag in tags:
+            for n in range(count):
+                assert journal.get(f"{tag}-{n:04d}")["n"] == n

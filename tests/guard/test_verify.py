@@ -201,3 +201,74 @@ class TestResultsHelpers:
         path.write_bytes(make_seal(b"{}", kind="other", schema=1))
         with pytest.raises(SealCorrupt):
             load_results(path)
+
+
+class TestSpoolChecks:
+    """``verify_run`` over a distributed run directory (step 4b)."""
+
+    def _spool(self, run_dir):
+        from repro.dist.spool import Spool
+        from repro.exec import Journal
+
+        spool = Spool(run_dir / "spool", version=SIMULATOR_VERSION)
+        spool.ensure()
+        journal = Journal(run_dir / "journal.jsonl")
+        key = next(iter(journal.keys()))
+        return spool, key, journal.get(key)
+
+    def test_absent_spool_adds_no_checks(self, copy):
+        report = verify_run(copy)
+        assert report.status == 0
+        assert not any(c.name.startswith("spool")
+                       for c in report.checks)
+
+    def test_agreeing_spool_passes(self, copy):
+        spool, key, stats = self._spool(copy)
+        spool.write_result(key, index=0, attempt=0, worker="w1",
+                           ok=True, stats=stats)
+        report = verify_run(copy)
+        assert report.status == 0
+        by_name = {c.name: c for c in report.checks}
+        assert by_name["spool"].ok is True
+        assert "1 sealed worker results" in by_name["spool"].detail
+        assert by_name["spool-drained"].ok is True
+
+    def test_torn_spool_result_is_violation(self, copy):
+        spool, key, stats = self._spool(copy)
+        spool.write_result(key, index=0, attempt=0, worker="w1",
+                           ok=True, stats=stats)
+        path = spool.result_path(key)
+        path.write_bytes(path.read_bytes()[:-5])
+        report = verify_run(copy)
+        assert report.status == 1
+        assert any(c.name == "spool" and c.ok is False
+                   for c in report.checks)
+
+    def test_disagreeing_spool_result_is_violation(self, copy):
+        import dataclasses
+
+        spool, key, stats = self._spool(copy)
+        doctored = dataclasses.replace(stats, cycles=stats.cycles + 1)
+        spool.write_result(key, index=0, attempt=0, worker="w1",
+                           ok=True, stats=doctored)
+        report = verify_run(copy)
+        assert report.status == 1
+        bad = [c for c in report.checks
+               if c.name == "spool-agreement" and c.ok is False]
+        assert bad and "cycles" in bad[0].detail
+
+    def test_error_results_are_not_violations(self, copy):
+        spool, key, _stats = self._spool(copy)
+        spool.write_result(key, index=0, attempt=0, worker="w1",
+                           ok=False, error_type="InjectedFault",
+                           message="scripted")
+        report = verify_run(copy)
+        assert report.status == 0
+
+    def test_inflight_tickets_are_inconclusive(self, copy):
+        spool, key, _stats = self._spool(copy)
+        spool.publish_task(key, 0, 0, None)
+        report = verify_run(copy)
+        assert report.status == 2
+        stuck = [c for c in report.checks if c.name == "spool-drained"]
+        assert stuck[0].ok is None

@@ -424,3 +424,58 @@ class TestJournalCommands:
     def test_missing_journal_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["journal", "scan", str(tmp_path / "absent.jsonl")])
+
+
+class TestDistFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["screen"])
+        assert args.dist is None
+        assert args.dist_attach_grace == 10.0
+        assert args.dist_heartbeat_grace == 2.5
+        assert args.dist_chaos_exit_after is None
+
+    def test_bad_dist_options_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="--dist"):
+            main(["screen", "--dist", str(tmp_path / "spool"),
+                  "--dist-heartbeat-grace", "0"])
+
+    def test_degraded_dist_screen_completes(self, tmp_path, capsys):
+        # A spool nobody attaches to must not break the science: the
+        # broker degrades and the screen finishes locally.
+        spool = tmp_path / "spool"
+        with pytest.warns(RuntimeWarning,
+                          match="no distributed worker"):
+            assert main(["screen", "-b", "gzip", "-n", "300",
+                         "--dist", str(spool),
+                         "--dist-attach-grace", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Parameter ranks" in out
+
+
+class TestWorkerCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["worker", "spool-dir"])
+        assert args.spool == "spool-dir"
+        assert args.worker_id is None
+        assert args.poll == 0.05
+        assert args.lease_ttl == 15.0
+        assert args.heartbeat_interval == 0.5
+        assert args.max_idle is None
+        assert args.max_tasks is None
+
+    def test_idle_worker_exits_zero(self, tmp_path, capsys):
+        spool = tmp_path / "spool"
+        assert main(["worker", str(spool), "--worker-id", "w-cli",
+                     "--poll", "0.01", "--max-idle", "0.05"]) == 0
+        err = capsys.readouterr().err
+        assert "worker w-cli attaching" in err
+        assert "done: 0 task(s) executed" in err
+        assert (spool / "hb" / "w-cli.hb").exists()
+
+    def test_drained_spool_stops_worker(self, tmp_path):
+        from repro.dist.spool import Spool
+
+        spool = Spool(tmp_path / "spool")
+        spool.ensure()
+        spool.drain()
+        assert main(["worker", str(spool.root)]) == 0
