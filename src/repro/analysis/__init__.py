@@ -1,4 +1,4 @@
-"""Determinism & fork-safety static analysis for this repository.
+"""Determinism & protocol static analysis for this repository.
 
 The execution engine (:mod:`repro.exec`) promises bit-identical
 results across serial, parallel, cached, fault-injected and resumed
@@ -8,15 +8,23 @@ flags the code patterns which historically break it — unseeded
 randomness, wall-clock reads, iteration over unordered collections,
 closures shipped to fork workers, mutable defaults, undeclared
 environment inputs, and exception handlers broad enough to eat a
-``KeyboardInterrupt``.  The rules (REP001–REP007) are documented in
-``docs/analysis.md``.
+``KeyboardInterrupt`` (REP001–REP007) — plus the flow-aware
+protocol rules guarding the artifact and distribution layers:
+atomic publishes, checked sealed reads, canonical cache keys
+(REP101–REP103), monotonic lease math, lock-window discipline,
+fork/thread ordering and sanctioned process control
+(REP201–REP204), and the stale-suppression audit (REP008).  All
+rules are documented in ``docs/analysis.md``.
 
 Run it as ``python -m repro.analysis [paths]`` or ``repro lint``;
 silence a sanctioned violation with an inline
-``# repro: noqa[REP0xx] -- reason`` comment, absorb a legacy tree
-with ``--baseline``, and configure the pass under
-``[tool.repro.analysis]`` in ``pyproject.toml``.  CI runs the pass
-over ``src/repro`` on every push and fails on any live finding.
+``# repro: noqa[REPnnn] -- reason`` comment, absorb a legacy tree
+with ``--baseline``, lint only what changed with ``--diff REF``,
+clean out stale suppressions with ``--fix-unused-noqa``, emit
+code-host-ready reports with ``--format sarif``, and configure the
+pass under ``[tool.repro.analysis]`` in ``pyproject.toml``.  CI
+runs the pass over ``src/repro`` on every push and fails on any
+live finding.
 
 Programmatic use::
 
@@ -48,9 +56,16 @@ from .config import (
     load_config,
     write_baseline,
 )
-from .core import Analyzer, AnalysisResult, Checker, FileContext
+from .core import (
+    Analyzer,
+    AnalysisResult,
+    Checker,
+    FileContext,
+    UnusedNoqa,
+    fix_unused_noqa,
+)
 from .findings import Finding, Severity
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 
 __all__ = [
     "ALL_CHECKERS",
@@ -72,11 +87,14 @@ __all__ = [
     "Severity",
     "UnorderedIteration",
     "UnseededRandomness",
+    "UnusedNoqa",
     "default_checkers",
+    "fix_unused_noqa",
     "load_baseline",
     "load_config",
     "main",
     "render_json",
+    "render_sarif",
     "render_text",
     "write_baseline",
 ]

@@ -1,0 +1,369 @@
+"""Package-level call-graph index: the graph half of the flow core.
+
+Built once per ``analyze_paths`` run (and per file for standalone
+``analyze_source``), :class:`PackageIndex` gives checkers three
+interprocedural powers the per-file walk cannot provide:
+
+* **reachability** — "does this helper transitively call
+  ``repro.guard.seal.check`` / a fork primitive?", so a wrapper like
+  ``Spool._decode`` sanctions its callers and a helper that forks is
+  as hazardous as the fork itself;
+* **return inlining** — "what does ``self.result_path(key)`` actually
+  evaluate to?", so a path factory's ``f"{key}.result"`` suffix is
+  visible at the read site that consumes it;
+* **caller-argument propagation** — "what do callers pass for this
+  parameter?", so a value's origin can be traced one level up when a
+  function only sees a bare name.
+
+Resolution is intentionally modest: one level of import-alias
+expansion (absolute and relative ``from`` imports), ``self.method``
+binding within the defining class, and bare-name binding to
+module-level functions.  Dynamic dispatch (``self.attr.method``,
+dict-of-callables) stays unresolved and is treated as external — the
+rules that consume the graph are written so unresolved means
+"no sanction", never "no hazard".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .dataflow import FunctionFlow, _attr_chain
+
+__all__ = ["FunctionInfo", "ModuleInfo", "PackageIndex",
+           "module_name_for"]
+
+
+def module_name_for(path: Path) -> str:
+    """The dotted module name of ``path``, found by climbing parents
+    while they contain ``__init__.py`` — so the index works no matter
+    which directory the analyzer was pointed at."""
+    path = Path(path)
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    if parts[0] == "__init__":
+        parts = parts[1:] or [path.parent.name]
+    return ".".join(reversed(parts))
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method in the index."""
+
+    qual: str                       #: ``module.func`` / ``module.Cls.func``
+    module: str
+    name: str
+    cls: Optional[str]
+    node: ast.AST                   #: the FunctionDef/AsyncFunctionDef
+    #: every call in the body with its resolved dotted name.
+    calls: List[Tuple[ast.Call, str]] = field(default_factory=list)
+    #: return-statement expressions (for inlining at call sites).
+    returns: List[ast.expr] = field(default_factory=list)
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module in the index."""
+
+    name: str
+    path: Optional[Path]
+    tree: ast.AST
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: local qualifier (``func`` / ``Cls.func``) -> info.
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class name -> its method names.
+    classes: Dict[str, Set[str]] = field(default_factory=dict)
+
+
+class PackageIndex:
+    """Cross-module function table + resolved call edges."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self._flows: Dict[str, FunctionFlow] = {}
+        self._module_flows: Dict[str, FunctionFlow] = {}
+        self._callers: Optional[Dict[str, List[Tuple[FunctionInfo,
+                                                     ast.Call]]]] = None
+
+    # -- construction ----------------------------------------------
+
+    @classmethod
+    def from_trees(cls, trees: Iterable[Tuple[str, ast.AST,
+                                              Optional[Path]]]
+                   ) -> "PackageIndex":
+        """Build from ``(module_name, tree, path)`` triples."""
+        index = cls()
+        for name, tree, path in trees:
+            index._add_module(name, tree, path)
+        for mod in index.modules.values():
+            index._resolve_module(mod)
+        return index
+
+    @classmethod
+    def from_paths(cls, files: Sequence[Path]) -> "PackageIndex":
+        """Parse ``files`` and build the index; unparsable files are
+        skipped (the per-file walk reports them as REP000)."""
+        trees = []
+        for file in files:
+            try:
+                source = Path(file).read_text(encoding="utf-8")
+                tree = ast.parse(source)
+            except (OSError, UnicodeDecodeError, SyntaxError):
+                continue
+            trees.append((module_name_for(Path(file)), tree,
+                          Path(file)))
+        return cls.from_trees(trees)
+
+    def _add_module(self, name: str, tree: ast.AST,
+                    path: Optional[Path]) -> None:
+        mod = ModuleInfo(name=name, path=path, tree=tree)
+        self.modules[name] = mod
+        self._index_imports(mod)
+        for node in tree.body if isinstance(tree, ast.Module) else []:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, node, cls=None)
+            elif isinstance(node, ast.ClassDef):
+                methods = mod.classes.setdefault(node.name, set())
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef,
+                                         ast.AsyncFunctionDef)):
+                        methods.add(item.name)
+                        self._add_function(mod, item, cls=node.name)
+
+    def _add_function(self, mod: ModuleInfo, node: ast.AST,
+                      cls: Optional[str]) -> None:
+        local = f"{cls}.{node.name}" if cls else node.name
+        info = FunctionInfo(
+            qual=f"{mod.name}.{local}", module=mod.name,
+            name=node.name, cls=cls, node=node,
+        )
+        mod.functions[local] = info
+        self.functions[info.qual] = info
+
+    def _index_imports(self, mod: ModuleInfo) -> None:
+        is_package = bool(mod.path and mod.path.name == "__init__.py")
+        parts = mod.name.split(".")
+        pkg_parts = parts if is_package else parts[:-1]
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        mod.imports[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".")[0]
+                        mod.imports[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = pkg_parts[:len(pkg_parts)
+                                     - (node.level - 1)]
+                    target = ".".join(
+                        base + ([node.module] if node.module else [])
+                    )
+                else:
+                    target = node.module or ""
+                if not target:
+                    continue
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    mod.imports[bound] = f"{target}.{alias.name}"
+
+    def _resolve_module(self, mod: ModuleInfo) -> None:
+        for info in mod.functions.values():
+            flow = self.flow(info)
+            for call in flow.calls:
+                resolved = self.resolve_in(mod, call, cls=info.cls)
+                if resolved:
+                    info.calls.append((call, resolved))
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Return) and node.value \
+                        is not None:
+                    info.returns.append(node.value)
+
+    # -- resolution ------------------------------------------------
+
+    def resolve_in(self, mod: ModuleInfo, call: ast.Call,
+                   cls: Optional[str] = None) -> Optional[str]:
+        """The dotted name ``call`` resolves to inside ``mod``.
+
+        ``self.method()`` binds within ``cls``; bare names bind to
+        module-level functions; import aliases expand one level
+        (including relative imports).  Unresolvable chains are
+        rendered leniently (``self.spool.heartbeat``) so suffix-based
+        predicates still see them.
+        """
+        name = _attr_chain(call.func)
+        if name is None:
+            return None
+        if cls and name.startswith("self."):
+            rest = name[len("self."):]
+            if "." not in rest and rest in mod.classes.get(cls, ()):
+                return f"{mod.name}.{cls}.{rest}"
+            return name
+        head, _, rest = name.partition(".")
+        target = mod.imports.get(head)
+        if target is not None:
+            return f"{target}.{rest}" if rest else target
+        if not rest and head in mod.functions:
+            return f"{mod.name}.{head}"
+        return name
+
+    def lookup(self, dotted: Optional[str]) -> Optional[FunctionInfo]:
+        """The indexed function a resolved name refers to, if any."""
+        if not dotted:
+            return None
+        info = self.functions.get(dotted)
+        if info is not None:
+            return info
+        # ``from pkg import module`` then ``module.func(...)`` resolves
+        # to ``pkg.module.func`` already; handle ``pkg.Cls`` ctor vs
+        # method chains by trying the longest module prefix.
+        head, _, last = dotted.rpartition(".")
+        mod = self.modules.get(head)
+        if mod is not None:
+            local = mod.functions.get(last)
+            if local is not None:
+                return local
+        return None
+
+    # -- flows -----------------------------------------------------
+
+    def module_flow(self, mod: ModuleInfo) -> FunctionFlow:
+        flow = self._module_flows.get(mod.name)
+        if flow is None:
+            flow = FunctionFlow(
+                mod.tree,
+                resolve=lambda c, _m=mod: self.resolve_in(_m, c),
+            )
+            self._module_flows[mod.name] = flow
+        return flow
+
+    def flow(self, info: FunctionInfo) -> FunctionFlow:
+        """The (cached) def-use flow of ``info``'s body, chained to
+        its module scope."""
+        flow = self._flows.get(info.qual)
+        if flow is None:
+            mod = self.modules[info.module]
+            flow = FunctionFlow(
+                info.node,
+                resolve=lambda c, _m=mod, _c=info.cls:
+                    self.resolve_in(_m, c, cls=_c),
+                parent=self.module_flow(mod),
+            )
+            self._flows[info.qual] = flow
+        return flow
+
+    # -- interprocedural queries -----------------------------------
+
+    def reaches(self, start: FunctionInfo,
+                pred: Callable[[str], bool],
+                cache: Optional[Dict[str, bool]] = None,
+                max_depth: int = 8) -> bool:
+        """True when ``start`` (or anything it transitively calls
+        through resolvable internal edges) makes a call whose resolved
+        name satisfies ``pred``.  ``cache`` memoizes across queries
+        that share a predicate."""
+        if cache is None:
+            cache = {}
+        return self._reaches(start, pred, cache, max_depth, set())
+
+    def _reaches(self, info: FunctionInfo, pred, cache, depth,
+                 visiting: Set[str]) -> bool:
+        if info.qual in cache:
+            return cache[info.qual]
+        if depth <= 0 or info.qual in visiting:
+            return False
+        visiting.add(info.qual)
+        hit = False
+        for _, resolved in info.calls:
+            if pred(resolved):
+                hit = True
+                break
+            callee = self.lookup(resolved)
+            if callee is not None and self._reaches(
+                    callee, pred, cache, depth - 1, visiting):
+                hit = True
+                break
+        visiting.discard(info.qual)
+        cache[info.qual] = hit
+        return hit
+
+    def inlined_returns(self, resolved: Optional[str],
+                        depth: int = 2,
+                        _seen: Optional[Set[str]] = None
+                        ) -> List[ast.AST]:
+        """The origin closure of every return expression of the
+        function ``resolved`` names — empty when it is external.  One
+        extra level of internal calls found inside those returns is
+        followed, so ``task_path`` -> ``self.pending_dir / f"..."``
+        surfaces both the root attribute and the suffix literal."""
+        info = self.lookup(resolved)
+        if info is None or depth <= 0:
+            return []
+        seen = _seen if _seen is not None else set()
+        if info.qual in seen:
+            return []
+        seen.add(info.qual)
+        flow = self.flow(info)
+        nodes: List[ast.AST] = []
+        for ret in info.returns:
+            nodes.extend(flow.origin_nodes(ret))
+        for node in list(nodes):
+            if isinstance(node, ast.Call):
+                inner = self.resolve_in(
+                    self.modules[info.module], node, cls=info.cls)
+                nodes.extend(self.inlined_returns(
+                    inner, depth - 1, seen))
+        return nodes
+
+    def callers_of(self, qual: str) -> List[Tuple[FunctionInfo,
+                                                  ast.Call]]:
+        """Every ``(caller, call_node)`` whose resolved callee is
+        ``qual``."""
+        if self._callers is None:
+            table: Dict[str, List[Tuple[FunctionInfo, ast.Call]]] = {}
+            for info in self.functions.values():
+                for call, resolved in info.calls:
+                    target = self.lookup(resolved)
+                    if target is not None:
+                        table.setdefault(target.qual, []) \
+                            .append((info, call))
+            self._callers = table
+        return self._callers.get(qual, [])
+
+    def param_arg_exprs(self, info: FunctionInfo, param: str
+                        ) -> List[Tuple[FunctionInfo, ast.expr]]:
+        """What callers pass for ``param`` of ``info`` — the one-level
+        caller-side origin of a parameter."""
+        node = info.node
+        params = [a.arg for a in
+                  list(node.args.posonlyargs) + list(node.args.args)]
+        if info.cls and params and params[0] == "self":
+            params = params[1:]
+        out: List[Tuple[FunctionInfo, ast.expr]] = []
+        for caller, call in self.callers_of(info.qual):
+            for kw in call.keywords:
+                if kw.arg == param:
+                    out.append((caller, kw.value))
+            try:
+                pos = params.index(param)
+            except ValueError:
+                continue
+            if pos < len(call.args):
+                out.append((caller, call.args[pos]))
+        return out

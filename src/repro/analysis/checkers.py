@@ -474,6 +474,36 @@ class ExceptionSwallow(Checker):
             )
 
 
+# ---------------------------------------------------------------------------
+# REP008 — unused suppressions
+# ---------------------------------------------------------------------------
+
+class UnusedSuppression(Checker):
+    """REP008: ``# repro: noqa`` comments that silence nothing.
+
+    A suppression is a standing claim — "this line violates a rule,
+    deliberately, for this reason".  When the code under it changes
+    (or the code listed a typo'd rule from day one), the claim goes
+    stale: the next reader inherits an exemption with no violation
+    behind it, and a *real* future violation on that line sails
+    through pre-silenced.  The detection itself runs in the analyzer
+    core after the suppression pass (this class exists so the rule is
+    selectable and catalogued); findings cannot be noqa'd — stale
+    suppressions are removed (``--fix-unused-noqa``), not suppressed.
+    """
+
+    rule = "REP008"
+    name = "unused-suppression"
+    description = "noqa comments whose rule no longer fires"
+    severity = Severity.WARNING
+    interests = ()
+
+    def visit(self, node: ast.AST, ctx: FileContext) -> None:
+        """Never called (no interests) — see the core's noqa pass."""
+
+
+from .protocol import PROTOCOL_CHECKERS  # noqa: E402 - after base rules
+
 #: The shipped suite, in rule order.  ``Analyzer`` filters it through
 #: the config's select/ignore lists.
 ALL_CHECKERS = (
@@ -484,6 +514,8 @@ ALL_CHECKERS = (
     MutableDefault,
     EnvironRead,
     ExceptionSwallow,
+    UnusedSuppression,
+    *PROTOCOL_CHECKERS,
 )
 
 

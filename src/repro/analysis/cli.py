@@ -15,6 +15,7 @@ flag surface cannot drift between ``repro lint`` and
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -27,8 +28,8 @@ from .config import (
     load_config,
     write_baseline,
 )
-from .core import Analyzer
-from .reporters import render_json, render_text
+from .core import Analyzer, fix_unused_noqa
+from .reporters import render_json, render_sarif, render_text
 
 #: Exit statuses (module-level so tests assert against names).
 EXIT_CLEAN = 0
@@ -44,8 +45,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
              "(default: %(default)s)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         help="report format (default %(default)s)",
+    )
+    parser.add_argument(
+        "--diff", default=None, metavar="REF",
+        help="only analyze .py files changed relative to the git "
+             "ref (still restricted to PATH arguments)",
+    )
+    parser.add_argument(
+        "--fix-unused-noqa", action="store_true",
+        help="rewrite files in place to drop stale suppression "
+             "comments (REP008), then exit",
     )
     parser.add_argument(
         "--select", default=None, metavar="RULES",
@@ -98,6 +109,13 @@ def run(args: argparse.Namespace,
               f"{', '.join(map(str, missing))}", file=stderr)
         return EXIT_USAGE
 
+    if args.diff is not None:
+        try:
+            paths = _changed_paths(args.diff, paths)
+        except ConfigError as exc:
+            print(f"repro lint: {exc}", file=stderr)
+            return EXIT_USAGE
+
     try:
         config = load_config(
             Path(args.config) if args.config else None,
@@ -116,6 +134,12 @@ def run(args: argparse.Namespace,
         print(f"repro lint: {exc}", file=stderr)
         return EXIT_USAGE
 
+    if args.fix_unused_noqa:
+        rewritten, touched = fix_unused_noqa(result.unused_noqa)
+        print(f"rewrote {rewritten} stale suppression(s) in "
+              f"{touched} file(s)", file=stderr)
+        return EXIT_CLEAN
+
     if args.write_baseline:
         count = write_baseline(
             result.findings, Path(args.write_baseline)
@@ -124,9 +148,51 @@ def run(args: argparse.Namespace,
               f"{args.write_baseline}", file=stderr)
         return EXIT_CLEAN
 
-    render = render_json if args.format == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif}.get(
+        args.format, render_text
+    )
     print(render(result), file=stdout)
     return EXIT_CLEAN if result.clean else EXIT_FINDINGS
+
+
+def _changed_paths(ref: str, requested: List[Path]) -> List[Path]:
+    """The ``.py`` files changed since ``ref``, within ``requested``.
+
+    Asks git for names changed relative to ``ref`` (three-dot-free:
+    exactly ``git diff --name-only REF``, resolved from the repo
+    toplevel), keeps those that still exist — deletions lint nothing
+    — and intersects with the requested paths.  Any git failure is a
+    usage error (exit 2): an incremental gate that silently linted
+    nothing would pass every PR.
+    """
+    def _git(*argv: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *argv], capture_output=True, text=True,
+            )
+        except OSError as exc:
+            raise ConfigError(f"--diff: cannot run git: {exc}")
+        if proc.returncode != 0:
+            detail = proc.stderr.strip() or f"exit {proc.returncode}"
+            raise ConfigError(f"--diff {ref}: git failed: {detail}")
+        return proc.stdout
+
+    top = Path(_git("rev-parse", "--show-toplevel").strip())
+    names = _git("diff", "--name-only", "-z", ref, "--").split("\0")
+    roots = [p.resolve() for p in requested]
+    changed: List[Path] = []
+    for name in names:
+        if not name.endswith(".py"):
+            continue
+        candidate = top / name
+        if not candidate.is_file():
+            continue
+        resolved = candidate.resolve()
+        for root in roots:
+            if resolved == root or root in resolved.parents:
+                changed.append(candidate)
+                break
+    return sorted(set(changed))
 
 
 def _merge_cli_rules(config: AnalysisConfig,

@@ -16,6 +16,14 @@ both the tool table and top-level keys are accepted).  Keys:
     Extra callable names treated as worker-executing entry points by
     the fork-safety rule (REP004), on top of the built-ins
     (``run_grid``, ``Process``, ``submit``, ...).
+``artifact_roots``
+    Extra identifier patterns (fnmatch) naming artifact-root
+    directories for the atomic-publish rule (REP101), on top of the
+    built-ins (``pending_dir``, ``results_dir``, ...).
+``sealed_names``
+    Extra filename fragments marking sealed artifacts for the
+    checked-read rule (REP102), on top of the built-ins (``.task``,
+    ``.result``, ``.pkl``, ...).
 
 A **baseline** is a JSON file of finding fingerprints (see
 :meth:`~repro.analysis.findings.Finding.fingerprint`).  Findings
@@ -58,6 +66,8 @@ class AnalysisConfig:
     exclude: List[str] = field(default_factory=list)
     allow_calls: Set[str] = field(default_factory=set)
     executors: Set[str] = field(default_factory=set)
+    artifact_roots: List[str] = field(default_factory=list)
+    sealed_names: List[str] = field(default_factory=list)
 
     def selected_rules(self, known: Sequence[str]) -> Set[str]:
         """The rule codes to run, validating against ``known``."""
@@ -80,7 +90,8 @@ class AnalysisConfig:
 
 def _coerce(table: dict) -> AnalysisConfig:
     config = AnalysisConfig()
-    for key in ("select", "ignore", "exclude"):
+    for key in ("select", "ignore", "exclude", "artifact_roots",
+                "sealed_names"):
         value = table.get(key, [])
         if not isinstance(value, list) or \
                 not all(isinstance(v, str) for v in value):
@@ -92,7 +103,8 @@ def _coerce(table: dict) -> AnalysisConfig:
                 not all(isinstance(v, str) for v in value):
             raise ConfigError(f"'{key}' must be a list of strings")
         setattr(config, key, set(value))
-    known = {"select", "ignore", "exclude", "allow_calls", "executors"}
+    known = {"select", "ignore", "exclude", "allow_calls", "executors",
+             "artifact_roots", "sealed_names"}
     unknown = set(table) - known
     if unknown:
         raise ConfigError(

@@ -18,24 +18,45 @@ to change.
 from __future__ import annotations
 
 import ast
+import io
 import re
-from dataclasses import dataclass, field
+import tokenize
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from .callgraph import ModuleInfo, PackageIndex, module_name_for
 from .config import AnalysisConfig
+from .dataflow import FunctionFlow
 from .findings import Finding, Severity
 
 #: Rule code reserved for files the analyzer cannot parse.
 PARSE_ERROR_RULE = "REP000"
 
+#: Rule code for suppression comments whose rule no longer fires.
+UNUSED_NOQA_RULE = "REP008"
+
 #: ``# repro: noqa`` / ``# repro: noqa[REP001,REP004]`` with an
-#: optional ``-- reason`` tail.  Matched against the physical source
-#: line a finding points at.
+#: optional ``-- reason`` tail.  Matched against the comment on the
+#: physical source line a finding points at.
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?"
     r"(?:\s*--\s*(?P<reason>.*))?",
 )
+
+
+def _noqa_match(comment: str) -> Optional["re.Match"]:
+    """The suppression directive in ``comment``, or ``None``.
+
+    A directive must run to the end of the comment: bare, bracketed,
+    or trailed by a ``-- reason``.  Prose that merely *mentions* the
+    syntax (followed by more words) is not a directive — it neither
+    suppresses nor registers as stale.
+    """
+    match = _NOQA_RE.search(comment)
+    if match is None or comment[match.end():].strip():
+        return None
+    return match
 
 
 def dotted_name(node: ast.AST) -> Optional[str]:
@@ -76,16 +97,29 @@ class FileContext:
     """
 
     def __init__(self, path: str, source: str, tree: ast.AST,
-                 config: AnalysisConfig):
+                 config: AnalysisConfig,
+                 index: Optional[PackageIndex] = None,
+                 module_name: Optional[str] = None):
         self.path = path
+        self.source = source
         self.lines = source.splitlines()
         self.tree = tree
         self.config = config
+        self._comments: Optional[Dict[int, Tuple[int, str]]] = None
         self.findings: List[Finding] = []
         self.imports: Dict[str, str] = {}
         self.nested_functions: Set[str] = set()
+        #: Package-wide call-graph index (always present: a
+        #: single-file index is built for standalone sources).
+        self.index = index
+        self.module_name = module_name
         self._index_imports(tree)
         self._index_nested_functions(tree)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._flows: Dict[ast.AST, FunctionFlow] = {}
 
     # -- prepass indexes -------------------------------------------
 
@@ -121,6 +155,30 @@ class FileContext:
             return self.lines[lineno - 1]
         return ""
 
+    @property
+    def comments(self) -> Dict[int, Tuple[int, str]]:
+        """lineno -> (column, text) of every actual ``#`` comment.
+
+        Tokenized, not regexed: a docstring *describing* a noqa
+        comment must neither suppress findings nor register as a
+        stale suppression.  Falls back to raw lines if the file does
+        not tokenize (it already parsed, so this is near-impossible).
+        """
+        if self._comments is None:
+            table: Dict[int, Tuple[int, str]] = {}
+            try:
+                for tok in tokenize.generate_tokens(
+                        io.StringIO(self.source).readline):
+                    if tok.type == tokenize.COMMENT:
+                        table[tok.start[0]] = (tok.start[1],
+                                               tok.string)
+            except (tokenize.TokenError, IndentationError,
+                    SyntaxError):  # pragma: no cover - file parsed
+                table = {n: (0, line)
+                         for n, line in enumerate(self.lines, 1)}
+            self._comments = table
+        return self._comments
+
     def resolve_call(self, node: ast.Call) -> Optional[str]:
         """The canonical dotted name a call resolves to, or ``None``.
 
@@ -138,6 +196,62 @@ class FileContext:
         if target is not None:
             return f"{target}.{rest}" if rest else target
         return name
+
+    # -- flow services (protocol checkers) -------------------------
+
+    @property
+    def module_info(self) -> Optional[ModuleInfo]:
+        """This file's entry in the package index, when indexed."""
+        if self.index is None or self.module_name is None:
+            return None
+        return self.index.modules.get(self.module_name)
+
+    def enclosing_scope(self, node: ast.AST) -> ast.AST:
+        """The nearest enclosing function scope of ``node`` (or the
+        module)."""
+        current = self._parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef, ast.Module)):
+                return current
+            current = self._parents.get(current)
+        return self.tree
+
+    def enclosing_class(self, scope: ast.AST) -> Optional[str]:
+        """The class a function scope is a method of, if any."""
+        current = self._parents.get(scope)
+        while current is not None:
+            if isinstance(current, ast.ClassDef):
+                return current.name
+            if isinstance(current, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                return None
+            current = self._parents.get(current)
+        return None
+
+    def flow_for(self, node: ast.AST) -> FunctionFlow:
+        """The def-use flow of the scope containing ``node`` (cached;
+        function scopes chain to the module scope)."""
+        scope = node if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
+        ) else self.enclosing_scope(node)
+        flow = self._flows.get(scope)
+        if flow is None:
+            parent = None
+            if scope is not self.tree:
+                parent = self.flow_for(self.enclosing_scope(scope))
+            flow = FunctionFlow(scope, resolve=self._resolver(scope),
+                                parent=parent)
+            self._flows[scope] = flow
+        return flow
+
+    def _resolver(self, scope: ast.AST):
+        mod = self.module_info
+        if mod is not None and self.index is not None:
+            cls = self.enclosing_class(scope)
+            index = self.index
+            return lambda call: index.resolve_in(mod, call, cls=cls)
+        return self.resolve_call
 
     def report(self, node: ast.AST, rule: str, severity: Severity,
                message: str) -> None:
@@ -173,6 +287,27 @@ class Checker:
         raise NotImplementedError
 
 
+@dataclass(frozen=True)
+class UnusedNoqa:
+    """One ``# repro: noqa`` comment that silences nothing.
+
+    ``codes`` are the listed rule codes that never fired on the line
+    (or are unknown); ``kept`` the listed codes that still earn their
+    keep.  A bare (unbracketed) stale suppression has both empty.
+    ``--fix-unused-noqa`` uses these to rewrite or drop the comment.
+    ``path`` is the display path (relative to the analysis root);
+    ``file``, when set, is the real filesystem path the rewriter
+    opens.
+    """
+
+    path: str
+    line: int
+    column: int
+    codes: Tuple[str, ...]
+    kept: Tuple[str, ...]
+    file: Optional[str] = None
+
+
 @dataclass
 class AnalysisResult:
     """Outcome of one analysis run.
@@ -190,6 +325,8 @@ class AnalysisResult:
     #: The findings silenced by noqa comments (audit trail: this
     #: repo's own tests assert every one carries a reason).
     suppressions: List[Finding] = field(default_factory=list)
+    #: Stale suppression comments (REP008), for ``--fix-unused-noqa``.
+    unused_noqa: List[UnusedNoqa] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -202,22 +339,37 @@ class Analyzer:
     def __init__(self, checkers: Sequence[Checker],
                  config: Optional[AnalysisConfig] = None):
         self.config = config or AnalysisConfig()
-        selected = self.config.selected_rules(
-            [c.rule for c in checkers]
-        )
+        all_codes = [c.rule for c in checkers]
+        selected = self.config.selected_rules(all_codes)
         self.checkers = [c for c in checkers if c.rule in selected]
+        self._known_rules = set(all_codes) | {PARSE_ERROR_RULE}
+        self._armed_rules = {c.rule for c in self.checkers}
+        #: Bare ``# repro: noqa`` staleness is only decidable when
+        #: every rule is armed (a disarmed rule might be what it
+        #: silences).
+        self._all_armed = self._armed_rules >= set(all_codes)
         self._by_interest: Dict[type, List[Checker]] = {}
         for checker in self.checkers:
             for node_type in checker.interests:
                 self._by_interest.setdefault(node_type, []) \
                     .append(checker)
         self._last_suppressions: List[Finding] = []
+        self._last_unused: List[UnusedNoqa] = []
 
     # -- single file -----------------------------------------------
 
-    def analyze_source(self, source: str,
-                       path: str = "<memory>") -> List[Finding]:
-        """All live findings for one source text (noqa applied)."""
+    def analyze_source(self, source: str, path: str = "<memory>",
+                       index: Optional[PackageIndex] = None,
+                       module_name: Optional[str] = None
+                       ) -> List[Finding]:
+        """All live findings for one source text (noqa applied).
+
+        Without an ``index`` a single-file call-graph index is built,
+        so same-module interprocedural reasoning (``self._decode``
+        sanctioning a read) works on standalone sources too.
+        """
+        self._last_suppressions = []
+        self._last_unused = []
         try:
             tree = ast.parse(source)
         except SyntaxError as exc:
@@ -227,13 +379,27 @@ class Analyzer:
                 rule=PARSE_ERROR_RULE, severity=Severity.ERROR,
                 message=f"file does not parse: {exc.msg}",
             )]
-        ctx = FileContext(path, source, tree, self.config)
+        if module_name is None:
+            module_name = Path(path).stem or "<memory>"
+        if index is None:
+            index = PackageIndex.from_trees(
+                [(module_name, tree, None)]
+            )
+        ctx = FileContext(path, source, tree, self.config,
+                          index=index, module_name=module_name)
         for checker in self.checkers:
             checker.begin_file(ctx)
         for node in ast.walk(tree):
             for checker in self._by_interest.get(type(node), ()):
                 checker.visit(node, ctx)
         live, suppressed = _apply_suppressions(ctx)
+        if UNUSED_NOQA_RULE in self._armed_rules:
+            unused = _find_unused_noqa(
+                ctx, suppressed, self._armed_rules,
+                self._known_rules, self._all_armed,
+            )
+            self._last_unused = unused
+            live.extend(_unused_noqa_findings(ctx, unused))
         self._last_suppressions = sorted(
             suppressed, key=lambda f: f.sort_key
         )
@@ -251,7 +417,12 @@ class Analyzer:
         """
         result = AnalysisResult()
         root = Path(root) if root is not None else Path(".")
-        for file in _collect_files(paths, self.config):
+        files = _collect_files(paths, self.config)
+        # One package-wide index: cross-module edges (a spool helper
+        # wrapping seal.check, a path factory in another class) are
+        # visible from every file's walk.
+        index = PackageIndex.from_paths(files)
+        for file in files:
             try:
                 source = file.read_text(encoding="utf-8")
             except (OSError, UnicodeDecodeError) as exc:
@@ -262,10 +433,17 @@ class Analyzer:
                 ))
                 result.files += 1
                 continue
-            findings = self.analyze_source(source, _display(file, root))
+            findings = self.analyze_source(
+                source, _display(file, root), index=index,
+                module_name=module_name_for(file),
+            )
             result.files += 1
             result.suppressed += len(self._last_suppressions)
             result.suppressions.extend(self._last_suppressions)
+            result.unused_noqa.extend(
+                replace(entry, file=str(file))
+                for entry in self._last_unused
+            )
             result.findings.extend(findings)
         result.findings.sort(key=lambda f: f.sort_key)
         return result
@@ -317,7 +495,8 @@ def _apply_suppressions(ctx: FileContext):
     live: List[Finding] = []
     suppressed: List[Finding] = []
     for finding in ctx.findings:
-        match = _NOQA_RE.search(ctx.line(finding.line))
+        _, comment = ctx.comments.get(finding.line, (0, ""))
+        match = _noqa_match(comment)
         if match and _covers(match, finding.rule):
             suppressed.append(finding)
         else:
@@ -331,3 +510,124 @@ def _covers(match: "re.Match", rule: str) -> bool:
         return True
     wanted = {r.strip() for r in rules.split(",") if r.strip()}
     return rule in wanted
+
+
+def _find_unused_noqa(ctx: FileContext, suppressed: List[Finding],
+                      armed: Set[str], known: Set[str],
+                      all_armed: bool) -> List[UnusedNoqa]:
+    """Suppression comments in ``ctx`` that silence nothing.
+
+    A listed code is stale when it is unknown (typo'd), or armed this
+    run yet suppressed no finding on its line.  Codes that are known
+    but disarmed are left alone — this run cannot tell.  A bare
+    ``# repro: noqa`` is only judged when every rule is armed, for
+    the same reason.
+    """
+    by_line: Dict[int, Set[str]] = {}
+    for finding in suppressed:
+        by_line.setdefault(finding.line, set()).add(finding.rule)
+    out: List[UnusedNoqa] = []
+    for lineno in sorted(ctx.comments):
+        col, comment = ctx.comments[lineno]
+        match = _noqa_match(comment)
+        if match is None:
+            continue
+        fired = by_line.get(lineno, set())
+        listed_raw = match.group("rules")
+        column = col + match.start() + 1
+        if listed_raw is None:
+            if not fired and all_armed:
+                out.append(UnusedNoqa(
+                    path=ctx.path, line=lineno, column=column,
+                    codes=(), kept=(),
+                ))
+            continue
+        listed = [r.strip() for r in listed_raw.split(",")
+                  if r.strip()]
+        stale = tuple(
+            code for code in listed
+            if code not in known
+            or (code in armed and code not in fired)
+        )
+        if stale:
+            kept = tuple(c for c in listed if c not in stale)
+            out.append(UnusedNoqa(
+                path=ctx.path, line=lineno, column=column,
+                codes=stale, kept=kept,
+            ))
+    return out
+
+
+def _unused_noqa_findings(ctx: FileContext,
+                          unused: List[UnusedNoqa]) -> List[Finding]:
+    """REP008 findings for stale suppressions.  These are emitted
+    *after* the suppression pass and deliberately cannot themselves
+    be noqa'd — a stale comment must be removed, not silenced."""
+    findings = []
+    for entry in unused:
+        if entry.codes:
+            what = ", ".join(entry.codes)
+            message = (f"suppression for {what} no longer fires on "
+                       "this line; remove it (or run "
+                       "--fix-unused-noqa)")
+        else:
+            message = ("bare 'repro: noqa' suppresses nothing on "
+                       "this line; remove it (or run "
+                       "--fix-unused-noqa)")
+        findings.append(Finding(
+            path=entry.path, line=entry.line, column=entry.column,
+            rule=UNUSED_NOQA_RULE, severity=Severity.WARNING,
+            message=message, source=ctx.line(entry.line),
+        ))
+    return findings
+
+
+def fix_unused_noqa(entries: Iterable[UnusedNoqa]) -> Tuple[int, int]:
+    """Rewrite files in place to drop or trim stale suppressions.
+
+    ``entries`` come from :attr:`AnalysisResult.unused_noqa`.  A
+    fully stale directive (nothing kept) is cut from its line; a
+    partially stale one is rebuilt around the surviving codes, with
+    any ``-- reason`` tail preserved.  Line numbers never shift — a
+    comment-only line is left blank, not deleted — so every entry's
+    anchor stays valid throughout.  Returns ``(comments rewritten,
+    files touched)``; entries whose file has drifted since analysis
+    (the directive is no longer at the recorded column) are skipped.
+    """
+    by_path: Dict[str, List[UnusedNoqa]] = {}
+    for entry in entries:
+        by_path.setdefault(entry.file or entry.path, []).append(entry)
+    rewritten = 0
+    touched = 0
+    for path in sorted(by_path):
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError:
+            continue
+        lines = text.splitlines(keepends=True)
+        changed = False
+        for entry in by_path[path]:
+            i = entry.line - 1
+            if i >= len(lines):
+                continue
+            line = lines[i]
+            start = entry.column - 1
+            match = _NOQA_RE.search(line[start:])
+            if match is None or match.start() != 0:
+                continue
+            body = line.rstrip("\r\n")
+            eol = line[len(body):]
+            if entry.kept:
+                rebuilt = f"# repro: noqa[{','.join(entry.kept)}]"
+                reason = match.group("reason")
+                if reason and reason.strip():
+                    rebuilt += f" -- {reason.strip()}"
+                lines[i] = body[:start] + rebuilt + eol
+            else:
+                lines[i] = body[:start].rstrip() + eol
+            changed = True
+            rewritten += 1
+        if changed:
+            Path(path).write_text("".join(lines), encoding="utf-8")
+            touched += 1
+    return rewritten, touched

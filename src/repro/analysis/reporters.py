@@ -1,15 +1,23 @@
-"""Text and JSON renderings of an :class:`AnalysisResult`.
+"""Text, JSON and SARIF renderings of an :class:`AnalysisResult`.
 
-Both renderings are fully deterministic — findings arrive sorted by
+All renderings are fully deterministic — findings arrive sorted by
 ``(path, line, column, rule)`` and JSON keys are sorted — so CI can
 diff reports across runs and the tool passes its own REP003 check.
+
+The SARIF form targets SARIF 2.1.0, the interchange dialect code
+hosts ingest for inline annotations: one ``run`` with the full rule
+catalogue on the tool driver and one ``result`` per live finding,
+carrying the baseline fingerprint as a partial fingerprint so host
+deduplication tracks ours.
 """
 
 from __future__ import annotations
 
 import json
+from pathlib import PurePosixPath, PureWindowsPath
 
-from .core import AnalysisResult
+from .core import PARSE_ERROR_RULE, AnalysisResult
+from .findings import Severity
 
 
 def render_text(result: AnalysisResult) -> str:
@@ -36,5 +44,87 @@ def render_json(result: AnalysisResult) -> str:
         "suppressed": result.suppressed,
         "baselined": result.baselined,
         "findings": [f.to_dict() for f in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+_SARIF_VERSION = "2.1.0"
+_TOOL_NAME = "repro-lint"
+
+
+def _sarif_uri(path: str) -> str:
+    """``path`` as the forward-slash relative URI SARIF expects."""
+    return PurePosixPath(PureWindowsPath(path).as_posix()).as_posix()
+
+
+def _sarif_rules() -> list:
+    """The full rule catalogue for the tool driver, sorted by id."""
+    from .checkers import ALL_CHECKERS
+
+    rules = [
+        {
+            "id": cls.rule,
+            "name": cls.name,
+            "shortDescription": {"text": cls.description},
+            "defaultConfiguration": {
+                "level": "error" if cls.severity is Severity.ERROR
+                else "warning",
+            },
+        }
+        for cls in ALL_CHECKERS
+    ]
+    rules.append({
+        "id": PARSE_ERROR_RULE,
+        "name": "parse-error",
+        "shortDescription": {
+            "text": "file could not be parsed as Python",
+        },
+        "defaultConfiguration": {"level": "error"},
+    })
+    rules.sort(key=lambda r: r["id"])
+    return rules
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """SARIF 2.1.0 report for code-host ingestion (``--format sarif``)."""
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": str(finding.severity),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": _sarif_uri(finding.path),
+                    },
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.column,
+                    },
+                },
+            }],
+            "partialFingerprints": {
+                "reproFingerprint/v1": finding.fingerprint(),
+            },
+        }
+        for finding in result.findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": _SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": _TOOL_NAME,
+                    "rules": _sarif_rules(),
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

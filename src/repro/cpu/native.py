@@ -48,9 +48,23 @@ from .stats import CacheSnapshot, CoreStats
 _SOURCE = Path(__file__).resolve().parent / "_native" / "core.c"
 _CFLAGS = ("-O2", "-std=c99", "-fPIC", "-shared")
 
+
+def _cflags() -> tuple:
+    """The effective compiler flags, including any sanitizer extras.
+
+    ``REPRO_NATIVE_CFLAGS`` appends flags to the defaults — the CI
+    sanitizer job uses it to build the kernel with
+    ``-fsanitize=address,undefined``.  The flags enter the build
+    digest, so a sanitized artifact never shadows a production one.
+    """
+    extra = os.environ.get("REPRO_NATIVE_CFLAGS")  # repro: noqa[REP006] -- build-flag knob for the CI sanitizer job; flags enter the content address and every kernel build is bit-identical by contract
+    if not extra:
+        return _CFLAGS
+    return _CFLAGS + tuple(extra.split())
+
 #: Loaded kernel (ctypes CDLL), or False after a failed load attempt
 #: so we never retry a broken toolchain on every simulation.
-_lib = None  # repro: noqa[REP004] -- per-process memo; children re-load (or inherit the mapped .so) safely
+_lib = None
 _failure: Optional[str] = None
 
 # The C side hardcodes these ISA values; fail loudly if they drift.
@@ -132,8 +146,9 @@ def _cache_dir() -> Path:
 def _build(compiler: str) -> Path:
     """Compile the kernel into the content-addressed cache; idempotent."""
     source = _SOURCE.read_bytes()
+    cflags = _cflags()
     digest = hashlib.sha256(
-        source + b"\0" + " ".join(_CFLAGS).encode() + b"\0"
+        source + b"\0" + " ".join(cflags).encode() + b"\0"
         + compiler.encode()
     ).hexdigest()[:20]
     cache = _cache_dir()
@@ -145,7 +160,7 @@ def _build(compiler: str) -> Path:
     os.close(fd)
     try:
         result = subprocess.run(
-            [compiler, *_CFLAGS, "-o", tmp, str(_SOURCE)],
+            [compiler, *cflags, "-o", tmp, str(_SOURCE)],
             capture_output=True, text=True,
         )
         if result.returncode != 0:

@@ -193,7 +193,7 @@ def run_dist(
                     # Scripted broker crash: no drain marker, no
                     # cleanup — workers live on, and a restarted
                     # broker must resume from the sealed spool alone.
-                    os._exit(CHAOS_EXIT_CODE)
+                    os._exit(CHAOS_EXIT_CODE)  # repro: noqa[REP204] -- scripted chaos crash; skipping atexit/finally is the point
             else:
                 spool.remove_result(key)
                 spool.release(key)

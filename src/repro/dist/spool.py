@@ -328,7 +328,9 @@ class Spool:
         for path in sorted(self.hb_dir.glob("*.hb")):
             try:
                 out[path.stem] = float(path.read_bytes().split()[0])
-            except (OSError, ValueError, IndexError):  # repro: noqa[REP007] -- an unreadable beat is indistinguishable from no beat; staleness detection covers both
+            except (OSError, ValueError, IndexError):
+                # An unreadable beat is indistinguishable from no
+                # beat; staleness detection covers both.
                 continue
         return out
 

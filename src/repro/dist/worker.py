@@ -102,7 +102,9 @@ class DistWorker:
             if not self._suppress_hb.is_set():
                 try:
                     self.spool.heartbeat(self.worker_id)
-                except OSError:  # repro: noqa[REP007] -- a missed beat must never crash the worker; the broker reads absence as staleness
+                except OSError:
+                    # A missed beat must never crash the worker; the
+                    # broker reads absence as staleness.
                     pass
             self._stop_hb.wait(self.heartbeat_interval)
 

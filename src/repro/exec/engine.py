@@ -212,7 +212,7 @@ def _worker_main(tasks, inbox, results, worker_id) -> None:
         try:
             results.put(payload)
         except Exception:  # pragma: no cover - broken result pipe
-            os._exit(1)
+            os._exit(1)  # repro: noqa[REP204] -- result pipe is gone; nothing a dying worker can report survives cleanup
 
 
 class _Worker:

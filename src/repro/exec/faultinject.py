@@ -222,7 +222,7 @@ class FaultInjector:
             self.stall_sleep(fault.seconds)
         elif fault.action == "kill":
             if in_worker:
-                os._exit(KILL_EXIT_CODE)
+                os._exit(KILL_EXIT_CODE)  # repro: noqa[REP204] -- kill fault simulates SIGKILL; recovery must come from the spool
             # In-process there is no worker to sacrifice; fail the
             # task instead so retry still has something to chew on.
             raise InjectedFault(

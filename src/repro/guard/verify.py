@@ -109,7 +109,11 @@ def write_results(path: Union[str, os.PathLike], result,
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_bytes(blob)
+    # Write-then-rename: a reader (or a crash) never observes a
+    # half-written results document.
+    tmp = path.with_name(path.name + f".w{os.getpid()}.tmp")
+    tmp.write_bytes(blob)
+    os.replace(tmp, path)
     return path
 
 

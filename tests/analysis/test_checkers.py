@@ -298,10 +298,12 @@ class TestSuppressions:
         """) == []
 
     def test_noqa_other_rule_does_not_silence(self):
+        # The live REP006 still reports, and the suppression naming
+        # the wrong rule is itself flagged stale (REP008).
         assert rules("""
             import os
             level = os.getenv("X")  # repro: noqa[REP001] -- wrong rule
-        """) == ["REP006"]
+        """) == ["REP006", "REP008"]
 
     def test_bare_noqa_silences_everything(self):
         assert rules("""

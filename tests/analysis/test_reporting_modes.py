@@ -1,0 +1,147 @@
+"""The SARIF reporter and the ``--diff`` incremental mode.
+
+SARIF shape is pinned structurally: the document must parse, carry
+the 2.1.0 version tag, list the full rule catalogue (including the
+REP000 parse-error pseudo-rule) on the tool driver, and anchor each
+result with rule ID, level, location, and the baseline fingerprint
+as a partial fingerprint — the fields code hosts actually consume.
+
+``--diff`` is pinned behaviourally in a scratch git repository: only
+files changed relative to the ref are linted, paths outside the
+requested roots stay excluded, deletions lint nothing, and an
+unresolvable ref is a usage error (exit 2) — an incremental gate
+that silently linted nothing would pass every PR.
+"""
+
+import json
+import subprocess
+
+import pytest
+
+from repro.analysis import Analyzer, default_checkers
+from repro.analysis.checkers import ALL_CHECKERS
+from repro.analysis.cli import (
+    EXIT_CLEAN,
+    EXIT_FINDINGS,
+    EXIT_USAGE,
+    main,
+)
+from repro.analysis.config import AnalysisConfig
+from repro.analysis.core import PARSE_ERROR_RULE
+from repro.analysis.reporters import render_sarif
+
+DIRTY = 'import os\nlevel = os.getenv("X")\n'
+CLEAN = "def f(x):\n    return x\n"
+
+
+def _sarif(tmp_path, sources):
+    for name, text in sources.items():
+        (tmp_path / name).write_text(text)
+    analyzer = Analyzer(default_checkers(), AnalysisConfig())
+    result = analyzer.analyze_paths([tmp_path], root=tmp_path)
+    return json.loads(render_sarif(result))
+
+
+class TestSarifShape:
+    def test_document_skeleton(self, tmp_path):
+        doc = _sarif(tmp_path, {"a.py": DIRTY})
+        assert doc["version"] == "2.1.0"
+        assert "sarif-schema-2.1.0" in doc["$schema"]
+        (run,) = doc["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+
+    def test_rule_catalogue_is_complete_and_sorted(self, tmp_path):
+        doc = _sarif(tmp_path, {"a.py": CLEAN})
+        rules = doc["runs"][0]["tool"]["driver"]["rules"]
+        ids = [r["id"] for r in rules]
+        assert ids == sorted(ids)
+        expected = {cls.rule for cls in ALL_CHECKERS}
+        expected.add(PARSE_ERROR_RULE)
+        assert set(ids) == expected
+        for rule in rules:
+            assert rule["shortDescription"]["text"]
+            assert rule["defaultConfiguration"]["level"] in (
+                "error", "warning",
+            )
+
+    def test_results_carry_location_and_fingerprint(self, tmp_path):
+        doc = _sarif(tmp_path, {"a.py": DIRTY})
+        (res,) = doc["runs"][0]["results"]
+        assert res["ruleId"] == "REP006"
+        assert res["level"] in ("error", "warning")
+        assert res["message"]["text"]
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "a.py"
+        assert loc["region"]["startLine"] == 2
+        assert loc["region"]["startColumn"] >= 1
+        fp = res["partialFingerprints"]["reproFingerprint/v1"]
+        assert len(fp) == 16
+
+    def test_clean_run_has_empty_results(self, tmp_path):
+        doc = _sarif(tmp_path, {"a.py": CLEAN})
+        assert doc["runs"][0]["results"] == []
+
+    def test_cli_format_sarif_round_trips(self, tmp_path, capsys):
+        target = tmp_path / "a.py"
+        target.write_text(DIRTY)
+        status = main([str(tmp_path), "--format", "sarif"])
+        doc = json.loads(capsys.readouterr().out)
+        assert status == EXIT_FINDINGS
+        assert doc["version"] == "2.1.0"
+        assert len(doc["runs"][0]["results"]) == 1
+
+
+def _git(cwd, *argv):
+    subprocess.run(
+        ["git", "-c", "user.email=ci@example.org",
+         "-c", "user.name=ci", *argv],
+        cwd=cwd, check=True, capture_output=True,
+    )
+
+
+@pytest.fixture
+def repo(tmp_path, monkeypatch):
+    """A scratch git repo with one committed clean tree."""
+    (tmp_path / "pkg").mkdir()
+    (tmp_path / "pkg" / "a.py").write_text(CLEAN)
+    (tmp_path / "pkg" / "b.py").write_text(CLEAN)
+    (tmp_path / "other").mkdir()
+    (tmp_path / "other" / "c.py").write_text(CLEAN)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-qm", "seed")
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+class TestDiffMode:
+    def test_only_changed_files_are_linted(self, repo, capsys):
+        (repo / "pkg" / "a.py").write_text(DIRTY)
+        status = main(["pkg", "--diff", "HEAD"])
+        out = capsys.readouterr().out
+        assert status == EXIT_FINDINGS
+        assert "checked 1 file" in out
+        assert "a.py" in out
+
+    def test_unchanged_tree_lints_nothing(self, repo, capsys):
+        status = main(["pkg", "--diff", "HEAD"])
+        assert status == EXIT_CLEAN
+        assert "checked 0 files" in capsys.readouterr().out
+
+    def test_changes_outside_requested_paths_excluded(self, repo,
+                                                      capsys):
+        (repo / "other" / "c.py").write_text(DIRTY)
+        status = main(["pkg", "--diff", "HEAD"])
+        assert status == EXIT_CLEAN
+        assert "checked 0 files" in capsys.readouterr().out
+
+    def test_deleted_files_lint_nothing(self, repo, capsys):
+        (repo / "pkg" / "b.py").unlink()
+        status = main(["pkg", "--diff", "HEAD"])
+        assert status == EXIT_CLEAN
+        assert "checked 0 files" in capsys.readouterr().out
+
+    def test_bad_ref_is_a_usage_error(self, repo, capsys):
+        status = main(["pkg", "--diff", "no-such-ref"])
+        assert status == EXIT_USAGE
+        assert "git failed" in capsys.readouterr().err

@@ -68,11 +68,16 @@ def test_rob_monotonicity_property(seed, length):
     regression.
     """
     trace = random_trace(seed, length)
-    small = simulate(MachineConfig(rob_entries=8, lsq_entries=8),
-                     trace, warmup=True)
+    config = MachineConfig(rob_entries=8, lsq_entries=8)
+    small = simulate(config, trace, warmup=True)
     large = simulate(MachineConfig(rob_entries=64, lsq_entries=64),
                      trace, warmup=True)
-    assert large.cycles <= small.cycles * 1.03 + 20
+    # Budget the training jitter explicitly: every extra misprediction
+    # the bigger window induces costs at most a flush (penalty cycles)
+    # plus the refill it shadows.
+    extra = max(0, large.mispredictions - small.mispredictions)
+    jitter = extra * (config.mispredict_penalty + config.rob_entries)
+    assert large.cycles <= small.cycles * 1.03 + 20 + jitter
 
 
 @given(st.integers(1, 10_000), st.integers(100, 800))
