@@ -21,9 +21,14 @@ Seven commands cover the paper's workflow end to end:
 * ``lint``     — the determinism & fork-safety static analysis
   (``repro.analysis``) that gates changes to this tree in CI;
 * ``verify``   — offline integrity cross-check of a finished run
-  directory (manifest / journal / cache / results; exit 0/1/2);
+  directory (manifest / journal / cache / results / event log;
+  exit 0/1/2);
 * ``journal``  — inspect (``scan``) or repair (``repair``) a
-  checkpoint journal's damage.
+  checkpoint journal's damage;
+* ``top``      — live fleet view of a running (or crashed, or
+  finished) grid, aggregated from the spool and the event-log lanes;
+* ``obs``      — telemetry tooling: ``obs export`` renders Prometheus
+  text or a Perfetto trace reconstructed from the event stream.
 """
 
 from __future__ import annotations
@@ -247,6 +252,18 @@ def _add_obs_args(parser):
         help="write a JSON run manifest (input fingerprint, versions, "
              "engine settings, fault spec, final metrics)",
     )
+    parser.add_argument(
+        "--stream", default=None, metavar="DIR",
+        help="append a live event log (sealed-line JSONL) under DIR "
+             "while the run executes; watch it with 'repro top DIR' "
+             "and export it with 'repro obs export'",
+    )
+    parser.add_argument(
+        "--profile", default=None, metavar="DIR",
+        help="capture a cProfile per engine phase into DIR "
+             "(<phase>.pstats + flamegraph-ready "
+             "<phase>.collapsed.txt)",
+    )
 
 
 def _apply_run_dir(args):
@@ -275,17 +292,24 @@ def _apply_run_dir(args):
         args.metrics = str(base / "metrics.jsonl")
     if args.cache_dir is None:
         args.cache_dir = str(base / "cache")
+    if getattr(args, "stream", None) is None:
+        # The event log is cheap, crash-durable and what 'repro top'
+        # reads, so a verifiable run dir always streams; --profile
+        # stays opt-in (profiling has real overhead).
+        args.stream = str(base / "stream")
     return base / "results.json"
 
 
 class _Obs:
-    """Telemetry wiring parsed from ``--trace/--metrics/--manifest``.
+    """Telemetry wiring parsed from the ``--trace/--metrics/
+    --manifest/--stream/--profile`` flag family.
 
-    Arms a :class:`repro.obs.Telemetry` when any of the three flags is
+    Arms a :class:`repro.obs.Telemetry` when any of the flags is
     present, and owns writing the artifacts when the command finishes
     (including an interrupted finish, so a killed run still leaves its
-    partial trace and a manifest saying so).  With no flags every
-    method degrades to a no-op and the command pays nothing.
+    partial trace, a sealed event stream with every open span closed,
+    and a manifest saying so).  With no flags every method degrades to
+    a no-op and the command pays nothing.
     """
 
     def __init__(self, args, command):
@@ -294,22 +318,44 @@ class _Obs:
         self.trace_path = getattr(args, "trace", None)
         self.metrics_path = getattr(args, "metrics", None)
         self.manifest_path = getattr(args, "manifest", None)
+        self.stream_dir = getattr(args, "stream", None)
+        self.profile_dir = getattr(args, "profile", None)
         self.telemetry = None
         self.manifest = None
+        self._finished = False
         if not (self.trace_path or self.metrics_path
-                or self.manifest_path):
+                or self.manifest_path or self.stream_dir
+                or self.profile_dir):
             return
-        from repro.obs import RunManifest, Telemetry, config_fingerprint
+        from pathlib import Path
 
-        # Spans only matter if a trace is written, but the manifest
-        # wants the final metrics snapshot, so the registry is always
-        # armed (simulator counters included — that is the whole point
-        # of asking for metrics).
+        from repro.obs import (
+            EventWriter,
+            PhaseProfiler,
+            RunManifest,
+            Telemetry,
+            config_fingerprint,
+        )
+
+        stream = None
+        if self.stream_dir:
+            stream = EventWriter(
+                Path(self.stream_dir) / "main.events.jsonl",
+                lane="main",
+            )
+        profiler = (PhaseProfiler(self.profile_dir)
+                    if self.profile_dir else None)
+        # Spans only matter if a trace or stream is written, but the
+        # manifest wants the final metrics snapshot, so the registry
+        # is armed with it too (simulator counters included — that is
+        # the whole point of asking for metrics).
         self.telemetry = Telemetry.armed(
-            trace=self.trace_path is not None,
+            trace=self.trace_path is not None or stream is not None,
             metrics=self.metrics_path is not None
-            or self.manifest_path is not None,
+            or self.manifest_path is not None
+            or stream is not None,
             simulator_counters=True,
+            stream=stream, profiler=profiler,
         )
         if self.manifest_path:
             settings = {
@@ -321,6 +367,8 @@ class _Obs:
                 "journal": args.journal,
                 "core": getattr(args, "core", "batched"),
                 "dist": getattr(args, "dist", None),
+                "stream": self.stream_dir,
+                "profile": self.profile_dir,
             }
             workload = {
                 "benchmarks": args.benchmarks,
@@ -333,6 +381,10 @@ class _Obs:
                 artifacts["metrics"] = self.metrics_path
             if args.journal:
                 artifacts["journal"] = args.journal
+            if self.stream_dir:
+                artifacts["stream"] = self.stream_dir
+            if self.profile_dir:
+                artifacts["profile"] = self.profile_dir
             if getattr(args, "run_dir", None):
                 artifacts["results"] = os.path.join(
                     args.run_dir, "results.json"
@@ -356,11 +408,21 @@ class _Obs:
         return phase_of(self.telemetry, name, **attributes)
 
     def finish(self, status="completed"):
-        """Write every requested artifact; called exactly once."""
-        if self.telemetry is None:
+        """Write every requested artifact; called exactly once.
+
+        The first action is ``telemetry.close(status)``: every span
+        still open (an interrupt mid-grid) is finished — which, with
+        a stream armed, appends its ``span-close`` record — and the
+        event-log generation is sealed with a ``stream-close``
+        carrying the status.  Only then are the post-hoc artifacts
+        (trace, metrics, manifest) written.
+        """
+        if self.telemetry is None or self._finished:
             return
+        self._finished = True
         from repro.obs import write_chrome_trace, write_metrics_jsonl
 
+        self.telemetry.close(status)
         if self.trace_path:
             write_chrome_trace(self.telemetry.tracer, self.trace_path)
         if self.metrics_path:
@@ -368,6 +430,11 @@ class _Obs:
                 self.telemetry.metrics, self.metrics_path
             )
         if self.manifest is not None:
+            profiler = self.telemetry.profiler
+            if profiler is not None:
+                for phase, paths in sorted(profiler.captures.items()):
+                    self.manifest.artifacts[f"profile.{phase}"] = \
+                        paths[0]
             self.manifest.finalize(
                 status=status, metrics=self.telemetry.snapshot(),
             )
@@ -741,6 +808,7 @@ def cmd_worker(args) -> int:
         heartbeat_interval=args.heartbeat_interval,
         max_idle=args.max_idle,
         max_tasks=args.max_tasks,
+        stream=not args.no_stream,
     )
     print(f"worker {worker.worker_id} attaching to {args.spool}",
           file=sys.stderr)
@@ -753,6 +821,93 @@ def cmd_worker(args) -> int:
         return EXIT_INTERRUPTED
     print(f"worker {worker.worker_id} done: {executed} task(s) "
           "executed", file=sys.stderr)
+    return 0
+
+
+def cmd_top(args) -> int:
+    import json
+    import os
+    import time
+
+    from repro.obs.fleet import fleet_snapshot
+
+    if not os.path.isdir(args.root):
+        raise SystemExit(f"no such directory: {args.root}")
+    if args.once:
+        snap = fleet_snapshot(
+            args.root, heartbeat_grace=args.heartbeat_grace
+        )
+        print(json.dumps(snap.to_dict(), indent=2, sort_keys=True))
+        return 0
+    try:
+        while True:
+            snap = fleet_snapshot(
+                args.root, heartbeat_grace=args.heartbeat_grace
+            )
+            if sys.stdout.isatty():
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print(snap.render())
+            if snap.complete:
+                print("run complete", file=sys.stderr)
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return EXIT_INTERRUPTED
+
+
+def cmd_obs_export(args) -> int:
+    import json
+    import os
+
+    if not os.path.isdir(args.root):
+        raise SystemExit(f"no such directory: {args.root}")
+    if args.format == "prometheus":
+        from repro.obs.export import prometheus_text
+        from repro.obs.fleet import fleet_snapshot
+
+        snap = fleet_snapshot(args.root)
+        synthesized = {
+            name: {"type": "counter", "value": value}
+            for name, value in snap.counters.items()
+        }
+        for name, value in snap.gauges.items():
+            synthesized[name] = {"type": "gauge", "value": value}
+        for key in ("done", "total"):
+            synthesized[f"progress.{key}"] = {
+                "type": "gauge", "value": snap.progress.get(key, 0),
+            }
+        states = {}
+        for view in snap.workers:
+            states[view.state] = states.get(view.state, 0) + 1
+        for state, count in states.items():
+            synthesized[f"fleet.workers.{state}"] = {
+                "type": "gauge", "value": count,
+            }
+        text = prometheus_text(synthesized)
+    else:
+        from repro.obs.stream import (
+            find_stream_lanes,
+            scan_stream,
+            trace_from_streams,
+        )
+
+        lanes = find_stream_lanes(args.root)
+        if not lanes:
+            raise SystemExit(
+                f"no event-log lanes (*.events.jsonl) under "
+                f"{args.root}"
+            )
+        scans = [scan_stream(path) for path in lanes]
+        text = json.dumps(trace_from_streams(scans), sort_keys=True)
+    if args.out:
+        from pathlib import Path
+
+        out = Path(args.out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.format} export to {out}", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
     return 0
 
 
@@ -984,7 +1139,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-tasks", type=int, default=None, metavar="N",
                    help="exit after executing N tickets (chaos "
                         "harness; default unbounded)")
+    p.add_argument("--no-stream", action="store_true",
+                   help="skip the worker's event-log lane "
+                        "(stream/<id>.events.jsonl under the spool)")
     p.set_defaults(func=cmd_worker)
+
+    p = sub.add_parser(
+        "top",
+        help="live fleet view aggregated from the spool and event log",
+    )
+    p.add_argument("root", metavar="DIR",
+                   help="run directory, spool directory, or stream "
+                        "directory")
+    p.add_argument("--once", action="store_true",
+                   help="print one machine-readable JSON snapshot and "
+                        "exit instead of refreshing")
+    p.add_argument("--interval", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="refresh period (default %(default)s)")
+    p.add_argument("--heartbeat-grace", type=float, default=5.0,
+                   metavar="SECONDS",
+                   help="beat age past which a worker shows as "
+                        "stalled (default %(default)s)")
+    p.set_defaults(func=cmd_top)
+
+    p = sub.add_parser(
+        "obs",
+        help="telemetry tooling over the event stream",
+    )
+    obsub = p.add_subparsers(dest="action", required=True)
+    pe = obsub.add_parser(
+        "export",
+        help="export Prometheus text or a Perfetto trace "
+             "reconstructed from the event log (works on "
+             "interrupted runs)",
+    )
+    pe.add_argument("root", metavar="DIR",
+                    help="run directory, spool directory, or stream "
+                         "directory")
+    pe.add_argument("--format", required=True,
+                    choices=["prometheus", "perfetto"],
+                    help="output format")
+    pe.add_argument("--out", default=None, metavar="FILE",
+                    help="write to FILE instead of stdout")
+    pe.set_defaults(func=cmd_obs_export)
 
     p = sub.add_parser(
         "journal",

@@ -121,8 +121,14 @@ def run_dist(
                           cells=len(pending), keys=len(by_key))
     for name in ("dist.published", "dist.results", "dist.reissued",
                  "dist.reclaimed.heartbeat", "dist.reclaimed.lease",
-                 "dist.quarantined"):
+                 "dist.quarantined",
+                 # The pool path's fleet surface, mirrored here so a
+                 # local and a distributed snapshot expose the same
+                 # metric names: attached workers count as spawned,
+                 # stale transitions as deaths.
+                 "workers.spawned", "workers.deaths"):
         obs.count(name, 0)  # register up front: stable snapshot shape
+    obs.gauge("queue.depth", 0)
 
     def _unsettled(key: str) -> bool:
         return any(i not in resolved for i in by_key[key])
@@ -134,6 +140,7 @@ def run_dist(
         if worker and worker not in lanes:
             lanes[worker] = len(lanes) + 1
             obs.count("dist.workers")
+            obs.count("workers.spawned")
             obs.event("worker-attach", "dist", track=lanes[worker],
                       worker=worker)
         return lanes.get(worker, 0)
@@ -242,6 +249,7 @@ def run_dist(
                 if stale and worker not in stale_workers:
                     stale_workers.add(worker)
                     obs.count("dist.workers.stale")
+                    obs.count("workers.deaths")
                     obs.event("worker-stale", "dist",
                               track=_lane(worker), worker=worker)
                 elif not stale:
@@ -273,7 +281,9 @@ def run_dist(
                 elif float(lease.get("deadline", 0.0)) < now:
                     _reclaim(key, "timeout", "lease-expired")
 
-            present = set(spool.pending_keys())
+            pending_now = spool.pending_keys()
+            obs.gauge("queue.depth", len(pending_now))
+            present = set(pending_now)
             present.update(spool.leased_keys())
             present.update(spool.result_keys())
             for key in sorted(by_key):

@@ -16,6 +16,9 @@ Layout::
       results/<key>.result   sealed outcome (stats or a structured error)
       hb/<worker>.hb         heartbeat: latest monotonic instant, renamed in
       quarantine/            torn/corrupt files, moved aside, never deleted
+      stream/<worker>.events.jsonl   per-worker telemetry lane (see
+                             :mod:`repro.obs.stream`; append-only, torn-tail
+                             tolerant — the one append-discipline record here)
       spool.json             sealed manifest describing the grid
       drain                  marker: workers must finish up and exit
 
@@ -149,12 +152,13 @@ class Spool:
         self.results_dir = self.root / "results"
         self.hb_dir = self.root / "hb"
         self.quarantine_dir = self.root / "quarantine"
+        self.stream_dir = self.root / "stream"
 
     def ensure(self) -> None:
         """Create the spool directory tree (idempotent)."""
         for directory in (self.pending_dir, self.leased_dir,
                           self.results_dir, self.hb_dir,
-                          self.quarantine_dir):
+                          self.quarantine_dir, self.stream_dir):
             directory.mkdir(parents=True, exist_ok=True)
 
     # -- atomic write primitive ------------------------------------

@@ -42,6 +42,7 @@ from repro.cpu import SIMULATOR_VERSION
 from repro.exec import faultinject
 from repro.exec.engine import _execute
 from repro.guard.errors import SealError
+from repro.obs.stream import EventWriter
 
 from .spool import Spool
 
@@ -73,6 +74,14 @@ class DistWorker:
         the chaos harness uses it to script short-lived workers.
     version:
         Simulator version the spool's sealed records must carry.
+    stream:
+        When true (the default), the worker appends its telemetry
+        lane — ``stream/<worker_id>.events.jsonl`` under the spool —
+        recording claims, lease acquisitions, heartbeat suppression
+        and per-task run spans for the fleet aggregator
+        (:mod:`repro.obs.fleet`).  Strictly observational: the lane
+        writer disables itself on I/O failure and task execution is
+        untouched either way.
     """
 
     def __init__(self, spool: Union[str, os.PathLike, Spool], *,
@@ -82,7 +91,8 @@ class DistWorker:
                  heartbeat_interval: float = 0.5,
                  max_idle: Optional[float] = None,
                  max_tasks: Optional[int] = None,
-                 version: str = SIMULATOR_VERSION):
+                 version: str = SIMULATOR_VERSION,
+                 stream: bool = True):
         self.spool = (spool if isinstance(spool, Spool)
                       else Spool(spool, version=version))
         self.worker_id = worker_id or f"w{os.getpid()}"
@@ -94,6 +104,13 @@ class DistWorker:
         self.executed = 0
         self._suppress_hb = threading.Event()
         self._stop_hb = threading.Event()
+        self.stream = None
+        if stream:
+            self.stream = EventWriter(
+                self.spool.stream_dir
+                / f"{self.worker_id}.events.jsonl",
+                lane=self.worker_id, version=version,
+            )
 
     # -- liveness ---------------------------------------------------
 
@@ -116,10 +133,17 @@ class DistWorker:
         process, silent as a peer.
         """
         self._suppress_hb.set()
+        self._mark("hb-suppressed", seconds=seconds)
         try:
             time.sleep(seconds)
         finally:
             self._suppress_hb.clear()
+            self._mark("hb-resumed")
+
+    def _mark(self, name: str, **attrs) -> None:
+        """One instant on the worker's lane (no-op when unstreamed)."""
+        if self.stream is not None:
+            self.stream.mark(name, "worker", **attrs)
 
     # -- main loop --------------------------------------------------
 
@@ -132,6 +156,9 @@ class DistWorker:
         # Announce before the first scan so the broker's attach grace
         # sees us even if the spool is momentarily empty.
         self.spool.heartbeat(self.worker_id)
+        self._mark("worker-attach", pid=os.getpid(),
+                   lease_ttl=self.lease_ttl,
+                   heartbeat_interval=self.heartbeat_interval)
         thread = threading.Thread(
             target=self._heartbeat_loop,
             name=f"heartbeat-{self.worker_id}", daemon=True,
@@ -160,10 +187,17 @@ class DistWorker:
         finally:
             self._stop_hb.set()
             thread.join(timeout=1.0)
+            if self.stream is not None:
+                # "detached" covers every exit the lane can witness
+                # (drain, max-idle, max-tasks, Ctrl-C); a killed
+                # worker writes nothing — the torn/short lane is the
+                # signature the aggregator reads.
+                self.stream.close("detached")
         return self.executed
 
     def _run_one(self, key: str) -> None:
         """Execute one claimed ticket end to end."""
+        self._mark("claim", key=key[:12])
         try:
             ticket = self.spool.read_task(key)
         except FileNotFoundError:
@@ -175,11 +209,20 @@ class DistWorker:
                 self.spool.task_path(key, leased=True), exc.reason
             )
             self.spool.release(key, self.worker_id)
+            self._mark("ticket-quarantined", key=key[:12],
+                       reason=exc.reason)
             return
         index = int(ticket["index"])
         attempt = int(ticket["attempt"])
-        self.spool.write_lease(key, self.worker_id, attempt,
-                               self.lease_ttl)
+        deadline = self.spool.write_lease(key, self.worker_id, attempt,
+                                          self.lease_ttl)
+        self._mark("lease-acquire", key=key[:12], index=index,
+                   attempt=attempt, ttl=self.lease_ttl,
+                   deadline=deadline)
+        sid = (self.stream.open_span(
+                   "task", "task", index=index, attempt=attempt,
+                   key=key[:12])
+               if self.stream is not None else None)
         injector = faultinject.active()
         try:
             if injector is not None:
@@ -197,10 +240,16 @@ class DistWorker:
                 worker=self.worker_id, ok=False,
                 error_type=type(exc).__name__, message=str(exc),
             )
+            if sid is not None:
+                self.stream.close_span(sid, ok=False,
+                                       error=type(exc).__name__)
         else:
             self.spool.write_result(
                 key, index=index, attempt=attempt,
                 worker=self.worker_id, ok=True, stats=stats,
             )
+            if sid is not None:
+                self.stream.close_span(sid, ok=True)
         self.executed += 1
         self.spool.release(key, self.worker_id)
+        self._mark("release", key=key[:12])

@@ -271,14 +271,18 @@ class _Observer:
     single attribute check per event.
 
     The telemetry argument is duck-typed (``tracer`` / ``metrics`` /
-    ``simulator_counters`` attributes) so this module needs no import
-    of :mod:`repro.obs`.
+    ``simulator_counters`` / ``stream`` attributes) so this module
+    needs no import of :mod:`repro.obs`.  With a ``stream`` lane
+    attached, progress (done/total) is additionally appended to the
+    event log — the ETA input the fleet view reads; spans and metrics
+    reach the stream through their own sinks.
     """
 
     def __init__(self, progress, telemetry):
         self._progress = progress
         self.tracer = getattr(telemetry, "tracer", None)
         self.metrics = getattr(telemetry, "metrics", None)
+        self.stream = getattr(telemetry, "stream", None)
         self.simulator_counters = (
             self.metrics is not None
             and bool(getattr(telemetry, "simulator_counters", False))
@@ -303,6 +307,8 @@ class _Observer:
     def progress(self, done: int, total: int) -> None:
         if self._progress is not None:
             self._guard(self._progress, done, total)
+        if self.stream is not None:
+            self._guard(self.stream.progress, done, total)
 
     # -- spans ------------------------------------------------------
 

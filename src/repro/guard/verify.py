@@ -411,6 +411,45 @@ def verify_run(run_dir: Union[str, os.PathLike], *,
         else:
             report.add("spool-drained", True, "no tickets in flight")
 
+    # 4c. Event log (optional): every telemetry lane must carry only
+    #     intact sealed lines.  A torn tail is a crash *signature*
+    #     (the writer died mid-append) — tolerated and reported, the
+    #     same stance the journal scanner takes; mid-file damage is
+    #     evidence of tampering or disk trouble and is named per lane
+    #     and line, exactly like journal damage.
+    from repro.obs.stream import find_stream_lanes, scan_stream
+
+    lane_paths = []
+    for root in (run_dir, spool_dir):
+        if root.exists():
+            for path in find_stream_lanes(root):
+                if path not in lane_paths:
+                    lane_paths.append(path)
+    if lane_paths:
+        stream_bad = total_records = 0
+        torn: List[str] = []
+        for path in lane_paths:
+            try:
+                scan = scan_stream(path)
+            except OSError as exc:
+                report.add("event-log", None,
+                           f"{path}: unreadable ({exc})")
+                continue
+            total_records += len(scan.records)
+            if scan.torn_tail:
+                torn.append(scan.lane)
+            for lineno, reason in scan.damage:
+                stream_bad += 1
+                report.add("event-log", False,
+                           f"{path.name} line {lineno}: {reason}")
+        if not stream_bad:
+            detail = (f"{len(lane_paths)} lane(s), "
+                      f"{total_records} records intact")
+            if torn:
+                detail += (", torn tail tolerated on "
+                           + ", ".join(sorted(torn)))
+            report.add("event-log", True, detail)
+
     # 5. Results document seal — checked before the coverage bailout
     #    so a report names every damaged artifact, not just the first.
     results = None

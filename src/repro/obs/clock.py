@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import time
 
-__all__ = ["elapsed", "wall_time"]
+__all__ = ["elapsed", "monotonic", "wall_time"]
 
 
 def wall_time() -> float:
@@ -42,3 +42,17 @@ def elapsed() -> float:
     *differences* of this value are meaningful.
     """
     return time.perf_counter()
+
+
+def monotonic() -> float:
+    """The cross-process monotonic instant, for the event stream.
+
+    ``time.monotonic`` reads ``CLOCK_MONOTONIC``, which is shared by
+    every process on the host — the same clock the dist spool stamps
+    on leases and heartbeats — so a stream event, a lease deadline and
+    a heartbeat instant from different processes compare directly.
+    ``elapsed`` (``perf_counter``) is *not* guaranteed comparable
+    across processes, which is why the stream does not use it.  Only
+    *differences* of this value are meaningful.
+    """
+    return time.monotonic()

@@ -34,6 +34,7 @@ from .span import Span, Tracer
 
 __all__ = [
     "chrome_trace",
+    "prometheus_text",
     "render_metrics_table",
     "scrub_trace",
     "write_chrome_trace",
@@ -165,6 +166,76 @@ def write_metrics_jsonl(registry: MetricsRegistry,
                 {"name": name, **fields}, sort_keys=True
             ) + "\n")
     return path
+
+
+def _prom_name(name: str) -> str:
+    cleaned = "".join(
+        ch if ch.isalnum() or ch == "_" else "_" for ch in name
+    )
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return "repro_" + cleaned
+
+
+def _prom_value(value: object) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(float(value)) if isinstance(value, float) \
+            else str(value)
+    return "NaN"
+
+
+def prometheus_text(snapshot: Dict[str, Dict[str, object]],
+                    labels: Optional[Dict[str, str]] = None) -> str:
+    """A metrics snapshot in the Prometheus text exposition format.
+
+    ``snapshot`` is the :meth:`MetricsRegistry.snapshot` shape
+    (``name -> {"type": ..., ...fields}``) — which the fleet
+    aggregator also synthesizes from its counter/gauge roll-ups, so
+    one exporter serves live registries and reconstructed streams
+    alike.  Dotted names become underscored with a ``repro_`` prefix;
+    histograms expand to ``_count`` / ``_sum`` / ``_min`` / ``_max``
+    series; gauges also export their ``_peak``.  Optional ``labels``
+    are attached to every sample (e.g. ``{"run": "..."}``).
+    """
+    label_text = ""
+    if labels:
+        inner = ",".join(
+            '{}="{}"'.format(k, str(v).replace("\\", "\\\\")
+                             .replace('"', '\\"'))
+            for k, v in sorted(labels.items())
+        )
+        label_text = "{" + inner + "}"
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        fields = snapshot[name]
+        kind = fields.get("type")
+        base = _prom_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {base}_total counter")
+            lines.append(f"{base}_total{label_text} "
+                         f"{_prom_value(fields.get('value'))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {base} gauge")
+            lines.append(f"{base}{label_text} "
+                         f"{_prom_value(fields.get('value'))}")
+            if "peak" in fields:
+                lines.append(f"# TYPE {base}_peak gauge")
+                lines.append(f"{base}_peak{label_text} "
+                             f"{_prom_value(fields['peak'])}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {base} summary")
+            lines.append(f"{base}_count{label_text} "
+                         f"{_prom_value(fields.get('count'))}")
+            lines.append(f"{base}_sum{label_text} "
+                         f"{_prom_value(fields.get('sum'))}")
+            for extreme in ("min", "max"):
+                lines.append(f"{base}_{extreme}{label_text} "
+                             f"{_prom_value(fields.get(extreme))}")
+    return "\n".join(lines) + "\n"
 
 
 def _format_value(value: object) -> str:

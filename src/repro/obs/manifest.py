@@ -26,6 +26,15 @@ encoding of the other groups.  ``json.load`` keeps working untouched;
 :class:`~repro.guard.errors.SealError` family every other sealed
 artifact uses when a manifest was tampered with, truncated-and-
 reassembled, or written under a different schema.
+
+Schema v3 (current) extends the artifact vocabulary for the live
+telemetry layer: ``run.artifacts`` may now record ``stream`` (the
+event-log directory of :mod:`repro.obs.stream`) and ``profile`` (the
+per-phase profile directory of :mod:`repro.obs.profile`), and
+``run.settings`` records the corresponding ``stream``/``profile``
+options.  The integrity envelope is unchanged; the bump exists so a
+consumer that understands streams can tell at a glance whether a run
+could have produced any.
 """
 
 from __future__ import annotations
@@ -45,8 +54,9 @@ from . import clock
 
 __all__ = ["RunManifest", "config_fingerprint", "load_manifest"]
 
-#: v1 had no ``integrity`` group; v2 (current) carries one.
-SCHEMA_VERSION = 2
+#: v1 had no ``integrity`` group; v2 added one; v3 (current) adds the
+#: stream/profile artifact vocabulary.
+SCHEMA_VERSION = 3
 
 #: Seal ``kind`` tag manifests carry in their ``integrity`` group.
 MANIFEST_KIND = "manifest"

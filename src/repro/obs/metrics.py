@@ -113,10 +113,19 @@ class MetricsRegistry:
     ``"cache.hits"``); asking for an existing name with a different
     instrument kind is a programming error and raises ``TypeError``
     rather than silently shadowing data.
+
+    An optional *sink* (duck-typed ``counter(name, amount)`` /
+    ``gauge(name, value)`` / ``observe(name, value)`` — in practice a
+    :class:`~repro.obs.stream.EventWriter`) sees every emission made
+    through the convenience methods, streaming counter deltas, gauge
+    changes and observations live.  Direct instrument mutation
+    (``registry.counter(n).inc()``) bypasses the sink; the execution
+    layers emit exclusively through the convenience methods.
     """
 
-    def __init__(self):
+    def __init__(self, sink=None):
         self._instruments: Dict[str, _Instrument] = {}
+        self.sink = sink
 
     def _get(self, name: str, cls) -> _Instrument:
         instrument = self._instruments.get(name)
@@ -146,14 +155,20 @@ class MetricsRegistry:
     def count(self, name: str, amount: int = 1) -> None:
         """Increment the counter ``name`` by ``amount``."""
         self.counter(name).inc(amount)
+        if self.sink is not None:
+            self.sink.counter(name, amount)
 
     def set_gauge(self, name: str, value: Union[int, float]) -> None:
         """Sample the gauge ``name`` at ``value``."""
         self.gauge(name).set(value)
+        if self.sink is not None:
+            self.sink.gauge(name, value)
 
     def observe(self, name: str, value: Union[int, float]) -> None:
         """Add one observation to the histogram ``name``."""
         self.histogram(name).observe(value)
+        if self.sink is not None:
+            self.sink.observe(name, value)
 
     def absorb_counts(self, counts: Dict[str, int],
                       prefix: str = "") -> None:

@@ -83,15 +83,24 @@ class Tracer:
     telemetry from the calling process (worker processes report plain
     results), so no locking is needed and recording order is the
     supervisor's observation order.
+
+    An optional *sink* (duck-typed ``span_open(span)`` /
+    ``span_close(span)`` / ``instant(span)`` — in practice a
+    :class:`~repro.obs.stream.EventWriter`) is notified as each span
+    opens, closes, or fires, turning the in-memory record into a live
+    stream without changing any emitting call site.  Sink calls are
+    best-effort: the sink itself is expected to guard its I/O, and the
+    engine's telemetry guard covers the rest.
     """
 
-    def __init__(self):
+    def __init__(self, sink=None):
         #: Monotonic reading all span offsets are relative to.
         self.epoch = clock.elapsed()
         #: Wall-clock anchor for the epoch, exported as metadata so a
         #: trace can be placed in civil time.
         self.epoch_wall = clock.wall_time()
         self._spans: List[Span] = []
+        self.sink = sink
 
     def __len__(self) -> int:
         return len(self._spans)
@@ -111,14 +120,19 @@ class Tracer:
             asynchronous=asynchronous,
         )
         self._spans.append(span)
+        if self.sink is not None:
+            self.sink.span_open(span)
         return span
 
     def finish(self, span: Span, **attributes) -> Span:
         """Close ``span``, merging any final attributes (idempotent)."""
+        was_open = span.end is None
         if span.end is None:
             span.end = clock.elapsed() - self.epoch
         if attributes:
             span.attributes.update(attributes)
+        if was_open and self.sink is not None:
+            self.sink.span_close(span)
         return span
 
     def event(self, name: str, category: str = "event",
@@ -131,6 +145,8 @@ class Tracer:
         )
         span.end = span.start
         self._spans.append(span)
+        if self.sink is not None:
+            self.sink.instant(span)
         return span
 
     def span(self, name: str, category: str = "phase",

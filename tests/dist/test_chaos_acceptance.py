@@ -73,9 +73,13 @@ def chaos_run(tmp_path_factory):
     Broker one is scripted (``--dist-chaos-exit-after``) to die after
     30 harvested results; broker two resumes the same run directory
     and spool and must finish the screen from sealed state alone.
+    Streaming is armed throughout (``--run-dir`` streams by default)
+    and broker two also profiles, so the byte-identity claim below
+    covers the full observability stack.
     """
     run_dir = tmp_path_factory.mktemp("dist-chaos")
     spool = run_dir / "spool"
+    profile_dir = run_dir / "profile"
     workers = [_spawn_worker(spool, f"chaos-w{n}", spec)
                for n, spec in enumerate(WORKER_FAULTS)]
     screen = ["screen", *WORKLOAD, "--run-dir", str(run_dir),
@@ -88,9 +92,16 @@ def chaos_run(tmp_path_factory):
              "--dist-chaos-exit-after", "30"],
             env=_env(), timeout=600, stdout=subprocess.DEVNULL,
         )
+        # Mid-run, post-crash: the fleet view must work against the
+        # live spool while the (orphaned) workers are still attached.
+        top_mid = subprocess.run(
+            [sys.executable, "-m", "repro", "top", str(spool),
+             "--once"],
+            env=_env(), timeout=120, capture_output=True, text=True,
+        )
         # The second broker runs in-process: resumption must need
         # nothing but the on-disk spool + journal.
-        resumed = main(screen)
+        resumed = main(screen + ["--profile", str(profile_dir)])
     finally:
         for proc in workers:
             try:
@@ -101,9 +112,12 @@ def chaos_run(tmp_path_factory):
     return {
         "run_dir": run_dir,
         "spool": spool,
+        "profile_dir": profile_dir,
         "crashed_rc": crashed.returncode,
         "resumed_rc": resumed,
         "worker_rcs": [proc.returncode for proc in workers],
+        "top_mid_rc": top_mid.returncode,
+        "top_mid_out": top_mid.stdout,
     }
 
 
@@ -135,6 +149,74 @@ class TestBitIdenticalUnderChaos:
         # the sealed grid must be complete, not merely consistent.
         results = (chaos_run["run_dir"] / "results.json").read_text()
         assert "null" not in results
+
+
+class TestFleetObservabilityUnderChaos:
+    """The tentpole's acceptance surface: top, export and profiling
+    against the same chaotic run that proved byte-identity."""
+
+    def test_top_once_mid_run_saw_the_fleet(self, chaos_run):
+        import json
+
+        assert chaos_run["top_mid_rc"] == 0
+        doc = json.loads(chaos_run["top_mid_out"])
+        workers = {view["worker"] for view in doc["workers"]}
+        assert any(name.startswith("chaos-w") for name in workers)
+
+    def test_top_once_post_run_reports_completion(self, chaos_run,
+                                                  capsys):
+        import json
+
+        assert main(["top", str(chaos_run["run_dir"]),
+                     "--once"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["progress"]["done"] == doc["progress"]["total"] \
+            == 176
+        assert "main" in doc["lanes"]
+        assert any(name.startswith("chaos-w")
+                   for name in doc["lanes"])
+
+    def test_main_lane_records_both_broker_generations(self,
+                                                       chaos_run):
+        from repro.obs.stream import scan_stream
+
+        lane = chaos_run["run_dir"] / "stream" / "main.events.jsonl"
+        scan = scan_stream(lane)
+        assert scan.damage == ()
+        assert len(scan.generations()) == 2
+        assert scan.records[-1].kind == "stream-close"
+        assert scan.records[-1].attrs["status"] == "completed"
+
+    def test_obs_export_prometheus(self, chaos_run, capsys):
+        assert main(["obs", "export", str(chaos_run["run_dir"]),
+                     "--format", "prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_tasks_completed_total counter" in out
+        assert "repro_progress_done" in out
+
+    def test_obs_export_perfetto(self, chaos_run, tmp_path):
+        import json
+
+        out = tmp_path / "trace.json"
+        assert main(["obs", "export", str(chaos_run["run_dir"]),
+                     "--format", "perfetto", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        threads = {e["args"]["name"] for e in doc["traceEvents"]
+                   if e.get("name") == "thread_name"}
+        assert "main" in threads
+        assert any(name.startswith("chaos-w") for name in threads)
+
+    def test_profile_artifacts_captured_and_recorded(self, chaos_run):
+        from repro.obs import load_manifest
+
+        captures = sorted(
+            p.name for p in chaos_run["profile_dir"].glob("*.pstats"))
+        assert captures  # broker two profiled its phases
+        doc = load_manifest(chaos_run["run_dir"] / "manifest.json")
+        artifacts = doc["run"]["artifacts"]
+        assert any(key.startswith("profile.") for key in artifacts)
+        assert artifacts["stream"] == str(
+            chaos_run["run_dir"] / "stream")
 
 
 class TestVerifyUnderChaos:

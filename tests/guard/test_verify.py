@@ -167,6 +167,52 @@ class TestViolations:
         assert report.checks[0].ok is False
 
 
+class TestEventLogCheck:
+    """Step 4c: the live event log is audited alongside the journal."""
+
+    def test_clean_run_reports_lanes_intact(self, run_dir, capsys):
+        assert (run_dir / "stream" / "main.events.jsonl").exists()
+        report = verify_run(run_dir)
+        (check,) = [c for c in report.checks if c.name == "event-log"]
+        assert check.ok is True
+        assert "records intact" in check.detail
+        assert main(["verify", str(run_dir)]) == 0
+        assert "event-log" in capsys.readouterr().out
+
+    def test_torn_tail_is_tolerated(self, copy):
+        lane = copy / "stream" / "main.events.jsonl"
+        with open(lane, "ab") as handle:
+            handle.write(b'{"v": 1, "lane": "main", "seq"')  # no \n
+        report = verify_run(copy)
+        (check,) = [c for c in report.checks if c.name == "event-log"]
+        assert check.ok is True
+        assert "torn tail tolerated on main" in check.detail
+        assert report.status == 0
+
+    def test_midfile_damage_is_a_violation(self, copy, capsys):
+        lane = copy / "stream" / "main.events.jsonl"
+        lines = lane.read_bytes().splitlines(keepends=True)
+        lines[1] = lines[1].replace(b'"sha":"', b'"sha":"f')
+        lane.write_bytes(b"".join(lines))
+        assert main(["verify", str(copy)]) == 1
+        out = capsys.readouterr().out
+        assert "main.events.jsonl line 2: checksum" in out
+
+    def test_event_log_damage_joins_other_findings(self, copy):
+        lane = copy / "stream" / "main.events.jsonl"
+        lines = lane.read_bytes().splitlines(keepends=True)
+        lines.insert(1, b"garbage\n")
+        lane.write_bytes(b"".join(lines))
+        journal = copy / "journal.jsonl"
+        jlines = journal.read_bytes().splitlines(keepends=True)
+        jlines[2] = jlines[2].replace(b'"sha": "', b'"sha": "f')
+        journal.write_bytes(b"".join(jlines))
+        report = verify_run(copy)
+        assert report.status == 1
+        failing = {c.name for c in report.violations}
+        assert {"event-log", "journal"} <= failing
+
+
 class TestInconclusive:
     def test_empty_directory(self, tmp_path):
         report = verify_run(tmp_path)

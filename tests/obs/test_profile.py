@@ -1,0 +1,101 @@
+"""Per-phase profiling (repro.obs.profile): capture artifacts, the
+nesting depth guard, and guarded degradation."""
+
+import pstats
+import warnings
+
+from repro.obs.profile import PhaseProfiler, collapsed_stacks
+
+
+def busy_work(n=2000):
+    return sum(x * x for x in range(n))
+
+
+class TestCapture:
+    def test_phase_writes_both_artifacts(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        with profiler.phase("pb-design"):
+            busy_work()
+        stats_path, collapsed_path = profiler.captures["pb-design"]
+        assert stats_path.endswith("pb-design.pstats")
+        assert collapsed_path.endswith("pb-design.collapsed.txt")
+        stats = pstats.Stats(stats_path)
+        assert stats.total_calls > 0
+
+    def test_collapsed_lines_are_edges_with_counts(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        with profiler.phase("grid"):
+            busy_work()
+        text = (tmp_path / "prof" / "grid.collapsed.txt").read_text()
+        lines = text.strip().splitlines()
+        assert lines == sorted(lines)
+        for line in lines:
+            frames, count = line.rsplit(" ", 1)
+            assert int(count) >= 1
+            assert frames.count(";") <= 1
+
+    def test_collapsed_stacks_helper_sorted(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        with profiler.phase("p"):
+            busy_work()
+        stats = pstats.Stats(profiler.captures["p"][0])
+        lines = collapsed_stacks(stats)
+        assert lines == sorted(lines)
+
+    def test_no_tmp_residue_after_dump(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        with profiler.phase("p"):
+            busy_work()
+        assert not list((tmp_path / "prof").glob("*.tmp-*"))
+
+    def test_repeated_phase_names_get_suffixes(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        for _ in range(3):
+            with profiler.phase("grid"):
+                busy_work(200)
+        names = sorted(p.name for p in
+                       (tmp_path / "prof").glob("*.pstats"))
+        assert names == ["grid-2.pstats", "grid-3.pstats",
+                         "grid.pstats"]
+
+
+class TestDepthGuard:
+    def test_inner_phase_is_attributed_to_outer(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        with profiler.phase("outer") as outer:
+            with profiler.phase("inner") as inner:
+                busy_work()
+            assert inner is None
+        assert outer is not None
+        assert list(profiler.captures) == ["outer"]
+
+    def test_sibling_phases_both_captured(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        with profiler.phase("a"):
+            busy_work(200)
+        with profiler.phase("b"):
+            busy_work(200)
+        assert sorted(profiler.captures) == ["a", "b"]
+
+
+class TestGuardedDegradation:
+    def test_failed_dump_warns_once_and_disables(self, tmp_path):
+        target = tmp_path / "prof"
+        target.write_text("a file, not a directory")
+        profiler = PhaseProfiler(target)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            with profiler.phase("a"):
+                busy_work(200)
+            with profiler.phase("b"):
+                busy_work(200)
+        relevant = [w for w in caught
+                    if "profiling failed" in str(w.message)]
+        assert len(relevant) == 1
+        assert profiler.captures == {}
+
+    def test_disabled_profiler_still_yields(self, tmp_path):
+        profiler = PhaseProfiler(tmp_path / "prof")
+        profiler._disabled = True
+        with profiler.phase("x") as handle:
+            assert handle is None
