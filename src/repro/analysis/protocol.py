@@ -19,6 +19,11 @@ Artifact integrity (REP1xx)
     * **REP103** — cache-key-style hashes must be built from
       ``canonicalize``/``canonical_blob``, never from unsorted
       ``json.dumps``, ``repr``, or ``str`` of unordered containers.
+    * **REP105** — artifact-root / sealed-payload writes must route
+      through the sanctioned write seam
+      (:mod:`repro.guard.fsfault`); even a correct open-coded
+      temp+replace dance is invisible to fault injection and the
+      degradation contracts.
 
 Concurrency / distribution (REP2xx)
     * **REP201** — lease/heartbeat/deadline arithmetic must use the
@@ -116,6 +121,15 @@ def _pred_check(resolved: str) -> bool:
 def _pred_canonical(resolved: str) -> bool:
     return _last(resolved) in ("canonicalize", "canonical_blob",
                                "task_key")
+
+
+#: The sanctioned write-seam helpers of :mod:`repro.guard.fsfault`.
+_SEAM_CALLS = ("publish_bytes", "publish_text", "vfs_write",
+               "vfs_fsync", "vfs_replace")
+
+
+def _pred_seam(resolved: str) -> bool:
+    return _last(resolved) in _SEAM_CALLS
 
 
 def _pred_wall(resolved: str) -> bool:
@@ -353,6 +367,63 @@ class SealedWriteNotAtomic(ProtocolChecker):
             if resolved in _TMP_CALLS:
                 return True
         return any("tmp" in s for s in flow.origin_strings(target))
+
+
+class ArtifactWriteOutsideSeam(SealedWriteNotAtomic):
+    """REP105: artifact writes that bypass the sanctioned write seam.
+
+    REP101 asks "is this write atomic?"; REP105 asks the stricter
+    question this PR's fault model requires: "does this write go
+    through :mod:`repro.guard.fsfault`?"  An open-coded
+    ``mkstemp``+``os.replace`` dance can be perfectly atomic and
+    still be a hole in the robustness story — the injector cannot
+    schedule ENOSPC/EIO/torn-write faults on it, so its degradation
+    behaviour is never exercised, and ``docs/robustness.md``'s
+    per-writer contract table silently stops being exhaustive.  Every
+    write whose destination is an artifact root (or whose payload is
+    sealed) must reach the disk via ``publish_bytes`` /
+    ``publish_text`` or the ``vfs_*`` primitives; the seam's own
+    implementation is the one sanctioned exception (suppressed there
+    with a reason).
+    """
+
+    rule = "REP105"
+    name = "artifact-write-outside-seam"
+    description = ("sealed/artifact-root writes bypassing the "
+                   "repro.guard.fsfault seam")
+    severity = Severity.ERROR
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.Call, ctx: FileContext) -> None:
+        flow = ctx.flow_for(node)
+        classified = _classify_write(node, flow)
+        if classified is None:
+            return
+        target, payload = classified
+        sealed = self._sealed_payload(ctx, flow, payload)
+        rooted = target is not None and self._rooted(
+            ctx, flow, target)
+        if not sealed and not rooted:
+            return
+        if self._sanctioned(ctx, flow, target):
+            return
+        what = "sealed payload" if sealed else "artifact-root write"
+        ctx.report(
+            node, self.rule, self.severity,
+            f"{what} bypasses the sanctioned write seam; fault "
+            "injection cannot reach it and its degradation contract "
+            "is unexercised — route it through repro.guard.fsfault "
+            "(publish_bytes/publish_text or the vfs_* primitives)",
+        )
+
+    def _sanctioned(self, ctx: FileContext, flow: FunctionFlow,
+                    target: Optional[ast.AST]) -> bool:
+        for call in flow.calls:
+            resolved = flow.resolve(call) or _attr_chain(call.func)
+            if resolved and self._satisfies(ctx, resolved,
+                                            _pred_seam, "seam"):
+                return True
+        return False
 
 
 class UncheckedSealedRead(ProtocolChecker):
@@ -801,6 +872,7 @@ class UnsanctionedProcessControl(ProtocolChecker):
 #: ``repro.analysis.checkers.ALL_CHECKERS``).
 PROTOCOL_CHECKERS = (
     SealedWriteNotAtomic,
+    ArtifactWriteOutsideSeam,
     UncheckedSealedRead,
     NoncanonicalKeyHash,
     WallClockLeaseMath,

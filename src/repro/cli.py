@@ -151,6 +151,20 @@ def _add_exec_args(parser):
              "harvested results (the spool survives; a restarted "
              "broker resumes from it)",
     )
+    parser.add_argument(
+        "--dist-spool-budget", type=int, default=None, metavar="N",
+        help="after the run, garbage-collect consumed sealed results "
+             "from the spool down to at most N files (default: keep "
+             "everything; a restarted broker adopts them for free)",
+    )
+    parser.add_argument(
+        "--fsfault", default=None, metavar="SPEC",
+        help="inject deterministic I/O faults at the write seam: "
+             "comma-separated action:index[:count] items with actions "
+             "enospc, eio, torn, fsync, rename and count optionally "
+             "'always' (e.g. 'enospc:5:10,rename:2'); equivalent to "
+             "REPRO_FSFAULT_SPEC",
+    )
 
 
 class _ExecOptions:
@@ -186,6 +200,15 @@ def _exec_options(args):
         raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
     if args.retry < 1:
         raise SystemExit(f"--retry must be >= 1, got {args.retry}")
+    if getattr(args, "fsfault", None):
+        from repro.guard import fsfault
+
+        try:
+            fsfault.install(
+                fsfault.FsFaultInjector.from_spec(args.fsfault)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad --fsfault spec: {exc}")
     try:
         cache = ResultCache(args.cache_dir) if args.cache_dir else None
     except OSError as exc:
@@ -227,6 +250,8 @@ def _exec_options(args):
                 attach_grace=args.dist_attach_grace,
                 heartbeat_grace=args.dist_heartbeat_grace,
                 chaos_exit_after=args.dist_chaos_exit_after,
+                spool_budget_results=getattr(
+                    args, "dist_spool_budget", None),
             )
         except ValueError as exc:
             raise SystemExit(f"bad --dist options: {exc}")
@@ -369,6 +394,8 @@ class _Obs:
                 "dist": getattr(args, "dist", None),
                 "stream": self.stream_dir,
                 "profile": self.profile_dir,
+                "fsfault": getattr(args, "fsfault", None)
+                or os.environ.get("REPRO_FSFAULT_SPEC"),  # repro: noqa[REP006] -- recorded verbatim for provenance, never branched on
             }
             workload = {
                 "benchmarks": args.benchmarks,
@@ -800,6 +827,15 @@ def cmd_verify(args) -> int:
 def cmd_worker(args) -> int:
     from repro.dist.worker import DistWorker
 
+    if args.fsfault:
+        from repro.guard import fsfault
+
+        try:
+            fsfault.install(
+                fsfault.FsFaultInjector.from_spec(args.fsfault)
+            )
+        except ValueError as exc:
+            raise SystemExit(f"bad --fsfault spec: {exc}")
     worker = DistWorker(
         args.spool,
         worker_id=args.worker_id,
@@ -918,6 +954,13 @@ def cmd_journal_scan(args) -> int:
 
     if not os.path.exists(args.path):
         raise SystemExit(f"no such journal: {args.path}")
+    if os.path.getsize(args.path) == 0:
+        # A zero-length journal is a normal state (a run that died
+        # before its first checkpoint, or one created by --journal
+        # and interrupted immediately) — not damage.
+        print(f"{args.path}: empty journal (0 bytes); nothing to "
+              "scan — a resume starts from scratch")
+        return 0
     version = None if args.any_version else _default_sim_version()
     scan = scan_journal(args.path, version=version)
     print(f"{scan.path}: {scan.total} line(s), {scan.valid} valid")
@@ -936,6 +979,10 @@ def cmd_journal_repair(args) -> int:
 
     if not os.path.exists(args.path):
         raise SystemExit(f"no such journal: {args.path}")
+    if os.path.getsize(args.path) == 0:
+        print(f"{args.path}: empty journal (0 bytes); nothing to "
+              "repair — a resume starts from scratch")
+        return 0
     version = None if args.any_version else _default_sim_version()
     repair = repair_journal(args.path, version=version)
     scan = repair.scan
@@ -951,6 +998,61 @@ def cmd_journal_repair(args) -> int:
     if repair.dropped:
         print(f"  {len(repair.dropped)} damaged line(s) remain; "
               "their cells will re-simulate on resume")
+    return 0
+
+
+def cmd_gc(args) -> int:
+    import json
+    import os
+
+    from repro.guard.retention import gc_run_dir
+
+    if not os.path.isdir(args.run_dir):
+        raise SystemExit(f"no such run directory: {args.run_dir}")
+    report = gc_run_dir(
+        args.run_dir,
+        cache_budget_bytes=args.cache_budget_bytes,
+        cache_budget_entries=args.cache_budget_entries,
+        quarantine_budget_bytes=args.quarantine_budget_bytes,
+        quarantine_budget_entries=args.quarantine_budget_entries,
+        spool_budget_results=args.spool_budget_results,
+        compact=args.compact_journal,
+        dry_run=args.dry_run,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        return 0
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"{args.run_dir}: gc {verb}:")
+    print(f"  cache: {report.cache_evicted} entries "
+          f"({report.cache_evicted_bytes} bytes), "
+          f"{report.cache_pinned_kept} pinned kept")
+    print(f"  quarantine: {report.quarantine_pruned} files "
+          f"({report.quarantine_pruned_bytes} bytes)")
+    print(f"  spool: {report.spool_results_removed} consumed results "
+          f"({report.spool_results_bytes} bytes), "
+          f"{report.spool_tmp_removed} orphaned temp files")
+    print(f"  journal: {report.journal_lines_dropped} lines dropped "
+          f"({report.journal_bytes_freed} bytes freed)")
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    import json
+    import os
+
+    from repro.guard.retention import cache_stats
+
+    if not os.path.isdir(args.cache_dir):
+        raise SystemExit(f"no such cache directory: {args.cache_dir}")
+    stats = cache_stats(args.cache_dir)
+    if args.json:
+        print(json.dumps(stats.to_dict(), indent=2, sort_keys=True))
+        return 0
+    print(f"{stats.path}: {stats.entries} entries, "
+          f"{stats.bytes} bytes; quarantine: "
+          f"{stats.quarantine_entries} files, "
+          f"{stats.quarantine_bytes} bytes")
     return 0
 
 
@@ -1142,6 +1244,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-stream", action="store_true",
                    help="skip the worker's event-log lane "
                         "(stream/<id>.events.jsonl under the spool)")
+    p.add_argument("--fsfault", default=None, metavar="SPEC",
+                   help="inject deterministic I/O faults in this "
+                        "worker's write seam (same grammar as the "
+                        "experiment commands' --fsfault)")
     p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
@@ -1204,6 +1310,62 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--any-version", action="store_true",
                     help="skip the simulator-version check")
     pr.set_defaults(func=cmd_journal_repair)
+
+    p = sub.add_parser(
+        "gc",
+        help="garbage-collect a run directory's stores under "
+             "explicit budgets (journal-referenced and in-flight "
+             "keys are never evicted)",
+    )
+    p.add_argument("run_dir", metavar="RUN_DIR",
+                   help="directory written by '--run-dir' (cache/, "
+                        "journal.jsonl, spool/ as present)")
+    p.add_argument("--cache-budget-bytes", type=int, default=None,
+                   metavar="N",
+                   help="evict LRU cache entries until at most N "
+                        "bytes remain (default: no byte budget)")
+    p.add_argument("--cache-budget-entries", type=int, default=None,
+                   metavar="N",
+                   help="evict LRU cache entries until at most N "
+                        "remain (default: no entry budget)")
+    p.add_argument("--quarantine-budget-bytes", type=int, default=None,
+                   metavar="N",
+                   help="prune quarantined files, oldest first, to at "
+                        "most N bytes")
+    p.add_argument("--quarantine-budget-entries", type=int,
+                   default=None, metavar="N",
+                   help="prune quarantined files, oldest first, to at "
+                        "most N files")
+    p.add_argument("--spool-budget-results", type=int, default=None,
+                   metavar="N",
+                   help="remove journal-covered spool results, oldest "
+                        "first, to at most N files (default with any "
+                        "other flag absent: remove all consumed)")
+    p.add_argument("--compact-journal", action="store_true",
+                   help="also rewrite the journal keeping one line "
+                        "per key (atomic; damaged lines dropped and "
+                        "counted)")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without "
+                        "deleting anything")
+    p.add_argument("--json", action="store_true",
+                   help="print the GC report as JSON")
+    p.set_defaults(func=cmd_gc)
+
+    p = sub.add_parser(
+        "cache",
+        help="result-cache inventory",
+    )
+    csub = p.add_subparsers(dest="action", required=True)
+    pcs = csub.add_parser(
+        "stats",
+        help="entries, bytes and quarantine load of a cache directory",
+    )
+    pcs.add_argument("cache_dir", metavar="CACHE_DIR",
+                     help="a --cache-dir directory (or RUN_DIR/cache)")
+    pcs.add_argument("--json", action="store_true",
+                     help="print the inventory as JSON")
+    pcs.set_defaults(func=cmd_cache_stats)
 
     return parser
 

@@ -63,6 +63,7 @@ import time
 import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Set
 
+from repro.guard import retention
 from repro.guard.errors import SealError
 
 from .options import DistOptions
@@ -315,6 +316,17 @@ def run_dist(
         # not be left polling a dead grid.  The scripted chaos crash
         # (os._exit above) bypasses this on purpose.
         spool.drain()
+        if options.spool_budget_results is not None:
+            # Retention: sealed results whose every grid index is
+            # stored are *consumed* — a restarted broker would skip
+            # them anyway — so a long-lived shared spool stays within
+            # its budget without an operator running ``repro gc``.
+            consumed = {key for key in by_key if not _unsettled(key)}
+            report = retention.gc_spool(
+                spool.root, consumed=consumed,
+                budget_results=options.spool_budget_results,
+            )
+            obs.count("spool.gc.results", report.spool_results_removed)
         obs.finish(dist_span, harvested=harvested,
                    degraded=degraded, workers=len(lanes))
     return _leftover() if degraded else []

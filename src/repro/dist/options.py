@@ -42,6 +42,15 @@ class DistOptions:
         many harvested results, leaving the spool exactly as a real
         broker death would.  ``None`` (always, outside chaos tests)
         disables it.
+    spool_budget_results:
+        Retention budget for sealed result files left in the spool
+        after the broker finishes.  When set, the broker's final
+        cleanup garbage-collects *consumed* results (keys it stored
+        into the grid this run) oldest-first until at most this many
+        remain — so a long-lived shared spool stays bounded without an
+        operator ever running ``repro gc`` by hand.  ``None`` keeps
+        results indefinitely (they are idempotent and a restarted
+        broker adopts them for free).
     """
 
     spool: Path
@@ -50,6 +59,7 @@ class DistOptions:
     attach_grace: float = 10.0
     poll: float = 0.05
     chaos_exit_after: Optional[int] = None
+    spool_budget_results: Optional[int] = None
 
     def __post_init__(self):
         object.__setattr__(self, "spool", Path(self.spool))
@@ -57,6 +67,9 @@ class DistOptions:
                      "poll"):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be > 0")
+        if self.spool_budget_results is not None \
+                and self.spool_budget_results < 0:
+            raise ValueError("spool_budget_results must be >= 0")
 
 
 def coerce_dist_options(

@@ -55,6 +55,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.cpu import SIMULATOR_VERSION
+from repro.guard import fsfault
 from repro.guard.errors import SealCorrupt, SealError
 from repro.guard.seal import check, seal
 
@@ -164,13 +165,14 @@ class Spool:
     # -- atomic write primitive ------------------------------------
 
     def _write_atomic(self, path: Path, blob: bytes) -> None:
-        # The temp marker goes at the END of the name: directory scans
-        # glob on the final suffix (*.task, *.result, ...), so an
-        # in-progress write must never share it — a worker that can
-        # *see* a ticket must be able to claim it whole.
-        tmp = path.parent / f"{path.name}.tmp-{os.getpid()}"
-        tmp.write_bytes(blob)
-        os.replace(tmp, path)
+        # The sanctioned publish seam (temp name, write, replace —
+        # every step fault-injectable): under ENOSPC/EIO/torn-write/
+        # rename faults the destination name is never visible torn,
+        # so a worker that can *see* a ticket can claim it whole.
+        # Two retries ride out a transient fault window; a persistent
+        # outage propagates, and the broker's reclaim machinery (not
+        # a corrupt file) is what re-covers the task.
+        fsfault.publish_bytes(path, blob, retries=2)
 
     # -- manifest ---------------------------------------------------
 

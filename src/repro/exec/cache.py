@@ -34,12 +34,12 @@ import json
 import math
 import os
 import pickle
-import tempfile
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Set, Union
 
 from repro.cpu import SIMULATOR_VERSION
 from repro.cpu.stats import CoreStats
+from repro.guard import fsfault, retention
 from repro.guard.errors import SealError, StatsInvalid
 from repro.guard.seal import check as check_seal, seal as make_seal
 
@@ -50,6 +50,12 @@ CACHE_ENTRY_SCHEMA = 2
 
 #: Seal ``kind`` tag for result-cache entries.
 CACHE_ENTRY_KIND = "result-cache"
+
+#: Default cap on the quarantine directory, in entries.  Repeated
+#: corruption (a flaky disk, a byte-flipping NFS client) must not
+#: grow ``<cache>/quarantine/`` without bound; the newest evidence is
+#: kept, the oldest pruned, every prune counted.  ``None`` disables.
+QUARANTINE_BUDGET_ENTRIES = 256
 
 
 def canonicalize(value):
@@ -176,6 +182,17 @@ class ResultCache:
         already salt the version, but the key is only the file *name*;
         the seal inside the file is what proves the *content* matches
         — a renamed, hand-edited or migrated entry fails here.
+    budget_bytes / budget_entries:
+        Disk budget for the on-disk layer (``None`` = unbounded).
+        After every put, least-recently-used entries are evicted
+        until the directory fits — except keys this process has
+        touched (:attr:`pinned`), which are never evicted: an
+        in-flight run's working set outranks the budget.
+    quarantine_entries:
+        Cap on the quarantine directory
+        (:data:`QUARANTINE_BUDGET_ENTRIES` by default; ``None``
+        disables).  Oldest quarantined files are pruned first and
+        counted in :attr:`quarantine_pruned`.
 
     Attributes
     ----------
@@ -197,33 +214,47 @@ class ResultCache:
     """
 
     def __init__(self, path: Optional[Union[str, os.PathLike]] = None,
-                 *, version: str = SIMULATOR_VERSION):
+                 *, version: str = SIMULATOR_VERSION,
+                 budget_bytes: Optional[int] = None,
+                 budget_entries: Optional[int] = None,
+                 quarantine_entries: Optional[int] =
+                 QUARANTINE_BUDGET_ENTRIES):
         self.path = Path(path) if path is not None else None
         if self.path is not None:
             self.path.mkdir(parents=True, exist_ok=True)
         self.version = str(version)
+        self.budget_bytes = budget_bytes
+        self.budget_entries = budget_entries
+        self.quarantine_entries = quarantine_entries
         self._memory: dict = {}
+        #: Keys this process has touched (get/put) — never evicted.
+        self.pinned: Set[str] = set()
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.put_failures = 0
+        self.evicted = 0
+        self.quarantine_pruned = 0
         self.quarantined: Dict[str, int] = {}
 
     def counters(self) -> dict:
-        """The five bookkeeping counters as a plain mapping.
+        """The bookkeeping counters as a plain mapping.
 
         Keys (``hits``, ``misses``, ``corrupt``, ``put_failures``,
-        ``quarantined``) are stable — this is the shape the metrics
-        registry (:mod:`repro.obs.metrics`) surfaces under
-        ``cache.*``.  ``quarantined`` equals ``corrupt`` (it is the
-        same total, kept under the name the quarantine directory
-        uses); the per-reason breakdown lives in :attr:`quarantined`.
+        ``quarantined``, ``evicted``, ``quarantine_pruned``) are
+        stable — this is the shape the metrics registry
+        (:mod:`repro.obs.metrics`) surfaces under ``cache.*``.
+        ``quarantined`` equals ``corrupt`` (it is the same total,
+        kept under the name the quarantine directory uses); the
+        per-reason breakdown lives in :attr:`quarantined`.
         """
         return {
             "corrupt": self.corrupt,
+            "evicted": self.evicted,
             "hits": self.hits,
             "misses": self.misses,
             "put_failures": self.put_failures,
+            "quarantine_pruned": self.quarantine_pruned,
             "quarantined": sum(self.quarantined.values()),
         }
 
@@ -248,6 +279,12 @@ class ResultCache:
             os.replace(file, directory / f"{key}.{reason}.pkl")
         except OSError:
             file.unlink(missing_ok=True)
+            return
+        if self.quarantine_entries is not None:
+            pruned = retention.gc_quarantine(
+                directory, budget_entries=self.quarantine_entries,
+            )
+            self.quarantine_pruned += pruned.quarantine_pruned
 
     def _load_disk(self, key: str) -> Optional[CoreStats]:
         """Validate and load one on-disk entry (shared by ``get`` and
@@ -288,12 +325,20 @@ class ResultCache:
                 self._quarantine(file, key, "invalid-stats")
                 return None
         self._memory[key] = stats
+        self.pinned.add(key)
+        # Refresh the entry's recency so budget eviction is true LRU:
+        # "old" means unused, not merely written long ago.
+        try:
+            os.utime(file)
+        except OSError:
+            pass
         return stats
 
     def get(self, key: str) -> Optional[CoreStats]:
         """The cached stats for ``key``, or ``None`` on a miss."""
         if key in self._memory:
             self.hits += 1
+            self.pinned.add(key)
             return self._memory[key]
         stats = self._load_disk(key)
         if stats is not None:
@@ -303,27 +348,37 @@ class ResultCache:
         return None
 
     def put(self, key: str, stats: CoreStats) -> None:
-        """Store ``stats`` under ``key`` in both layers (sealed on disk)."""
+        """Store ``stats`` under ``key`` in both layers (sealed on disk).
+
+        The on-disk write goes through the sanctioned atomic-publish
+        seam (:func:`repro.guard.fsfault.publish_bytes`): under an
+        I/O fault — injected or real — the entry name is never
+        visible torn, and the ``OSError`` propagates so the engine's
+        ``put_failures`` accounting (the "cache writes are down"
+        switch) can degrade loudly.  A successful put then enforces
+        the disk budget, evicting LRU entries not pinned by this
+        process.
+        """
         self._memory[key] = stats
+        self.pinned.add(key)
         if self.path is not None:
             blob = make_seal(
                 pickle.dumps(stats, pickle.HIGHEST_PROTOCOL),
                 kind=CACHE_ENTRY_KIND, schema=CACHE_ENTRY_SCHEMA,
                 simulator_version=self.version,
             )
-            fd, tmp = tempfile.mkstemp(
-                dir=self.path, prefix=".tmp-", suffix=".pkl"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(blob)
-                os.replace(tmp, self._file(key))
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
+            fsfault.publish_bytes(self._file(key), blob)
+            self._enforce_budget()
+
+    def _enforce_budget(self) -> None:
+        """Evict LRU unpinned entries until the budget is met."""
+        if self.budget_bytes is None and self.budget_entries is None:
+            return
+        report = retention.gc_cache(
+            self.path, budget_bytes=self.budget_bytes,
+            budget_entries=self.budget_entries, pinned=self.pinned,
+        )
+        self.evicted += report.cache_evicted
 
     def __contains__(self, key: str) -> bool:
         """Membership that agrees with :meth:`get`.

@@ -58,6 +58,7 @@ from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 from repro.cpu import SIMULATOR_VERSION
+from repro.guard import fsfault
 
 __all__ = [
     "Journal",
@@ -147,7 +148,15 @@ class Journal:
     dropped:
         Per-reason breakdown of :attr:`corrupt` (``torn``,
         ``checksum``, ``version-drift``, ...).
+    write_failures:
+        Failed (and rolled-back) record attempts — each one is an
+        I/O fault the journal survived atomically.
     """
+
+    #: Write attempts per record: the first try plus retries after a
+    #: rollback.  A transient fault window (injected or a disk that
+    #: frees up) clears within the budget; a persistent one raises.
+    _WRITE_ATTEMPTS = 3
 
     def __init__(self, path: Union[str, os.PathLike], *,
                  sync: bool = False, version: str = SIMULATOR_VERSION):
@@ -156,6 +165,7 @@ class Journal:
         self.version = str(version)
         self.corrupt = 0
         self.dropped: Dict[str, int] = {}
+        self.write_failures = 0
         self._entries: Dict[str, object] = {}
         self._handle = None
         if self.path.exists():
@@ -213,36 +223,59 @@ class Journal:
 
         Safe under *interleaved writers*: the file is opened in append
         mode (every write lands at the current end of file) and the
-        write+flush is wrapped in an exclusive ``flock``, so two
-        processes — a broker and a straggling worker, two resumed
+        write+fault-handling is wrapped in an exclusive ``flock``, so
+        two processes — a broker and a straggling worker, two resumed
         runs racing on one run-dir — can append to the same journal
         without ever tearing each other's lines.  Lines are
         content-keyed and self-checking, so concurrent appends of the
         same cell are merely redundant, never conflicting.
+
+        Fails **atomically** under I/O faults: the write goes through
+        the sanctioned seam (:func:`repro.guard.fsfault.vfs_write`),
+        and on any ``OSError`` — ENOSPC, EIO, a torn half-line — the
+        file is truncated back to its pre-record length *while the
+        lock is still held*, then the write is retried.  The journal
+        therefore never shows a torn line, even transiently; a
+        persistent fault propagates after the retry budget with the
+        journal exactly as it was before the call.
         """
         if key in self._entries:
             return
         blob = pickle.dumps(stats, pickle.HIGHEST_PROTOCOL)
-        line = json.dumps({
+        data = (json.dumps({
             "v": _FORMAT_VERSION,
             "key": key,
             "sha": hashlib.sha256(blob).hexdigest(),
             "sim": self.version,
             "stats": base64.b64encode(blob).decode("ascii"),
-        })
+        }) + "\n").encode("utf-8")
         if self._handle is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
+            # Unbuffered binary append: no hidden buffer can hold a
+            # partial line across a failed write, so rollback (an
+            # ftruncate to the pre-record size) is exact.
+            self._handle = open(self.path, "ab", buffering=0)
+        fd = self._handle.fileno()
         if fcntl is not None:
-            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+            fcntl.flock(fd, fcntl.LOCK_EX)
         try:
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            if self.sync:
-                os.fsync(self._handle.fileno())
+            start = os.fstat(fd).st_size
+            for attempt in range(self._WRITE_ATTEMPTS):
+                try:
+                    fsfault.vfs_write(self._handle, data)
+                    if self.sync:
+                        fsfault.vfs_fsync(fd)
+                    break
+                except OSError:
+                    self.write_failures += 1
+                    # Roll back to the pre-record length (still under
+                    # the lock, so no interleaved line can be cut).
+                    os.ftruncate(fd, start)
+                    if attempt == self._WRITE_ATTEMPTS - 1:
+                        raise
         finally:
             if fcntl is not None:
-                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+                fcntl.flock(fd, fcntl.LOCK_UN)
         self._entries[key] = stats
 
     def close(self) -> None:

@@ -1,0 +1,396 @@
+"""Deterministic I/O fault injection and the sanctioned write seam.
+
+Every durability layer in this tree — the result cache, the journal,
+the distributed spool, the event stream, trace archives, manifests,
+profiles, the sealed ``results.json`` — ultimately performs the same
+four filesystem operations: open a temp name, write bytes, maybe
+fsync, rename into place.  This module is the *one* place those
+operations happen (:func:`publish_bytes`, :func:`vfs_write`,
+:func:`vfs_fsync`, :func:`vfs_replace`), which buys two things at
+once:
+
+* a single enforcement point for the atomic-publish discipline (the
+  REP101/REP105 static rules point here), and
+* a single interposition point where scheduled I/O faults — ENOSPC,
+  EIO, fsync failure, rename failure, partial/torn writes — can be
+  injected deterministically, in the style of
+  :mod:`repro.exec.faultinject`.
+
+Determinism comes from scheduling faults by **operation index** on
+three independent channels: every byte-write through the seam
+consumes one ``write`` index, every fsync one ``fsync`` index, every
+rename one ``rename`` index.  A fault fires iff the channel's running
+counter falls inside the fault's ``[index, index + count)`` window,
+so the same spec against the same operation sequence always faults
+the same operations — no randomness at fire time, no wall clock.
+Counters are per-process (a fork worker starts from the parent's
+snapshot), exactly like the task-fault injector's ``fired`` log.
+
+The injector is installed process-wide with :func:`install` /
+:func:`uninstall` or the :func:`injected` context manager; for CI and
+CLI experiments ``REPRO_FSFAULT_SPEC`` (see
+:meth:`FsFaultInjector.from_spec`) installs one automatically at the
+first seam operation, and every experiment subcommand takes
+``--fsfault SPEC``.
+
+Under any injected (or real) fault every writer must satisfy one of
+two contracts, documented per writer in ``docs/robustness.md``:
+
+* **degrade loudly** — self-disable, count the failure, keep the run
+  going (cache puts, event-stream lanes, telemetry artifacts); or
+* **fail atomically** — no torn sealed artifact ever becomes visible
+  (journal lines roll back, spool/results publishes leave only a
+  temp file that is removed, never the destination name).
+
+:func:`publish_bytes` implements the second contract directly: the
+destination name is only ever touched by ``os.replace``, and the temp
+file is unlinked on any failure, injected or real.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+import random
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "ALWAYS",
+    "FsFault",
+    "FsFaultInjector",
+    "active",
+    "injected",
+    "install",
+    "publish_bytes",
+    "publish_text",
+    "uninstall",
+    "vfs_fsync",
+    "vfs_replace",
+    "vfs_write",
+]
+
+#: ``FsFault.count`` value meaning "every operation from index on".
+ALWAYS = 10 ** 9
+
+#: action -> the operation channel its faults fire on.
+_CHANNELS = {
+    "enospc": "write",
+    "eio": "write",
+    "erofs": "write",
+    "torn": "write",
+    "fsync": "fsync",
+    "rename": "rename",
+}
+
+
+@dataclass(frozen=True)
+class FsFault:
+    """One scheduled I/O fault.
+
+    Attributes
+    ----------
+    action:
+        ``"enospc"`` — the write raises ``OSError(ENOSPC)`` before a
+        byte lands;
+        ``"eio"`` — the write raises ``OSError(EIO)``;
+        ``"erofs"`` — the write raises ``OSError(EROFS)`` (the run
+        directory was remounted read-only, the classic failover
+        signature of a sick network filesystem);
+        ``"torn"`` — half the bytes land, then ``OSError(ENOSPC)``
+        (the disk filled mid-write: the signature the seal layer's
+        truncation detection exists for);
+        ``"fsync"`` — the fsync raises ``OSError(EIO)`` (data may or
+        may not be durable — the caller must treat it as not);
+        ``"rename"`` — the ``os.replace`` raises ``OSError(EIO)``
+        (the publish never happened; the temp file is the only
+        residue).
+    index:
+        First operation index (on the action's channel) the fault
+        applies to.
+    count:
+        Number of consecutive operations faulted starting at
+        ``index``; :data:`ALWAYS` for a permanent outage.  A window
+        models "disk full for a while, then space restored".
+    """
+
+    action: str
+    index: int
+    count: int = 1
+
+    def __post_init__(self):
+        if self.action not in _CHANNELS:
+            raise ValueError(
+                f"unknown fsfault action {self.action!r}; "
+                f"expected one of {tuple(sorted(_CHANNELS))}"
+            )
+        if self.index < 0:
+            raise ValueError("index must be >= 0")
+        if self.count < 1:
+            raise ValueError("count must be >= 1")
+
+    @property
+    def channel(self) -> str:
+        return _CHANNELS[self.action]
+
+
+class FsFaultInjector:
+    """A deterministic schedule of I/O faults, keyed by op index.
+
+    Attributes
+    ----------
+    fired:
+        Log of ``(channel, index, action)`` triples in fire order.
+        Per-process, like :attr:`repro.exec.faultinject.FaultInjector.fired`.
+    counts:
+        Live per-channel operation counters (``write``, ``fsync``,
+        ``rename``) — how many operations of each kind have crossed
+        the seam in this process.
+    """
+
+    def __init__(self, faults):
+        self.faults: List[FsFault] = list(faults)
+        self.counts: Dict[str, int] = {
+            "write": 0, "fsync": 0, "rename": 0,
+        }
+        self.fired: List[Tuple[str, int, str]] = []
+        self._lock = threading.Lock()
+
+    @classmethod
+    def seeded(cls, seed: int, n_ops: int, *, enospc: int = 0,
+               eio: int = 0, torn: int = 0, fsyncs: int = 0,
+               renames: int = 0, count: int = 1) -> "FsFaultInjector":
+        """A reproducible random schedule over ``n_ops`` operations.
+
+        Write-channel faults (``enospc + eio + torn``) are placed on
+        distinct indices drawn with ``random.Random(seed)``; fsync and
+        rename faults are drawn independently on their own channels
+        over the same index range.  The same seed always yields the
+        same schedule.
+        """
+        wanted = enospc + eio + torn
+        if max(wanted, fsyncs, renames) > n_ops:
+            raise ValueError(
+                f"cannot schedule that many faults over {n_ops} ops"
+            )
+        rng = random.Random(seed)
+        faults: List[FsFault] = []
+        indices = rng.sample(range(n_ops), wanted)
+        cursor = 0
+        for action, n in (("enospc", enospc), ("eio", eio),
+                          ("torn", torn)):
+            for _ in range(n):
+                faults.append(FsFault(action, indices[cursor], count))
+                cursor += 1
+        for action, n in (("fsync", fsyncs), ("rename", renames)):
+            for index in rng.sample(range(n_ops), n):
+                faults.append(FsFault(action, index, count))
+        return cls(faults)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "FsFaultInjector":
+        """Parse a compact schedule string (the CI/CLI entry point).
+
+        ``spec`` is comma-separated ``action:index[:count]`` items,
+        e.g. ``"enospc:5:10,torn:30,rename:2,fsync:0:always"`` —
+        write operations 5–14 see a full disk, write 30 is torn,
+        rename 2 fails, every fsync from the first on fails.
+        ``count`` may be ``always`` for a permanent outage.
+        """
+        faults: List[FsFault] = []
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            parts = item.split(":")
+            if len(parts) < 2:
+                raise ValueError(
+                    f"bad fsfault spec item {item!r}; "
+                    "use action:index[:count]"
+                )
+            action = parts[0].strip().lower()
+            index = int(parts[1])
+            count = 1
+            if len(parts) > 2 and parts[2].strip():
+                field = parts[2].strip().lower()
+                count = ALWAYS if field == "always" else int(field)
+            faults.append(FsFault(action, index, count))
+        return cls(faults)
+
+    def poll(self, channel: str) -> Optional[str]:
+        """Consume one operation index on ``channel``; the action to
+        inject there, or ``None``.  Called by the seam helpers only.
+        """
+        with self._lock:
+            index = self.counts[channel]
+            self.counts[channel] = index + 1
+            for fault in self.faults:
+                if fault.channel != channel:
+                    continue
+                if fault.index <= index < fault.index + fault.count:
+                    self.fired.append((channel, index, fault.action))
+                    return fault.action
+        return None
+
+
+#: The process-wide injector, if any.  Fork workers inherit it.
+_ACTIVE: Optional[FsFaultInjector] = None
+_ENV_CHECKED = False
+
+#: Environment variable holding a ``from_spec`` schedule; read once,
+#: at the first seam operation with no explicitly installed injector.
+ENV_VAR = "REPRO_FSFAULT_SPEC"
+
+
+def install(injector: FsFaultInjector) -> None:
+    """Make ``injector`` the process-wide active injector."""
+    global _ACTIVE  # repro: noqa[REP004] -- process-wide by design; fork workers inherit the parent's injector
+    _ACTIVE = injector
+
+
+def uninstall() -> None:
+    """Remove the active injector (idempotent)."""
+    global _ACTIVE  # repro: noqa[REP004] -- process-wide by design, see install()
+    _ACTIVE = None
+
+
+def active() -> Optional[FsFaultInjector]:
+    """The active injector, auto-installing from ``REPRO_FSFAULT_SPEC``.
+
+    The environment is consulted once per process; explicit
+    :func:`install` / :func:`uninstall` always wins afterwards.
+    """
+    global _ACTIVE, _ENV_CHECKED  # repro: noqa[REP004] -- once-per-process memoisation of the env probe
+    if _ACTIVE is None and not _ENV_CHECKED:
+        _ENV_CHECKED = True
+        spec = os.environ.get(ENV_VAR)  # repro: noqa[REP006] -- REPRO_FSFAULT_SPEC is the sanctioned CI/CLI fault-schedule entry point
+        if spec:
+            _ACTIVE = FsFaultInjector.from_spec(spec)
+    return _ACTIVE
+
+
+@contextmanager
+def injected(injector: FsFaultInjector):
+    """Scope an injector to a ``with`` block (used by the test suite)."""
+    install(injector)
+    try:
+        yield injector
+    finally:
+        uninstall()
+
+
+def _poll(channel: str) -> Optional[str]:
+    injector = active()
+    if injector is None:
+        return None
+    return injector.poll(channel)
+
+
+# -- the seam primitives -------------------------------------------
+
+
+def vfs_write(handle, data) -> None:
+    """Write ``data`` (bytes or str) to an open handle via the seam.
+
+    Consumes one ``write`` operation index.  An ``enospc``/``eio``
+    fault raises before a byte lands; a ``torn`` fault writes half
+    the data, flushes it so the damage is on disk, then raises
+    ``OSError(ENOSPC)`` — the caller is responsible for rolling the
+    file back (journal) or abandoning the temp name (publish).
+    """
+    action = _poll("write")
+    if action == "torn":
+        handle.write(data[: len(data) // 2])
+        try:
+            handle.flush()
+        except (OSError, ValueError):
+            pass
+        raise OSError(
+            errno.ENOSPC,
+            "injected torn write: disk filled mid-write",
+        )
+    if action == "enospc":
+        raise OSError(errno.ENOSPC, "injected ENOSPC")
+    if action == "eio":
+        raise OSError(errno.EIO, "injected EIO")
+    if action == "erofs":
+        raise OSError(errno.EROFS, "injected read-only filesystem")
+    handle.write(data)
+
+
+def vfs_fsync(fd: int) -> None:
+    """``os.fsync`` via the seam (one ``fsync`` operation index)."""
+    if _poll("fsync") is not None:
+        raise OSError(errno.EIO, "injected fsync failure")
+    os.fsync(fd)
+
+
+def vfs_replace(src: Union[str, os.PathLike],
+                dst: Union[str, os.PathLike]) -> None:
+    """``os.replace`` via the seam (one ``rename`` operation index)."""
+    if _poll("rename") is not None:
+        raise OSError(errno.EIO, "injected rename failure")
+    os.replace(src, dst)
+
+
+def publish_bytes(path: Union[str, os.PathLike], blob: bytes, *,
+                  fsync: bool = False, retries: int = 0) -> Path:
+    """Atomically publish ``blob`` at ``path`` (the sanctioned dance).
+
+    Writes to a dot-prefixed ``mkstemp`` name in the destination
+    directory, optionally fsyncs, then ``os.replace``s onto the final
+    name — every step through the fault seam.  On *any* failure the
+    temp file is unlinked and the destination is untouched: a reader
+    can never observe a torn artifact, which is the fail-atomically
+    half of the degradation contract.
+
+    ``retries`` re-runs the whole dance after a failure (each retry
+    consumes fresh operation indices, so a transient fault window
+    clears); the last failure propagates.
+    """
+    path = Path(path)
+    last: Optional[BaseException] = None
+    for _attempt in range(int(retries) + 1):
+        try:
+            _publish_once(path, blob, fsync=fsync)
+            return path
+        except OSError as exc:
+            last = exc
+    assert last is not None
+    raise last
+
+
+def publish_text(path: Union[str, os.PathLike], text: str, *,
+                 encoding: str = "utf-8", fsync: bool = False,
+                 retries: int = 0) -> Path:
+    """:func:`publish_bytes` for text payloads."""
+    return publish_bytes(Path(path), text.encode(encoding),
+                         fsync=fsync, retries=retries)
+
+
+def _publish_once(path: Path, blob: bytes, *, fsync: bool) -> None:
+    # The temp marker ends the name (directory scans glob on final
+    # suffixes like *.task / *.pkl, which an in-progress write must
+    # never satisfy) and embeds the writer's pid so spool GC can tell
+    # an orphaned temp file from one still being written.
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent),
+        prefix=f".{path.name}.tmp-{os.getpid()}-",
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            vfs_write(handle, blob)
+            handle.flush()
+            if fsync:
+                vfs_fsync(handle.fileno())
+        vfs_replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from . import fsfault
 from .errors import SealError, SealMissing
 from .seal import check as check_seal, seal as make_seal
 
@@ -109,11 +110,11 @@ def write_results(path: Union[str, os.PathLike], result,
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    # Write-then-rename: a reader (or a crash) never observes a
-    # half-written results document.
-    tmp = path.with_name(path.name + f".w{os.getpid()}.tmp")
-    tmp.write_bytes(blob)
-    os.replace(tmp, path)
+    # The sanctioned publish seam: a reader (or a crash) never
+    # observes a half-written results document, and an injected
+    # ENOSPC/rename fault either clears within the retry budget or
+    # propagates with the previous document intact.
+    fsfault.publish_bytes(path, blob, retries=2)
     return path
 
 

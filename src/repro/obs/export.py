@@ -29,6 +29,8 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.guard import fsfault
+
 from .metrics import MetricsRegistry
 from .span import Span, Tracer
 
@@ -114,9 +116,9 @@ def write_chrome_trace(tracer: Tracer,
     """Write :func:`chrome_trace` to ``path``; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(
-        json.dumps(chrome_trace(tracer), sort_keys=True),
-        encoding="utf-8",
+    fsfault.publish_text(
+        path, json.dumps(chrome_trace(tracer), sort_keys=True),
+        retries=2,
     )
     return path
 
@@ -160,11 +162,12 @@ def write_metrics_jsonl(registry: MetricsRegistry,
     """One JSON line per metric, sorted by name; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        for name, fields in registry.snapshot().items():
-            handle.write(json.dumps(
-                {"name": name, **fields}, sort_keys=True
-            ) + "\n")
+    lines = [
+        json.dumps({"name": name, **fields}, sort_keys=True)
+        for name, fields in registry.snapshot().items()
+    ]
+    fsfault.publish_text(path, "".join(line + "\n" for line in lines),
+                         retries=2)
     return path
 
 

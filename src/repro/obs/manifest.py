@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.guard import fsfault
 from repro.guard.errors import SealCorrupt, SealMissing, SealVersionDrift
 
 from . import clock
@@ -174,12 +175,19 @@ class RunManifest:
         return doc
 
     def write(self, path: Union[str, os.PathLike]) -> Path:
-        """Write the manifest as indented JSON; returns the path."""
+        """Write the manifest as indented JSON; returns the path.
+
+        Publishes atomically through the sanctioned seam
+        (:func:`repro.guard.fsfault.publish_text`): a reader — or
+        ``repro verify`` after a crash — never sees a torn manifest,
+        only the previous one or none.
+        """
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(
+        fsfault.publish_text(
+            path,
             json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
-            encoding="utf-8",
+            retries=2,
         )
         return path
 

@@ -42,6 +42,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from repro.guard import fsfault
+
 __all__ = ["PhaseProfiler", "collapsed_stacks"]
 
 
@@ -153,15 +155,18 @@ class PhaseProfiler:
         stats_path = self.directory / f"{slug}.pstats"
         collapsed_path = self.directory / f"{slug}.collapsed.txt"
 
-        tmp = stats_path.with_name(stats_path.name + f".tmp-{os.getpid()}")
+        # cProfile insists on writing the .pstats file itself, so the
+        # raw dump lands on the temp name outside the seam; the
+        # publishing rename still routes through it.
+        tmp = stats_path.with_name(
+            stats_path.name + f".tmp-{os.getpid()}-p")
         profiler.dump_stats(tmp)
-        os.replace(tmp, stats_path)
+        fsfault.vfs_replace(tmp, stats_path)
 
         stats = pstats.Stats(str(stats_path))
-        tmp = collapsed_path.with_name(
-            collapsed_path.name + f".tmp-{os.getpid()}")
-        tmp.write_text("\n".join(collapsed_stacks(stats)) + "\n",
-                       encoding="utf-8")
-        os.replace(tmp, collapsed_path)
+        fsfault.publish_text(
+            collapsed_path,
+            "\n".join(collapsed_stacks(stats)) + "\n",
+        )
 
         self.captures[name] = [str(stats_path), str(collapsed_path)]

@@ -69,6 +69,8 @@ try:
 except ImportError:  # pragma: no cover - non-POSIX platform
     fcntl = None
 
+from repro.guard import fsfault
+
 from . import clock
 
 __all__ = [
@@ -230,10 +232,16 @@ class EventWriter:
             if fcntl is not None:
                 fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
             try:
-                self._handle.write(line)
+                # Through the fault seam: an injected (or real)
+                # ENOSPC/EIO/torn write surfaces here and the except
+                # below disables the lane — degrade loudly, never
+                # abort the run.  A torn final line is exactly the
+                # crash signature the next generation's tail repair
+                # (and scan_stream) already tolerates.
+                fsfault.vfs_write(self._handle, line)
                 self._handle.flush()
                 if self.sync:
-                    os.fsync(self._handle.fileno())
+                    fsfault.vfs_fsync(self._handle.fileno())
             finally:
                 if fcntl is not None:
                     fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)

@@ -28,13 +28,13 @@ from __future__ import annotations
 
 import io
 import os
-import tempfile
 import zipfile
 from typing import Union
 
 import numpy as np
 
 from repro.cpu.isa import BranchKind, OpClass
+from repro.guard import fsfault
 from repro.guard.errors import TraceCorrupt
 from repro.guard.seal import (
     MAGIC as SEAL_MAGIC,
@@ -78,19 +78,9 @@ def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
     blob = make_seal(
         buffer.getvalue(), kind=TRACE_KIND, schema=FORMAT_VERSION,
     )
-    path = os.fspath(path)
-    directory = os.path.dirname(path) or "."
-    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp-trace-")
-    try:
-        with os.fdopen(fd, "wb") as handle:
-            handle.write(blob)
-        os.replace(tmp, path)
-    except BaseException:
-        try:
-            os.unlink(tmp)
-        except OSError:
-            pass
-        raise
+    # The sanctioned publish seam: temp name + replace, every step
+    # fault-injectable, the destination never visible torn.
+    fsfault.publish_bytes(path, blob, retries=2)
 
 
 def _strict_validate(trace: Trace, artifact) -> None:

@@ -1,0 +1,333 @@
+"""Unit and property tests for the retention GC layer.
+
+The safety claim this file pins (the issue's acceptance property):
+**``repro gc`` under any budget never evicts a pinned key** — not one
+referenced by an in-flight run, not one a journal names, no matter
+how tight the budget or how the mtimes are arranged.  Everything else
+(LRU order, budget arithmetic, orphan temp cleanup, compaction
+byte-identity) is conventional unit coverage.
+"""
+
+import json
+import os
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guard import retention
+from repro.guard.retention import (
+    GCReport,
+    cache_stats,
+    compact_journal,
+    gc_cache,
+    gc_quarantine,
+    gc_run_dir,
+    gc_spool,
+    journal_keys,
+    spool_inflight_keys,
+)
+
+
+def _entry(directory, name, payload=b"x", *, age=0.0,
+           suffix=".pkl"):
+    """Write one cache-style entry, backdated ``age`` seconds."""
+    path = directory / f"{name}{suffix}"
+    path.write_bytes(payload)
+    if age:
+        stamp = time.time() - age
+        os.utime(path, (stamp, stamp))
+    return path
+
+
+class TestCacheStats:
+    def test_inventory(self, tmp_path):
+        _entry(tmp_path, "a", b"12345")
+        _entry(tmp_path, "b", b"123")
+        (tmp_path / "quarantine").mkdir()
+        _entry(tmp_path / "quarantine", "bad", b"12", suffix=".torn")
+        stats = cache_stats(tmp_path)
+        assert stats.entries == 2
+        assert stats.bytes == 8
+        assert stats.quarantine_entries == 1
+        assert stats.quarantine_bytes == 2
+        assert stats.to_dict()["entries"] == 2
+
+    def test_empty_directory(self, tmp_path):
+        stats = cache_stats(tmp_path / "nowhere")
+        assert stats.entries == 0
+        assert stats.quarantine_entries == 0
+
+
+class TestGcCache:
+    def test_no_budget_is_a_no_op(self, tmp_path):
+        _entry(tmp_path, "a")
+        report = gc_cache(tmp_path)
+        assert report.cache_evicted == 0
+        assert (tmp_path / "a.pkl").exists()
+
+    def test_oldest_evicted_first(self, tmp_path):
+        _entry(tmp_path, "old", age=300)
+        _entry(tmp_path, "mid", age=200)
+        _entry(tmp_path, "new", age=100)
+        report = gc_cache(tmp_path, budget_entries=1)
+        assert report.cache_evicted == 2
+        assert not (tmp_path / "old.pkl").exists()
+        assert not (tmp_path / "mid.pkl").exists()
+        assert (tmp_path / "new.pkl").exists()
+
+    def test_byte_budget(self, tmp_path):
+        _entry(tmp_path, "old", b"x" * 100, age=300)
+        _entry(tmp_path, "new", b"x" * 100, age=100)
+        report = gc_cache(tmp_path, budget_bytes=150)
+        assert report.cache_evicted == 1
+        assert report.cache_evicted_bytes == 100
+        assert (tmp_path / "new.pkl").exists()
+
+    def test_pinned_skipped_even_over_budget(self, tmp_path):
+        _entry(tmp_path, "pinned", age=300)
+        report = gc_cache(tmp_path, budget_entries=0,
+                          pinned={"pinned"})
+        assert report.cache_evicted == 0
+        assert report.cache_pinned_kept == 1
+        assert (tmp_path / "pinned.pkl").exists()
+
+    def test_dry_run_deletes_nothing(self, tmp_path):
+        _entry(tmp_path, "a", age=100)
+        report = gc_cache(tmp_path, budget_entries=0, dry_run=True)
+        assert report.dry_run
+        assert report.cache_evicted == 1
+        assert (tmp_path / "a.pkl").exists()
+
+
+class TestPinnedNeverEvictedProperty:
+    """The acceptance property, driven by hypothesis."""
+
+    @given(
+        ages=st.lists(st.integers(0, 10_000), min_size=1,
+                      max_size=12, unique=True),
+        pinned_mask=st.lists(st.booleans(), min_size=12, max_size=12),
+        budget_entries=st.one_of(st.none(), st.integers(0, 12)),
+        budget_bytes=st.one_of(st.none(), st.integers(0, 400)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gc_never_touches_pinned_keys(self, tmp_path_factory,
+                                          ages, pinned_mask,
+                                          budget_entries,
+                                          budget_bytes):
+        tmp_path = tmp_path_factory.mktemp("gc-prop")
+        pinned = set()
+        for n, age in enumerate(ages):
+            name = f"key{n}"
+            _entry(tmp_path, name, b"x" * 40, age=age)
+            if pinned_mask[n]:
+                pinned.add(name)
+        gc_cache(tmp_path, budget_bytes=budget_bytes,
+                 budget_entries=budget_entries, pinned=pinned)
+        survivors = {p.stem for p in tmp_path.glob("*.pkl")}
+        assert pinned <= survivors, \
+            "gc evicted a pinned in-flight/journal-referenced key"
+
+
+class TestGcQuarantine:
+    def test_oldest_pruned_first(self, tmp_path):
+        _entry(tmp_path, "old", age=300, suffix=".torn")
+        _entry(tmp_path, "new", age=100, suffix=".torn")
+        report = gc_quarantine(tmp_path, budget_entries=1)
+        assert report.quarantine_pruned == 1
+        assert (tmp_path / "new.torn").exists()
+        assert not (tmp_path / "old.torn").exists()
+
+    def test_missing_directory(self, tmp_path):
+        report = gc_quarantine(tmp_path / "gone", budget_entries=1)
+        assert report.quarantine_pruned == 0
+
+
+class TestPinningSources:
+    def test_journal_keys_liberal(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        journal.write_bytes(
+            json.dumps({"key": "good", "sha": "..."}).encode() + b"\n"
+            + b"not json at all\n"
+            + json.dumps({"key": "damaged-but-named"}).encode() + b"\n"
+            + json.dumps({"no_key": 1}).encode() + b"\n"
+        )
+        assert journal_keys(journal) == {"good", "damaged-but-named"}
+
+    def test_journal_keys_missing_file(self, tmp_path):
+        assert journal_keys(tmp_path / "gone.jsonl") == set()
+
+    def test_spool_inflight(self, tmp_path):
+        (tmp_path / "pending").mkdir()
+        (tmp_path / "leased").mkdir()
+        (tmp_path / "pending" / "k1.task").write_bytes(b"")
+        (tmp_path / "leased" / "k2.task").write_bytes(b"")
+        (tmp_path / "leased" / "k3.lease").write_bytes(b"")
+        assert spool_inflight_keys(tmp_path) == {"k1", "k2", "k3"}
+
+
+class TestGcSpool:
+    def _spool(self, tmp_path):
+        for sub in ("pending", "leased", "results"):
+            (tmp_path / sub).mkdir(parents=True, exist_ok=True)
+        return tmp_path
+
+    def test_consumed_results_removed(self, tmp_path):
+        spool = self._spool(tmp_path)
+        _entry(spool / "results", "done", age=10, suffix=".result")
+        _entry(spool / "results", "kept", age=10, suffix=".result")
+        report = gc_spool(spool, consumed={"done"})
+        assert report.spool_results_removed == 1
+        assert (spool / "results" / "kept.result").exists()
+        assert not (spool / "results" / "done.result").exists()
+
+    def test_inflight_keys_never_removed(self, tmp_path):
+        spool = self._spool(tmp_path)
+        _entry(spool / "results", "racing", age=10, suffix=".result")
+        (spool / "pending" / "racing.task").write_bytes(b"")
+        report = gc_spool(spool, consumed={"racing"})
+        assert report.spool_results_removed == 0
+        assert (spool / "results" / "racing.result").exists()
+
+    def test_budget_keeps_newest(self, tmp_path):
+        spool = self._spool(tmp_path)
+        for n in range(4):
+            _entry(spool / "results", f"k{n}", age=400 - n * 100,
+                   suffix=".result")
+        report = gc_spool(spool, consumed={f"k{n}" for n in range(4)},
+                          budget_results=2)
+        assert report.spool_results_removed == 2
+        kept = sorted(p.stem for p in
+                      (spool / "results").glob("*.result"))
+        assert kept == ["k2", "k3"]  # the two newest
+
+    def test_orphaned_tmp_of_dead_pid_removed(self, tmp_path):
+        spool = self._spool(tmp_path)
+        # No live process has this pid (max pid is far smaller).
+        dead = spool / "results" / ".x.result.tmp-4000000-ab"
+        dead.write_bytes(b"partial")
+        live = spool / "results" / f".y.result.tmp-{os.getpid()}-cd"
+        live.write_bytes(b"in-progress")
+        report = gc_spool(spool, consumed=set())
+        assert report.spool_tmp_removed == 1
+        assert not dead.exists()
+        assert live.exists()  # its writer (this test) is alive
+
+
+class TestCompactJournal:
+    def _line(self, key, n=0):
+        return json.dumps({"key": key, "n": n}).encode() + b"\n"
+
+    def test_duplicates_keep_last_raw_bytes(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        journal.write_bytes(
+            self._line("a", 1) + self._line("b", 1)
+            + self._line("a", 2)
+        )
+        report = compact_journal(journal)
+        assert report.journal_lines_dropped == 1
+        data = journal.read_bytes()
+        assert data == self._line("a", 2) + self._line("b", 1)
+
+    def test_torn_tail_and_damage_dropped(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        journal.write_bytes(
+            self._line("a") + b"garbage line\n"
+            + b'{"key": "torn", "n"'  # no trailing newline
+        )
+        report = compact_journal(journal)
+        assert report.journal_lines_dropped == 2
+        assert journal.read_bytes() == self._line("a")
+
+    def test_clean_journal_untouched(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        payload = self._line("a") + self._line("b")
+        journal.write_bytes(payload)
+        before = journal.stat().st_mtime_ns
+        report = compact_journal(journal)
+        assert report.journal_lines_dropped == 0
+        assert journal.stat().st_mtime_ns == before  # no rewrite
+
+    def test_dry_run_reports_without_rewriting(self, tmp_path):
+        journal = tmp_path / "j.jsonl"
+        payload = self._line("a", 1) + self._line("a", 2)
+        journal.write_bytes(payload)
+        report = compact_journal(journal, dry_run=True)
+        assert report.journal_lines_dropped == 1
+        assert journal.read_bytes() == payload
+
+
+class TestGcRunDir:
+    def test_journal_pins_cache_and_consumes_spool(self, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        _entry(cache, "journaled", age=500)
+        _entry(cache, "stray", age=400)
+        journal = tmp_path / "journal.jsonl"
+        journal.write_bytes(
+            json.dumps({"key": "journaled"}).encode() + b"\n")
+        spool = tmp_path / "spool"
+        (spool / "results").mkdir(parents=True)
+        (spool / "pending").mkdir()
+        _entry(spool / "results", "journaled", age=10,
+               suffix=".result")
+        report = gc_run_dir(tmp_path, cache_budget_entries=0)
+        # The journal-referenced key survives the tightest budget...
+        assert (cache / "journaled.pkl").exists()
+        assert not (cache / "stray.pkl").exists()
+        assert report.cache_pinned_kept == 1
+        # ...while its (journal-covered) spool result is consumed.
+        assert report.spool_results_removed == 1
+
+    def test_report_dict_shape(self):
+        doc = GCReport().to_dict()
+        assert set(doc) == {"dry_run", "cache", "quarantine",
+                            "spool", "journal"}
+
+    def test_merge_accumulates(self):
+        a = GCReport(cache_evicted=1, spool_tmp_removed=2)
+        b = GCReport(cache_evicted=3)
+        a.merge(b)
+        assert a.cache_evicted == 4
+        assert a.spool_tmp_removed == 2
+
+
+class TestResultCacheBudgetIntegration:
+    """The inline (engine-side) budget path of ResultCache."""
+
+    def test_put_evicts_unpinned_lru_entries(self, tmp_path):
+        from repro.exec.cache import ResultCache
+        from repro.cpu import MachineConfig, simulate
+        from repro.workloads import benchmark_trace
+
+        stats = simulate(MachineConfig(),
+                         benchmark_trace("gzip", 200))
+        cache = ResultCache(tmp_path, budget_entries=2)
+        cache.put("k1", stats)
+        cache.put("k2", stats)
+        cache.put("k3", stats)
+        # All three keys were put by *this* process, so all are
+        # pinned: the budget must not break the in-flight run.
+        assert cache.evicted == 0
+        assert len(list(tmp_path.glob("*.pkl"))) == 3
+        # A fresh process (fresh pin set) sees the same directory
+        # over budget and may evict the LRU entries it never touched.
+        stale = ResultCache(tmp_path, budget_entries=2,
+                            version=cache.version)
+        stale.put("k4", stats)
+        assert stale.evicted > 0
+        assert (tmp_path / "k4.pkl").exists()
+
+    def test_quarantine_budget_prunes_oldest(self, tmp_path):
+        from repro.exec.cache import ResultCache
+
+        cache = ResultCache(tmp_path, quarantine_entries=2)
+        for n in range(4):
+            # Corrupt entries: raw junk under the final name.
+            _entry(tmp_path, f"bad{n}", b"not a seal", age=400 - n)
+            assert cache.get(f"bad{n}") is None  # quarantines it
+        quarantine = tmp_path / "quarantine"
+        assert cache.quarantine_pruned == 2
+        assert len(list(quarantine.iterdir())) == 2
+        assert cache.counters()["quarantine_pruned"] == 2

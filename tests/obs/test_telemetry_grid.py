@@ -156,7 +156,8 @@ class TestCacheCounters:
     def test_cache_counters_method(self):
         cache = ResultCache()
         assert cache.counters() == {
-            "corrupt": 0, "hits": 0, "misses": 0, "put_failures": 0,
+            "corrupt": 0, "evicted": 0, "hits": 0, "misses": 0,
+            "put_failures": 0, "quarantine_pruned": 0,
             "quarantined": 0,
         }
 
